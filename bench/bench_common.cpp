@@ -1,0 +1,99 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dv::bench {
+
+namespace {
+int g_failures = 0;
+int g_checks = 0;
+}  // namespace
+
+LinkClassStats link_stats(const std::vector<metrics::LinkMetrics>& links) {
+  LinkClassStats s;
+  for (const auto& l : links) {
+    s.used += l.traffic > 0;
+    s.traffic += l.traffic;
+    s.sat += l.sat_time;
+    s.peak_sat = std::max(s.peak_sat, l.sat_time);
+  }
+  return s;
+}
+
+TermStats term_stats(const metrics::RunMetrics& run, std::int32_t job) {
+  TermStats s;
+  double lat = 0, hops = 0;
+  for (const auto& t : run.terminals) {
+    if (job != -2 && t.job != job) continue;
+    lat += t.sum_latency;
+    hops += t.sum_hops;
+    s.sat += t.sat_time;
+    s.packets += t.packets_finished;
+  }
+  if (s.packets) {
+    s.avg_latency = lat / static_cast<double>(s.packets);
+    s.avg_hops = hops / static_cast<double>(s.packets);
+  }
+  return s;
+}
+
+void banner(const std::string& figure, const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+void shape_check(bool ok, const std::string& description) {
+  ++g_checks;
+  if (!ok) ++g_failures;
+  std::printf("  [shape %s] %s\n", ok ? "OK      " : "MISMATCH", description.c_str());
+}
+
+int shape_failures() { return g_failures; }
+
+int footer() {
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("shape checks: %d/%d matched the paper\n", g_checks - g_failures,
+              g_checks);
+  return 0;
+}
+
+std::string out_path(const std::string& name) {
+  std::filesystem::create_directories("bench_out");
+  return "bench_out/" + name;
+}
+
+app::ExperimentConfig paper_df5_app(const std::string& appname,
+                                    routing::Algo algo) {
+  app::ExperimentConfig cfg;
+  cfg.dragonfly_p = 5;  // 2,550 terminals, as in Sec. V-C
+  app::JobSpec job;
+  job.workload = appname;
+  job.policy = placement::Policy::kContiguous;
+  // Volumes: scaled defaults, except AMG raised so its bursts exercise the
+  // inter-group links (DESIGN.md "Substitutions").
+  if (appname == "amg") job.bytes = 150u << 20;
+  cfg.jobs = {job};
+  cfg.routing = algo;
+  cfg.window = 5.0e5;
+  cfg.seed = 7;
+  return cfg;
+}
+
+app::ExperimentConfig fig13_config(placement::Policy amg,
+                                   placement::Policy amr,
+                                   placement::Policy minife) {
+  app::ExperimentConfig cfg;
+  cfg.dragonfly_p = 6;  // the paper's 73x12x6 = 5,256-terminal network
+  cfg.jobs = {{"amg", 1728, amg, 150u << 20},
+              {"amr_boxlib", 1728, amr, 30u << 20},
+              {"minife", 1152, minife, 735u << 20}};
+  cfg.routing = routing::Algo::kAdaptive;
+  cfg.window = 5.0e5;
+  cfg.seed = 23;
+  return cfg;
+}
+
+}  // namespace dv::bench

@@ -1,0 +1,172 @@
+// Core micro-benchmarks (google-benchmark): simulator event rate,
+// hierarchical aggregation, projection build, SVG render, script parsing,
+// time-range re-aggregation — the operations behind the paper's claim of
+// *interactive* exploration of large networks.
+#include <benchmark/benchmark.h>
+
+#include "core/projection.hpp"
+#include "core/views.hpp"
+#include "netsim/network.hpp"
+#include "pdes/phold.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace dv;
+
+/// One cached medium run (uniform random on the 2,550-terminal network).
+const metrics::RunMetrics& cached_run() {
+  static const metrics::RunMetrics run = [] {
+    const auto topo = topo::Dragonfly::canonical(5);
+    netsim::Network net(topo, routing::Algo::kAdaptive, {}, 7);
+    workload::Config cfg;
+    cfg.ranks = topo.num_terminals();
+    cfg.total_bytes = 160ull << 20;
+    cfg.window = 2.0e5;
+    cfg.seed = 7;
+    const auto placement = placement::place_jobs(
+        topo, {{"ur", topo.num_terminals(), placement::Policy::kContiguous}},
+        7);
+    net.set_jobs(placement);
+    net.add_messages(workload::map_to_terminals(
+        workload::generate_uniform_random(cfg), placement, 0));
+    net.enable_sampling(5'000.0);
+    return net.run();
+  }();
+  return run;
+}
+
+core::ProjectionSpec default_spec() {
+  return core::SpecBuilder()
+      .level(core::Entity::kGlobalLink)
+      .aggregate({"router_rank"})
+      .color("sat_time")
+      .size("traffic")
+      .level(core::Entity::kTerminal)
+      .aggregate({"router_rank", "router_port"})
+      .color("sat_time")
+      .level(core::Entity::kTerminal)
+      .color("workload")
+      .size("avg_latency")
+      .x("avg_hops")
+      .y("data_size")
+      .ribbons(core::Entity::kLocalLink, "router_rank")
+      .build();
+}
+
+void BM_SimulatorEventRate(benchmark::State& state) {
+  const auto topo = topo::Dragonfly::canonical(3);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    netsim::Network net(topo, routing::Algo::kAdaptive, {}, 3);
+    workload::Config cfg;
+    cfg.ranks = topo.num_terminals();
+    cfg.total_bytes = 8u << 20;
+    cfg.window = 5.0e4;
+    const auto placement = placement::place_jobs(
+        topo, {{"ur", topo.num_terminals(), placement::Policy::kContiguous}},
+        3);
+    net.add_messages(workload::map_to_terminals(
+        workload::generate_uniform_random(cfg), placement, 0));
+    benchmark::DoNotOptimize(net.run());
+    events += net.events_processed();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorEventRate)->Unit(benchmark::kMillisecond);
+
+void BM_DataSetBuild(benchmark::State& state) {
+  const auto& run = cached_run();
+  for (auto _ : state) {
+    core::DataSet data(run);
+    benchmark::DoNotOptimize(&data);
+  }
+}
+BENCHMARK(BM_DataSetBuild)->Unit(benchmark::kMillisecond);
+
+void BM_HierarchicalAggregation(benchmark::State& state) {
+  const core::DataSet data(cached_run());
+  const auto& table = data.table(core::Entity::kTerminal);
+  core::AggregationSpec spec;
+  spec.keys = {"group_id", "router_rank"};
+  spec.max_bins = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::Aggregation agg(table, spec);
+    benchmark::DoNotOptimize(agg.reduce("data_size"));
+    benchmark::DoNotOptimize(agg.reduce("avg_latency"));
+  }
+  state.counters["rows"] = static_cast<double>(table.rows());
+}
+BENCHMARK(BM_HierarchicalAggregation)->Arg(0)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_ProjectionBuild(benchmark::State& state) {
+  const core::DataSet data(cached_run());
+  const auto spec = default_spec();
+  for (auto _ : state) {
+    core::ProjectionView view(data, spec);
+    benchmark::DoNotOptimize(&view);
+  }
+}
+BENCHMARK(BM_ProjectionBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SvgRender(benchmark::State& state) {
+  const core::DataSet data(cached_run());
+  const core::ProjectionView view(data, default_spec());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.to_svg(800));
+  }
+}
+BENCHMARK(BM_SvgRender)->Unit(benchmark::kMillisecond);
+
+void BM_TimeRangeSlice(benchmark::State& state) {
+  const core::DataSet data(cached_run());
+  const double end = cached_run().end_time;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.slice_time(end * 0.25, end * 0.5));
+  }
+}
+BENCHMARK(BM_TimeRangeSlice)->Unit(benchmark::kMillisecond);
+
+void BM_SpecScriptParse(benchmark::State& state) {
+  const std::string script = default_spec().to_script();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ProjectionSpec::parse(script));
+  }
+}
+BENCHMARK(BM_SpecScriptParse)->Unit(benchmark::kMicrosecond);
+
+void BM_BrushSelection(benchmark::State& state) {
+  const core::DataSet data(cached_run());
+  for (auto _ : state) {
+    core::DetailView dv(data);
+    dv.brush("avg_latency", 1000.0, 1e18);
+    benchmark::DoNotOptimize(dv.selected_terminals());
+    benchmark::DoNotOptimize(dv.associated_links(core::Entity::kLocalLink));
+  }
+}
+BENCHMARK(BM_BrushSelection)->Unit(benchmark::kMillisecond);
+
+void BM_PholdEngine(benchmark::State& state) {
+  pdes::PholdConfig cfg;
+  cfg.lps = 64;
+  cfg.population = 8;
+  cfg.horizon = 2000.0;
+  std::uint64_t events = 0;
+  const auto partitions = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto result = partitions == 0
+                            ? pdes::run_phold_sequential(cfg)
+                            : pdes::run_phold_parallel(cfg, partitions);
+    events += result.events;
+    benchmark::DoNotOptimize(result.per_lp.data());
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+// Arg 0 = sequential engine; 1/2/4 = conservative parallel partitions.
+BENCHMARK(BM_PholdEngine)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Routing-strategy study (the Sec. V-B workflow): run the same AMG-style
+// workload under minimal and adaptive routing, compare with shared visual
+// scales, and print the quantitative shape the paper reports in Fig. 8 —
+// adaptive spreads traffic over more links and lowers saturation.
+//
+//   $ ./routing_study [output.svg]
+#include <cstdio>
+
+#include "app/runner.hpp"
+#include "core/comparison.hpp"
+#include "util/str.hpp"
+
+namespace {
+
+dv::metrics::RunMetrics run_with(dv::routing::Algo algo) {
+  dv::app::ExperimentConfig cfg;
+  // The paper's Fig. 8 setting: AMG (1728 ranks) on the 2,550-terminal
+  // canonical dragonfly, contiguous placement.
+  cfg.dragonfly_p = 5;
+  cfg.jobs = {{"amg", 1728, dv::placement::Policy::kContiguous, 150u << 20}};
+  cfg.routing = algo;
+  cfg.window = 5.0e5;
+  cfg.seed = 7;
+  return dv::app::run_experiment(cfg).run;
+}
+
+struct LinkStats {
+  int used = 0;
+  double traffic = 0, sat = 0, peak_sat = 0;
+};
+
+LinkStats stats(const std::vector<dv::metrics::LinkMetrics>& links) {
+  LinkStats s;
+  for (const auto& l : links) {
+    s.used += l.traffic > 0;
+    s.traffic += l.traffic;
+    s.sat += l.sat_time;
+    s.peak_sat = std::max(s.peak_sat, l.sat_time);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dv;
+
+  std::printf("running AMG under minimal routing...\n");
+  const auto run_min = run_with(routing::Algo::kMinimal);
+  std::printf("running AMG under adaptive routing...\n");
+  const auto run_adp = run_with(routing::Algo::kAdaptive);
+
+  // Side-by-side projection views under one shared scale set.
+  const core::DataSet d_min(run_min), d_adp(run_adp);
+  const auto spec = core::SpecBuilder()
+                        .level(core::Entity::kGlobalLink)
+                        .aggregate({"router_rank"})
+                        .color("sat_time")
+                        .size("traffic")
+                        .colors({"white", "purple"})
+                        .level(core::Entity::kLocalLink)
+                        .aggregate({"router_rank"})
+                        .color("sat_time")
+                        .level(core::Entity::kTerminal)
+                        .aggregate({"router_rank"})
+                        .color("sat_time")
+                        .ribbons(core::Entity::kLocalLink, "router_rank")
+                        .build();
+  const core::ComparisonView cmp({&d_min, &d_adp}, spec,
+                                 {"Minimal Routing", "Adaptive Routing"});
+  const std::string out = argc > 1 ? argv[1] : "routing_study.svg";
+  cmp.save_svg(out);
+
+  const auto lmin = stats(run_min.local_links);
+  const auto ladp = stats(run_adp.local_links);
+  const auto gmin = stats(run_min.global_links);
+  const auto gadp = stats(run_adp.global_links);
+
+  std::printf("\n%-26s %14s %14s\n", "", "minimal", "adaptive");
+  auto row = [](const char* label, double a, double b) {
+    std::printf("%-26s %14.3g %14.3g\n", label, a, b);
+  };
+  row("local links used", lmin.used, ladp.used);
+  row("local traffic (B)", lmin.traffic, ladp.traffic);
+  row("local sat (ns)", lmin.sat, ladp.sat);
+  row("global links used", gmin.used, gadp.used);
+  row("global traffic (B)", gmin.traffic, gadp.traffic);
+  row("peak global sat (ns)", gmin.peak_sat, gadp.peak_sat);
+  row("completion time (ns)", run_min.end_time, run_adp.end_time);
+
+  std::printf("\nexpected shape (paper Fig. 8): adaptive raises link usage\n"
+              "and traffic while lowering saturation hotspots.\n");
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,397 @@
+// dragonviz CLI: simulate dragonfly networks and render spec-driven
+// projection / detail / timeline views headlessly.
+//
+//   dragonviz sim --p 3 --job amg:0:contiguous --routing adaptive
+//       ... --out run.json [--sample-dt 1000] [--scale 0.5]
+//   dragonviz render  --run run.json --spec spec.json --out view.svg
+//   dragonviz session --run run.json --spec spec.json --out ui.svg
+//       ... [--t0 ns --t1 ns] [--brush axis:lo:hi]
+//   dragonviz compare --run a.json --run b.json --spec spec.json --out c.svg
+//   dragonviz export  --run run.json --entity terminals --out t.csv
+//   dragonviz info    --run run.json
+#include "app/cli.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/runner.hpp"
+#include "core/comparison.hpp"
+#include "core/presets.hpp"
+#include "core/report.hpp"
+#include "core/views.hpp"
+#include "metrics/run_store.hpp"
+#include "trace/trace.hpp"
+#include "util/str.hpp"
+
+namespace dv::app {
+
+namespace {
+
+/// Minimal option parser: --key value (repeatable keys collect).
+struct Args {
+  std::map<std::string, std::vector<std::string>> opts;
+
+  static Args parse(int argc, char** argv, int start) {
+    Args a;
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      DV_REQUIRE(starts_with(key, "--"), "expected --option, got: " + key);
+      key = key.substr(2);
+      DV_REQUIRE(i + 1 < argc, "missing value for --" + key);
+      a.opts[key].push_back(argv[++i]);
+    }
+    return a;
+  }
+
+  const std::string& one(const std::string& key) const {
+    const auto it = opts.find(key);
+    DV_REQUIRE(it != opts.end() && it->second.size() == 1,
+               "exactly one --" + key + " required");
+    return it->second[0];
+  }
+  std::string one_or(const std::string& key, const std::string& dflt) const {
+    const auto it = opts.find(key);
+    if (it == opts.end()) return dflt;
+    DV_REQUIRE(it->second.size() == 1, "--" + key + " given multiple times");
+    return it->second[0];
+  }
+  double num_or(const std::string& key, double dflt) const {
+    const auto it = opts.find(key);
+    return it == opts.end() ? dflt : std::stod(it->second[0]);
+  }
+  std::vector<std::string> many(const std::string& key) const {
+    const auto it = opts.find(key);
+    return it == opts.end() ? std::vector<std::string>{} : it->second;
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DV_REQUIRE(is.good(), "cannot open: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+/// --spec accepts either a script file path or "preset:<name>".
+core::ProjectionSpec load_spec(const Args& args) {
+  const std::string& ref = args.one("spec");
+  if (core::is_preset_ref(ref)) return core::preset_from_ref(ref);
+  return core::ProjectionSpec::parse(read_file(ref));
+}
+
+int cmd_sim(const Args& args) {
+  ExperimentConfig cfg;
+  cfg.dragonfly_p = static_cast<std::uint32_t>(args.num_or("p", 3));
+  cfg.routing = routing::algo_from_string(args.one_or("routing", "adaptive"));
+  cfg.traffic_scale = args.num_or("scale", 1.0);
+  cfg.window = args.num_or("window", 2.0e6);
+  cfg.sample_dt = args.num_or("sample-dt", 0.0);
+  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
+  const auto jobs = args.many("job");
+  DV_REQUIRE(!jobs.empty(),
+             "at least one --job workload[:ranks[:policy]] required");
+  for (const auto& spec : jobs) {
+    const auto parts = split(spec, ':');
+    JobSpec job;
+    job.workload = parts[0];
+    if (parts.size() > 1 && !parts[1].empty() && parts[1] != "0") {
+      job.ranks = static_cast<std::uint32_t>(std::stoul(parts[1]));
+    }
+    if (parts.size() > 2) job.policy = placement::policy_from_string(parts[2]);
+    if (parts.size() > 3 && !parts[3].empty()) {
+      job.bytes = static_cast<std::uint64_t>(std::stod(parts[3]));
+    }
+    DV_REQUIRE(parts.size() <= 4, "bad --job spec: " + spec);
+    cfg.jobs.push_back(job);
+  }
+  const auto result = run_experiment(cfg);
+  const std::string out = args.one("out");
+  result.run.save(out);
+  std::printf("simulated %s on %s: %llu events, %.2fs wall, end=%.0f ns\n",
+              result.run.workload.c_str(), result.topo.describe().c_str(),
+              static_cast<unsigned long long>(result.events),
+              result.wall_seconds, result.run.end_time);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  const auto run = metrics::RunMetrics::load(args.one("run"));
+  auto spec = load_spec(args);
+  const core::DataSet data(run);
+  // --focus ring:item applies the paper's click-to-focus drill-down
+  // before rendering (may be repeated for nested drill-down).
+  for (const auto& f : args.many("focus")) {
+    const auto parts = split(f, ':');
+    DV_REQUIRE(parts.size() == 2, "--focus must be ring:item");
+    const core::ProjectionView overview(data, spec);
+    spec = overview.drill_down(std::stoul(parts[0]), std::stoul(parts[1]));
+  }
+  const core::ProjectionView view(data, spec);
+  const std::string out = args.one("out");
+  view.save_svg(out, args.num_or("size", 800),
+                args.one_or("title", run.workload + " / " + run.routing));
+  std::printf("wrote %s (%zu rings, %zu ribbons)\n", out.c_str(),
+              view.rings().size(), view.ribbons().size());
+  return 0;
+}
+
+int cmd_store(const Args& args) {
+  metrics::RunStore store(args.one("dir"));
+  const std::string action = args.one_or("action", "list");
+  if (action == "add") {
+    const auto run = metrics::RunMetrics::load(args.one("run"));
+    const auto name = store.add(run, args.one_or("name", ""));
+    std::printf("stored as '%s'\n", name.c_str());
+    return 0;
+  }
+  if (action == "remove") {
+    store.remove(args.one("name"));
+    std::printf("removed '%s'\n", args.one("name").c_str());
+    return 0;
+  }
+  DV_REQUIRE(action == "list", "store action must be list|add|remove");
+  std::printf("%-40s %-24s %-12s %-22s %10s\n", "name", "workload",
+              "routing", "placement", "terminals");
+  for (const auto& info : store.list()) {
+    std::printf("%-40s %-24s %-12s %-22s %10u\n", info.name.c_str(),
+                info.workload.c_str(), info.routing.c_str(),
+                info.placement.c_str(), info.terminals);
+  }
+  std::printf("%zu run(s) in %s\n", store.size(), store.dir().c_str());
+  return 0;
+}
+
+int cmd_session(const Args& args) {
+  const auto run = metrics::RunMetrics::load(args.one("run"));
+  const auto spec = load_spec(args);
+  core::AnalysisSession session{core::DataSet(run), spec};
+  const double t0 = args.num_or("t0", -1), t1 = args.num_or("t1", -1);
+  if (t0 >= 0 && t1 > t0) session.select_time_range(t0, t1);
+  for (const auto& b : args.many("brush")) {
+    const auto parts = split(b, ':');
+    DV_REQUIRE(parts.size() == 3, "--brush must be axis:lo:hi");
+    session.brush(parts[0], std::stod(parts[1]), std::stod(parts[2]));
+  }
+  const std::string out = args.one("out");
+  session.save_svg(out, args.num_or("width", 1400),
+                   args.num_or("height", 900));
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const auto paths = args.many("run");
+  DV_REQUIRE(paths.size() >= 2, "compare needs at least two --run files");
+  std::vector<metrics::RunMetrics> runs;
+  std::vector<core::DataSet> datasets;
+  runs.reserve(paths.size());
+  for (const auto& p : paths) runs.push_back(metrics::RunMetrics::load(p));
+  datasets.reserve(runs.size());
+  for (const auto& r : runs) datasets.emplace_back(r);
+  std::vector<const core::DataSet*> ptrs;
+  for (const auto& d : datasets) ptrs.push_back(&d);
+  const auto spec = load_spec(args);
+  const core::ComparisonView cmp(ptrs, spec);
+  const std::string out = args.one("out");
+  cmp.save_svg(out, args.num_or("size", 520));
+  // Also print the per-job summary table (Fig. 13d style).
+  const auto summaries = cmp.job_summaries();
+  std::printf("%-32s %-12s %14s %14s %10s\n", "run", "job",
+              "avg_latency_ns", "data_bytes", "avg_hops");
+  for (std::size_t r = 0; r < summaries.size(); ++r) {
+    for (const auto& s : summaries[r]) {
+      std::printf("%-32s %-12s %14.1f %14.0f %10.2f\n", cmp.label(r).c_str(),
+                  s.name.c_str(), s.avg_latency, s.data_size, s.avg_hops);
+    }
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  const auto run = metrics::RunMetrics::load(args.one("run"));
+  const auto table = run.to_csv(args.one_or("entity", "terminals"));
+  const std::string out = args.one("out");
+  std::ofstream os(out, std::ios::binary);
+  DV_REQUIRE(os.good(), "cannot open: " + out);
+  write_csv(os, table);
+  std::printf("wrote %s (%zu rows)\n", out.c_str(), table.rows.size());
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const auto paths = args.many("run");
+  DV_REQUIRE(!paths.empty(), "at least one --run required");
+  const auto spec = load_spec(args);
+  std::vector<metrics::RunMetrics> runs;
+  runs.reserve(paths.size());
+  for (const auto& p : paths) runs.push_back(metrics::RunMetrics::load(p));
+  std::vector<core::DataSet> datasets;
+  datasets.reserve(runs.size());
+  for (const auto& r : runs) datasets.emplace_back(r);
+
+  core::ReportBuilder report(
+      args.one_or("title", "dragonviz analysis report"));
+  if (datasets.size() == 1) {
+    report.run_summary(datasets[0]);
+    const core::ProjectionView view(datasets[0], spec);
+    report.projection(view, runs[0].workload + " / " + runs[0].routing +
+                                " / " + runs[0].placement);
+  } else {
+    std::vector<const core::DataSet*> ptrs;
+    for (const auto& d : datasets) ptrs.push_back(&d);
+    const core::ComparisonView cmp(ptrs, spec);
+    report.comparison(cmp, "comparison under shared visual scales");
+  }
+  const std::string out = args.one("out");
+  report.save(out);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_trace_record(const Args& args) {
+  const std::string workload = args.one("workload");
+  workload::Config cfg;
+  cfg.ranks = static_cast<std::uint32_t>(args.num_or("ranks", 0));
+  DV_REQUIRE(cfg.ranks > 0, "--ranks required");
+  cfg.total_bytes = static_cast<std::uint64_t>(args.num_or("bytes", 0));
+  DV_REQUIRE(cfg.total_bytes > 0, "--bytes required");
+  cfg.window = args.num_or("window", 2.0e6);
+  cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
+  const auto t =
+      trace::record(workload, cfg.ranks, workload::generate(workload, cfg));
+  const std::string out = args.one("out");
+  trace::save_binary(t, out);
+  std::printf("recorded %zu messages (%s) from %s to %s\n",
+              t.messages.size(),
+              human_bytes(static_cast<double>(t.total_bytes())).c_str(),
+              workload.c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_trace_info(const Args& args) {
+  const auto t = trace::load_binary(args.one("trace"));
+  const auto s = trace::summarize(t);
+  std::printf("app:          %s\n", t.app.c_str());
+  std::printf("ranks:        %u (%u active senders)\n", t.ranks,
+              s.active_ranks);
+  std::printf("messages:     %llu\n",
+              static_cast<unsigned long long>(s.messages));
+  std::printf("bytes:        %s\n",
+              human_bytes(static_cast<double>(s.bytes)).c_str());
+  std::printf("time span:    %.0f .. %.0f ns\n", s.t_first, s.t_last);
+  std::printf("avg degree:   %.1f (max %u)\n", s.avg_degree, s.max_degree);
+  std::printf("top 10%% share: %.0f%%\n", s.top_decile_share * 100);
+  return 0;
+}
+
+int cmd_trace_replay(const Args& args) {
+  const auto t = trace::load_binary(args.one("trace"));
+  const auto p = static_cast<std::uint32_t>(args.num_or("p", 3));
+  const auto topo = topo::Dragonfly::canonical(p);
+  const auto policy =
+      placement::policy_from_string(args.one_or("placement", "contiguous"));
+  const auto seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
+  const auto placement =
+      placement::place_jobs(topo, {{t.app, t.ranks, policy}}, seed);
+  netsim::Network net(topo, routing::algo_from_string(
+                                args.one_or("routing", "adaptive")),
+                      {}, seed);
+  net.set_jobs(placement);
+  net.set_labels(t.app, placement::to_string(policy), {t.app});
+  net.add_messages(workload::map_to_terminals(t.messages, placement, 0));
+  const double dt = args.num_or("sample-dt", 0.0);
+  if (dt > 0) net.enable_sampling(dt);
+  const auto run = net.run();
+  const std::string out = args.one("out");
+  run.save(out);
+  std::printf("replayed %s (%u ranks) on %s: %llu packets, end=%.0f ns\n",
+              t.app.c_str(), t.ranks, topo.describe().c_str(),
+              static_cast<unsigned long long>(run.total_packets_finished()),
+              run.end_time);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const auto run = metrics::RunMetrics::load(args.one("run"));
+  std::printf("workload:   %s\nrouting:    %s\nplacement:  %s\n",
+              run.workload.c_str(), run.routing.c_str(),
+              run.placement.c_str());
+  std::printf("dragonfly:  g=%u a=%u p=%u h=%u (%u terminals)\n", run.groups,
+              run.routers_per_group, run.terminals_per_router,
+              run.global_per_router,
+              run.groups * run.routers_per_group * run.terminals_per_router);
+  std::printf("end time:   %.0f ns\n", run.end_time);
+  std::printf("traffic:    local=%s global=%s injected=%s\n",
+              human_bytes(run.total_local_traffic()).c_str(),
+              human_bytes(run.total_global_traffic()).c_str(),
+              human_bytes(run.total_injected()).c_str());
+  std::printf("packets:    %llu finished\n",
+              static_cast<unsigned long long>(run.total_packets_finished()));
+  if (run.has_time_series()) {
+    std::printf("sampling:   dt=%.0f ns, %zu frames\n", run.sample_dt,
+                run.local_traffic_ts.frames());
+  }
+  return 0;
+}
+
+void print_help() {
+  std::printf(
+      "dragonviz — visual analytics for large-scale dragonfly networks\n\n"
+      "subcommands:\n"
+      "  sim      --p N --job workload[:ranks[:policy]] ... --out run.json\n"
+      "           [--routing minimal|nonminimal|adaptive|par]\n"
+      "           [--scale F] [--window NS] [--sample-dt NS] [--seed N]\n"
+      "  render   --run run.json --spec spec.json --out view.svg [--size PX]\n"
+      "           [--focus ring:item]   (click-to-focus drill-down)\n"
+      "  store    --dir runs/ [--action list|add|remove]\n"
+      "           [--run run.json] [--name NAME]\n"
+      "  session  --run run.json --spec spec.json --out ui.svg\n"
+      "           [--t0 NS --t1 NS] [--brush axis:lo:hi]\n"
+      "  compare  --run a.json --run b.json ... --spec spec.json --out c.svg\n"
+      "  export   --run run.json --entity terminals|routers|local_links|"
+      "global_links --out t.csv\n"
+      "  info     --run run.json\n"
+      "  report   --run run.json [--run more.json ...] --spec spec.json\n"
+      "           --out report.html [--title T]\n"
+      "  trace-record --workload amg --ranks N --bytes B --out t.dvtr\n"
+      "  trace-info   --trace t.dvtr\n"
+      "  trace-replay --trace t.dvtr --p N --out run.json\n"
+      "           [--placement P] [--routing R] [--sample-dt NS]\n\n"
+      "workloads: uniform_random nearest_neighbor all_to_all permutation\n"
+      "           bisection amg amr_boxlib minife\n"
+      "policies:  contiguous random_group random_router random_node\n");
+}
+
+}  // namespace
+
+int run_cli(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "--help" ||
+      std::string(argv[1]) == "help") {
+    print_help();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  if (cmd == "sim") return cmd_sim(args);
+  if (cmd == "render") return cmd_render(args);
+  if (cmd == "session") return cmd_session(args);
+  if (cmd == "compare") return cmd_compare(args);
+  if (cmd == "export") return cmd_export(args);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "trace-record") return cmd_trace_record(args);
+  if (cmd == "trace-info") return cmd_trace_info(args);
+  if (cmd == "trace-replay") return cmd_trace_replay(args);
+  if (cmd == "report") return cmd_report(args);
+  if (cmd == "store") return cmd_store(args);
+  throw Error("unknown subcommand: " + cmd + " (try --help)");
+}
+
+}  // namespace dv::app

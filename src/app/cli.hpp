@@ -1,0 +1,10 @@
+// Command-line interface for the dragonviz tool.
+#pragma once
+
+namespace dv::app {
+
+/// Entry point; returns the process exit code. Throws dv::Error on
+/// invalid usage (caught in main).
+int run_cli(int argc, char** argv);
+
+}  // namespace dv::app

@@ -1,0 +1,15 @@
+// dragonviz CLI — run simulations and render projection views headlessly.
+// (Subcommands are wired up in cli.cpp; this is only the entry point.)
+#include <cstdio>
+#include <exception>
+
+#include "app/cli.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    return dv::app::run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dragonviz: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,97 @@
+#include "app/runner.hpp"
+
+#include <chrono>
+
+#include "workload/workload.hpp"
+
+namespace dv::app {
+
+namespace {
+
+bool is_application(const std::string& name) {
+  return name == "amg" || name == "amr_boxlib" || name == "minife";
+}
+
+}  // namespace
+
+std::string ExperimentConfig::placement_label() const {
+  DV_REQUIRE(!jobs.empty(), "experiment has no jobs");
+  bool uniform = true;
+  for (const auto& j : jobs) {
+    if (j.policy != jobs[0].policy) uniform = false;
+  }
+  if (uniform) return placement::to_string(jobs[0].policy);
+  std::string label = "hybrid(";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i) label += ",";
+    label += placement::to_string(jobs[i].policy);
+  }
+  return label + ")";
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  DV_REQUIRE(!cfg.jobs.empty(), "experiment has no jobs");
+  DV_REQUIRE(cfg.traffic_scale > 0, "traffic scale must be positive");
+
+  ExperimentResult out;
+  out.topo = topo::Dragonfly::canonical(cfg.dragonfly_p);
+
+  // Resolve job sizes and volumes.
+  std::vector<placement::JobRequest> requests;
+  std::vector<std::uint64_t> volumes;
+  std::vector<std::string> names;
+  for (const auto& j : cfg.jobs) {
+    placement::JobRequest req;
+    req.name = j.workload;
+    req.policy = j.policy;
+    std::uint64_t bytes = j.bytes;
+    if (is_application(j.workload)) {
+      const auto& info = workload::app_info(j.workload);
+      req.ranks = j.ranks ? j.ranks : info.ranks;
+      if (!bytes) bytes = static_cast<std::uint64_t>(info.scaled_bytes);
+    } else {
+      req.ranks = j.ranks ? j.ranks : out.topo.num_terminals();
+      if (!bytes) bytes = cfg.synthetic_bytes_per_rank * req.ranks;
+    }
+    bytes = static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * cfg.traffic_scale);
+    DV_REQUIRE(bytes > 0, "job volume scaled to zero");
+    requests.push_back(req);
+    volumes.push_back(bytes);
+    names.push_back(j.workload);
+  }
+
+  out.placement = placement::place_jobs(out.topo, requests, cfg.seed);
+
+  netsim::Network net(out.topo, cfg.routing, cfg.params, cfg.seed);
+  net.set_jobs(out.placement);
+  std::string workload_label;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) workload_label += "+";
+    workload_label += names[i];
+  }
+  net.set_labels(workload_label, cfg.placement_label(), names);
+
+  for (std::size_t j = 0; j < cfg.jobs.size(); ++j) {
+    workload::Config wcfg;
+    wcfg.ranks = requests[j].ranks;
+    wcfg.total_bytes = volumes[j];
+    wcfg.window = cfg.window;
+    wcfg.seed = cfg.seed + j * 1000003;
+    wcfg.neighbor_stride =
+        cfg.nn_stride ? cfg.nn_stride : out.topo.terminals_per_router();
+    const auto msgs = workload::generate(cfg.jobs[j].workload, wcfg);
+    net.add_messages(workload::map_to_terminals(msgs, out.placement, j));
+  }
+
+  if (cfg.sample_dt > 0) net.enable_sampling(cfg.sample_dt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  out.run = net.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.events = net.events_processed();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+}  // namespace dv::app

@@ -1,0 +1,55 @@
+// Experiment runner: the one-call path from a declarative experiment
+// description (network scale, jobs, routing, placement, sampling) to a
+// RunMetrics — used by the CLI, the examples, and every figure bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/run_metrics.hpp"
+#include "netsim/network.hpp"
+#include "placement/placement.hpp"
+#include "routing/routing.hpp"
+#include "topology/dragonfly.hpp"
+
+namespace dv::app {
+
+/// One job in an experiment.
+struct JobSpec {
+  std::string workload;  ///< a dv::workload generator name
+  std::uint32_t ranks = 0;  ///< 0 = app default / all terminals (synthetic)
+  placement::Policy policy = placement::Policy::kContiguous;
+  std::uint64_t bytes = 0;  ///< 0 = app default / synthetic default
+};
+
+struct ExperimentConfig {
+  std::uint32_t dragonfly_p = 3;  ///< canonical dragonfly parameter
+  std::vector<JobSpec> jobs;
+  routing::Algo routing = routing::Algo::kAdaptive;
+  double traffic_scale = 1.0;  ///< multiplies every job's volume
+  double window = 2.0e6;       ///< injection window (ns)
+  double sample_dt = 0.0;      ///< 0 = no time series
+  std::uint64_t seed = 1;
+  std::uint64_t synthetic_bytes_per_rank = 32 * 1024;
+  /// nearest_neighbor stride (see workload::Config::neighbor_stride);
+  /// 0 = auto (terminals per router, the congestion-forming variant).
+  std::uint32_t nn_stride = 0;
+  netsim::Params params;
+
+  /// Human-readable placement label ("contiguous", "random_router",
+  /// "hybrid(...)" when jobs differ).
+  std::string placement_label() const;
+};
+
+struct ExperimentResult {
+  topo::Dragonfly topo = topo::Dragonfly::canonical(1);
+  placement::Placement placement;
+  metrics::RunMetrics run;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Places the jobs, generates every workload, simulates, collects metrics.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace dv::app

@@ -1,0 +1,155 @@
+#include "core/aggregation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/str.hpp"
+
+namespace dv::core {
+
+Reducer default_reducer(const std::string& attr) {
+  if (starts_with(attr, "avg_")) return Reducer::kMean;
+  return Reducer::kSum;
+}
+
+Aggregation::Aggregation(const DataTable& table, AggregationSpec spec)
+    : table_(&table), spec_(std::move(spec)) {
+  build();
+}
+
+void Aggregation::build() {
+  const DataTable& t = *table_;
+
+  // 1. Filter.
+  filtered_rows_.clear();
+  filtered_rows_.reserve(t.rows());
+  std::vector<const std::vector<double>*> fcols;
+  for (const auto& f : spec_.filters) {
+    DV_REQUIRE(f.lo <= f.hi, "filter range inverted for " + f.attr);
+    fcols.push_back(&t.column(f.attr));
+  }
+  for (std::uint32_t r = 0; r < t.rows(); ++r) {
+    bool keep = true;
+    for (std::size_t i = 0; i < fcols.size(); ++i) {
+      const double v = (*fcols[i])[r];
+      if (v < spec_.filters[i].lo || v > spec_.filters[i].hi) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) filtered_rows_.push_back(r);
+  }
+
+  // 2. Group by the key tuple (or one group per row when no keys).
+  groups_.clear();
+  if (spec_.keys.empty()) {
+    groups_.reserve(filtered_rows_.size());
+    for (std::uint32_t r : filtered_rows_) {
+      groups_.push_back(AggregateGroup{{static_cast<double>(r)}, {r}});
+    }
+    return;
+  }
+
+  std::vector<const std::vector<double>*> kcols;
+  for (const auto& k : spec_.keys) kcols.push_back(&t.column(k));
+
+  std::map<std::vector<double>, std::vector<std::uint32_t>> buckets;
+  for (std::uint32_t r : filtered_rows_) {
+    std::vector<double> key(kcols.size());
+    for (std::size_t i = 0; i < kcols.size(); ++i) key[i] = (*kcols[i])[r];
+    buckets[std::move(key)].push_back(r);
+  }
+
+  // 3. Optional binned re-aggregation of the first key (paper's maxBins):
+  // if the first key has more distinct values than max_bins, merge runs of
+  // consecutive values so at most ~max_bins partitions remain.
+  std::vector<double> first_distinct;
+  first_distinct.reserve(buckets.size());
+  for (const auto& [key, rows] : buckets) first_distinct.push_back(key[0]);
+  std::sort(first_distinct.begin(), first_distinct.end());
+  first_distinct.erase(
+      std::unique(first_distinct.begin(), first_distinct.end()),
+      first_distinct.end());
+
+  if (spec_.max_bins > 0 && first_distinct.size() > spec_.max_bins) {
+    binned_ = true;
+    const std::size_t bucket_size =
+        std::max<std::size_t>(1, first_distinct.size() / spec_.max_bins);
+    std::map<double, double> bin_of;
+    for (std::size_t i = 0; i < first_distinct.size(); ++i) {
+      bin_of[first_distinct[i]] = static_cast<double>(i / bucket_size);
+    }
+    std::map<std::vector<double>, std::vector<std::uint32_t>> rebinned;
+    for (auto& [key, rows] : buckets) {
+      std::vector<double> nk = key;
+      nk[0] = bin_of[key[0]];
+      auto& dst = rebinned[std::move(nk)];
+      dst.insert(dst.end(), rows.begin(), rows.end());
+    }
+    buckets = std::move(rebinned);
+  }
+
+  groups_.reserve(buckets.size());
+  for (auto& [key, rows] : buckets) {
+    groups_.push_back(AggregateGroup{key, std::move(rows)});
+  }
+}
+
+std::vector<double> Aggregation::reduce(const std::string& attr,
+                                        Reducer r) const {
+  const DataTable& t = *table_;
+  const auto& col = t.column(attr);
+  const std::vector<double>* weights = nullptr;
+  if (r == Reducer::kMean && t.has_column("packets_finished") &&
+      attr != "packets_finished") {
+    weights = &t.column("packets_finished");
+  }
+
+  std::vector<double> out;
+  out.reserve(groups_.size());
+  for (const auto& g : groups_) {
+    double acc = 0.0;
+    switch (r) {
+      case Reducer::kSum:
+        for (std::uint32_t row : g.rows) acc += col[row];
+        break;
+      case Reducer::kMean: {
+        double wsum = 0.0;
+        for (std::uint32_t row : g.rows) {
+          const double w = weights ? (*weights)[row] : 1.0;
+          acc += col[row] * w;
+          wsum += w;
+        }
+        acc = wsum > 0 ? acc / wsum : 0.0;
+        break;
+      }
+      case Reducer::kMax: {
+        bool first = true;
+        for (std::uint32_t row : g.rows) {
+          acc = first ? col[row] : std::max(acc, col[row]);
+          first = false;
+        }
+        break;
+      }
+      case Reducer::kMin: {
+        bool first = true;
+        for (std::uint32_t row : g.rows) {
+          acc = first ? col[row] : std::min(acc, col[row]);
+          first = false;
+        }
+        break;
+      }
+      case Reducer::kCount:
+        acc = static_cast<double>(g.rows.size());
+        break;
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<double> Aggregation::reduce(const std::string& attr) const {
+  return reduce(attr, default_reducer(attr));
+}
+
+}  // namespace dv::core

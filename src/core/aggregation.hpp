@@ -1,0 +1,79 @@
+// Hierarchical and binned data aggregation (Sec. IV-A of the paper).
+//
+// An Aggregation groups the rows of one entity table by an ordered list of
+// attributes (e.g. ["router_rank", "router_port"]), optionally re-binning
+// the first attribute when the number of groups exceeds `max_bins` — the
+// paper's automatic "extra binned aggregation" (Fig. 5a, maxBins). Filters
+// restrict the rows first (the `filter` operation of Fig. 5b).
+//
+// Reduction follows the paper: sum for most performance metrics, mean for
+// the per-terminal averages (weighted by finished packets so aggregate
+// averages stay exact).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/datatable.hpp"
+
+namespace dv::core {
+
+enum class Reducer { kSum, kMean, kMax, kMin, kCount };
+
+/// sum for most metrics; mean for "avg_*" attributes (paper Sec. IV-A).
+Reducer default_reducer(const std::string& attr);
+
+/// Inclusive value range filter on one attribute.
+struct AttrFilter {
+  std::string attr;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+struct AggregationSpec {
+  std::vector<std::string> keys;     ///< group-by attributes, outermost first
+  std::size_t max_bins = 0;          ///< 0 = unlimited
+  std::vector<AttrFilter> filters;   ///< applied before grouping
+};
+
+/// One aggregate item (a visual item in a projection ring).
+struct AggregateGroup {
+  std::vector<double> keys;          ///< key values (bin index when binned)
+  std::vector<std::uint32_t> rows;   ///< source row indices
+};
+
+class Aggregation {
+ public:
+  /// The table must outlive the aggregation. With empty keys, every
+  /// (filtered) row becomes its own group ("individual entities" mode).
+  Aggregation(const DataTable& table, AggregationSpec spec);
+
+  const std::vector<AggregateGroup>& groups() const { return groups_; }
+  std::size_t size() const { return groups_.size(); }
+  bool binned() const { return binned_; }
+  const AggregationSpec& spec() const { return spec_; }
+  const DataTable& table() const { return *table_; }
+
+  /// Rows that survived the filters (union of all groups, sorted).
+  const std::vector<std::uint32_t>& filtered_rows() const {
+    return filtered_rows_;
+  }
+
+  /// Reduces one attribute per group. kMean on a table with a
+  /// "packets_finished" column is weighted by it.
+  std::vector<double> reduce(const std::string& attr, Reducer r) const;
+  std::vector<double> reduce(const std::string& attr) const;
+
+ private:
+  void build();
+
+  const DataTable* table_;
+  AggregationSpec spec_;
+  std::vector<AggregateGroup> groups_;
+  std::vector<std::uint32_t> filtered_rows_;
+  bool binned_ = false;
+};
+
+}  // namespace dv::core

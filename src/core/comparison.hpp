@@ -1,0 +1,62 @@
+// Cross-run comparison (Sec. III / IV-B2 of the paper).
+//
+// "Our system also provides effective visualizations for comparing
+// simulation results between different network configurations ... When
+// comparing different datasets, the scale for visual encoding uses the
+// same minimum and maximum values, which ensures fair comparison."
+//
+// ComparisonView applies one projection spec to several runs, computes the
+// union of every channel's domain, rebuilds each view against the shared
+// scales, and renders them side by side. It also derives per-job summary
+// statistics (the numbers behind Fig. 13d).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/projection.hpp"
+#include "core/views.hpp"
+
+namespace dv::core {
+
+/// Per-job summary of one run (avg over the job's terminals, weighted by
+/// finished packets for latency/hops).
+struct JobSummary {
+  std::int32_t job = -1;
+  std::string name;
+  std::uint64_t terminals = 0;
+  double data_size = 0.0;
+  double avg_latency = 0.0;
+  double avg_hops = 0.0;
+  double sat_time = 0.0;
+};
+
+std::vector<JobSummary> summarize_jobs(const DataSet& data);
+
+class ComparisonView {
+ public:
+  /// Datasets must stay alive for the view's lifetime.
+  ComparisonView(std::vector<const DataSet*> runs, ProjectionSpec spec,
+                 std::vector<std::string> labels = {});
+
+  std::size_t run_count() const { return views_.size(); }
+  const ProjectionView& view(std::size_t i) const;
+  const ScaleSet& shared_scales() const { return shared_; }
+  const std::string& label(std::size_t i) const { return labels_[i]; }
+
+  /// Side-by-side render of every run under the shared scales.
+  std::string to_svg(double panel_px = 520) const;
+  void save_svg(const std::string& path, double panel_px = 520) const;
+
+  /// Per-run, per-job summaries (rows of a Fig. 13d-style table).
+  std::vector<std::vector<JobSummary>> job_summaries() const;
+
+ private:
+  std::vector<const DataSet*> runs_;
+  ProjectionSpec spec_;
+  std::vector<std::string> labels_;
+  ScaleSet shared_;
+  std::vector<ProjectionView> views_;
+};
+
+}  // namespace dv::core

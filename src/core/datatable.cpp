@@ -1,0 +1,267 @@
+#include "core/datatable.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/str.hpp"
+
+namespace dv::core {
+
+// ----------------------------------------------------------------- DataTable
+
+void DataTable::add_column(const std::string& name,
+                           std::vector<double> values) {
+  DV_REQUIRE(!has_column(name), "duplicate column: " + name);
+  if (rows_ == 0 && columns_.empty()) {
+    rows_ = values.size();
+  }
+  DV_REQUIRE(values.size() == rows_,
+             "column length mismatch for '" + name + "'");
+  names_.push_back(name);
+  columns_.push_back(std::move(values));
+}
+
+bool DataTable::has_column(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+const std::vector<double>& DataTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return columns_[i];
+  }
+  throw Error("no such column: '" + name + "' (available: " +
+              join(names_, ", ") + ")");
+}
+
+double DataTable::at(const std::string& name, std::size_t row) const {
+  const auto& col = column(name);
+  DV_REQUIRE(row < col.size(), "row out of range");
+  return col[row];
+}
+
+std::pair<double, double> DataTable::extent(const std::string& name) const {
+  const auto& col = column(name);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : col) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (col.empty()) return {0.0, 0.0};
+  return {lo, hi};
+}
+
+std::pair<double, double> DataTable::extent(
+    const std::string& name, const std::vector<std::uint32_t>& rows) const {
+  if (rows.empty()) return extent(name);
+  const auto& col = column(name);
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::uint32_t r : rows) {
+    DV_REQUIRE(r < col.size(), "row out of range");
+    lo = std::min(lo, col[r]);
+    hi = std::max(hi, col[r]);
+  }
+  return {lo, hi};
+}
+
+// ----------------------------------------------------------------- Entity
+
+Entity entity_from_string(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "router" || n == "routers") return Entity::kRouter;
+  if (n == "local_link" || n == "local_links") return Entity::kLocalLink;
+  if (n == "global_link" || n == "global_links") return Entity::kGlobalLink;
+  if (n == "terminal" || n == "terminals") return Entity::kTerminal;
+  throw Error("unknown entity: " + name);
+}
+
+std::string to_string(Entity e) {
+  switch (e) {
+    case Entity::kRouter: return "router";
+    case Entity::kLocalLink: return "local_link";
+    case Entity::kGlobalLink: return "global_link";
+    case Entity::kTerminal: return "terminal";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------- DataSet
+
+DataSet::DataSet(const metrics::RunMetrics& run)
+    : run_(std::make_shared<metrics::RunMetrics>(run)) {
+  build();
+}
+
+void DataSet::build() {
+  const metrics::RunMetrics& run = *run_;
+  const std::uint32_t a = run.routers_per_group;
+
+  // Per-router job: the job owning the router's terminals (majority when
+  // mixed, -1 when none). Used for job-level link bundling (Fig. 13, where
+  // routers with no job but carrying non-minimal traffic are "proxies").
+  const std::uint32_t n_routers = run.groups * a;
+  std::vector<double> router_job(n_routers, -1.0);
+  {
+    std::vector<std::map<std::int32_t, std::size_t>> counts(n_routers);
+    for (const auto& t : run.terminals) {
+      if (t.job >= 0) ++counts[t.router][t.job];
+    }
+    for (std::uint32_t r = 0; r < n_routers; ++r) {
+      std::size_t best = 0;
+      for (const auto& [job, c] : counts[r]) {
+        if (c > best) {
+          best = c;
+          router_job[r] = job;
+        }
+      }
+    }
+  }
+
+  {
+    const auto routers = run.derive_routers();
+    const std::size_t n = routers.size();
+    std::vector<double> id(n), grp(n), rank(n), gt(n), gs(n), lt(n), ls(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      id[i] = routers[i].router;
+      grp[i] = routers[i].group;
+      rank[i] = routers[i].rank;
+      gt[i] = routers[i].global_traffic;
+      gs[i] = routers[i].global_sat_time;
+      lt[i] = routers[i].local_traffic;
+      ls[i] = routers[i].local_sat_time;
+    }
+    routers_ = DataTable(n);
+    routers_.add_column("router", std::move(id));
+    routers_.add_column("group_id", std::move(grp));
+    routers_.add_column("router_rank", std::move(rank));
+    routers_.add_column("global_traffic", std::move(gt));
+    routers_.add_column("global_sat_time", std::move(gs));
+    routers_.add_column("local_traffic", std::move(lt));
+    routers_.add_column("local_sat_time", std::move(ls));
+    routers_.add_column("job", router_job);
+  }
+
+  auto build_links = [a, &router_job](
+                         const std::vector<metrics::LinkMetrics>& links) {
+    const std::size_t n = links.size();
+    std::vector<double> sr(n), sp(n), dr(n), dp(n), grp(n), rank(n), port(n),
+        dgrp(n), drank(n), sjob(n), djob(n), traffic(n), sat(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sr[i] = links[i].src_router;
+      sp[i] = links[i].src_port;
+      dr[i] = links[i].dst_router;
+      dp[i] = links[i].dst_port;
+      grp[i] = links[i].src_router / a;
+      rank[i] = links[i].src_router % a;
+      port[i] = links[i].src_port;
+      dgrp[i] = links[i].dst_router / a;
+      drank[i] = links[i].dst_router % a;
+      sjob[i] = router_job[links[i].src_router];
+      djob[i] = router_job[links[i].dst_router];
+      traffic[i] = links[i].traffic;
+      sat[i] = links[i].sat_time;
+    }
+    DataTable t(n);
+    t.add_column("src_router", std::move(sr));
+    t.add_column("src_port", std::move(sp));
+    t.add_column("dst_router", std::move(dr));
+    t.add_column("dst_port", std::move(dp));
+    t.add_column("group_id", std::move(grp));
+    t.add_column("router_rank", std::move(rank));
+    t.add_column("router_port", std::move(port));
+    t.add_column("dst_group", std::move(dgrp));
+    t.add_column("dst_rank", std::move(drank));
+    t.add_column("src_job", std::move(sjob));
+    t.add_column("dst_job", std::move(djob));
+    t.add_column("traffic", std::move(traffic));
+    t.add_column("sat_time", std::move(sat));
+    return t;
+  };
+  local_links_ = build_links(run.local_links);
+  global_links_ = build_links(run.global_links);
+
+  {
+    const std::size_t n = run.terminals.size();
+    std::vector<double> id(n), router(n), grp(n), rank(n), port(n), data(n),
+        sat(n), pkts(n), lat(n), hops(n), job(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& t = run.terminals[i];
+      id[i] = static_cast<double>(i);
+      router[i] = t.router;
+      grp[i] = t.router / a;
+      rank[i] = t.router % a;
+      port[i] = t.port;
+      data[i] = t.data_size;
+      sat[i] = t.sat_time;
+      pkts[i] = static_cast<double>(t.packets_finished);
+      lat[i] = t.avg_latency();
+      hops[i] = t.avg_hops();
+      job[i] = t.job;
+    }
+    terminals_ = DataTable(n);
+    terminals_.add_column("terminal", std::move(id));
+    terminals_.add_column("router", std::move(router));
+    terminals_.add_column("group_id", std::move(grp));
+    terminals_.add_column("router_rank", std::move(rank));
+    terminals_.add_column("router_port", std::move(port));
+    terminals_.add_column("data_size", std::move(data));
+    terminals_.add_column("sat_time", std::move(sat));
+    terminals_.add_column("packets_finished", std::move(pkts));
+    terminals_.add_column("avg_latency", std::move(lat));
+    terminals_.add_column("avg_hops", std::move(hops));
+    terminals_.add_column("workload", std::move(job));
+  }
+}
+
+const DataTable& DataSet::table(Entity e) const {
+  switch (e) {
+    case Entity::kRouter: return routers_;
+    case Entity::kLocalLink: return local_links_;
+    case Entity::kGlobalLink: return global_links_;
+    case Entity::kTerminal: return terminals_;
+  }
+  throw Error("bad entity");
+}
+
+DataSet DataSet::slice_time(double t0, double t1) const {
+  DV_REQUIRE(run_->has_time_series(),
+             "time-range selection requires a sampled run");
+  DV_REQUIRE(t0 < t1, "empty time range");
+  const double dt = run_->sample_dt;
+  // Half-open frame quantization: frame f covers [f*dt, (f+1)*dt), so
+  // adjacent time slices partition the frames exactly (no double counting).
+  auto frame_range = [&](const metrics::SampledSeries& s) {
+    const std::size_t f0 = static_cast<std::size_t>(std::max(0.0, t0 / dt));
+    std::size_t f1 = t1 >= static_cast<double>(s.frames()) * dt
+                         ? s.frames()
+                         : static_cast<std::size_t>(std::max(0.0, t1 / dt));
+    f1 = std::min(f1, s.frames());
+    return std::pair<std::size_t, std::size_t>{std::min(f0, f1), f1};
+  };
+  metrics::RunMetrics sliced = *run_;
+  auto apply = [&](std::vector<metrics::LinkMetrics>& links,
+                   const metrics::SampledSeries& traffic_ts,
+                   const metrics::SampledSeries& sat_ts) {
+    const auto [f0, f1] = frame_range(traffic_ts);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      links[i].traffic = traffic_ts.range_sum(i, f0, f1);
+      links[i].sat_time = sat_ts.range_sum(i, f0, f1);
+    }
+  };
+  apply(sliced.local_links, run_->local_traffic_ts, run_->local_sat_ts);
+  apply(sliced.global_links, run_->global_traffic_ts, run_->global_sat_ts);
+  {
+    const auto [f0, f1] = frame_range(run_->term_traffic_ts);
+    for (std::size_t i = 0; i < sliced.terminals.size(); ++i) {
+      sliced.terminals[i].data_size =
+          run_->term_traffic_ts.range_sum(i, f0, f1);
+      sliced.terminals[i].sat_time = run_->term_sat_ts.range_sum(i, f0, f1);
+    }
+  }
+  return DataSet(sliced);
+}
+
+}  // namespace dv::core

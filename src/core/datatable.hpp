@@ -1,0 +1,89 @@
+// Column-oriented data tables — the substrate of the VA layer.
+//
+// A DataTable holds one entity class (routers, links, terminals...) as
+// named numeric columns. The EntityTree of Fig. 2(a) is represented as a
+// DataSet: one table per entity class plus the cross-references that link
+// them (router ids on links and terminals), which is what the aggregation
+// and projection machinery traverses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/run_metrics.hpp"
+#include "util/common.hpp"
+
+namespace dv::core {
+
+/// One entity class as named columns of doubles (column-major).
+class DataTable {
+ public:
+  DataTable() = default;
+  explicit DataTable(std::size_t rows) : rows_(rows) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return names_.size(); }
+
+  /// Adds a column (must match the row count; a table with 0 rows adopts
+  /// the column's length).
+  void add_column(const std::string& name, std::vector<double> values);
+  bool has_column(const std::string& name) const;
+  const std::vector<double>& column(const std::string& name) const;  // throws
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  double at(const std::string& name, std::size_t row) const;
+
+  /// Min/max of a column over a row subset (empty subset = all rows).
+  std::pair<double, double> extent(const std::string& name) const;
+  std::pair<double, double> extent(
+      const std::string& name, const std::vector<std::uint32_t>& rows) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+/// Entity classes in a Dragonfly run (Fig. 2a).
+enum class Entity { kRouter, kLocalLink, kGlobalLink, kTerminal };
+
+Entity entity_from_string(const std::string& name);  // throws on unknown
+std::string to_string(Entity e);
+
+/// A full run as a set of linked entity tables, plus the topology shape
+/// needed to resolve references and time series for range re-aggregation.
+class DataSet {
+ public:
+  /// Builds all entity tables from a simulation result. Columns:
+  ///  routers:      router, group_id, router_rank, global_traffic,
+  ///                global_sat_time, local_traffic, local_sat_time
+  ///  local_links / global_links:
+  ///                src_router, src_port, dst_router, dst_port,
+  ///                group_id, router_rank, router_port, traffic, sat_time
+  ///  terminals:    terminal, router, group_id, router_rank, router_port,
+  ///                data_size, sat_time, packets_finished, avg_latency
+  ///                (alias: avg_packet_latency), avg_hops, workload (job id)
+  explicit DataSet(const metrics::RunMetrics& run);
+
+  const DataTable& table(Entity e) const;
+  const metrics::RunMetrics& run() const { return *run_; }
+
+  std::uint32_t groups() const { return run_->groups; }
+  std::uint32_t routers_per_group() const { return run_->routers_per_group; }
+
+  /// Restricts metric columns (traffic / sat_time / data_size) to a time
+  /// range [t0, t1) using the run's sampled series; returns a new DataSet.
+  /// Requires the run to have time series.
+  DataSet slice_time(double t0, double t1) const;
+
+ private:
+  DataSet() = default;
+  void build();
+
+  std::shared_ptr<const metrics::RunMetrics> run_;
+  DataTable routers_, local_links_, global_links_, terminals_;
+};
+
+}  // namespace dv::core

@@ -1,0 +1,134 @@
+#include "core/presets.hpp"
+
+#include "util/str.hpp"
+
+namespace dv::core {
+
+std::vector<std::string> preset_names() {
+  return {"fig4", "fig5a", "fig7", "fig9", "fig13", "overview"};
+}
+
+ProjectionSpec preset(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "fig4") {
+    return SpecBuilder()
+        .level(Entity::kGlobalLink)
+        .aggregate({"router_rank", "router_port"})
+        .color("sat_time")
+        .size("traffic")
+        .colors({"white", "steelblue"})
+        .level(Entity::kTerminal)
+        .aggregate({"router_rank", "router_port"})
+        .color("sat_time")
+        .colors({"white", "steelblue"})
+        .level(Entity::kTerminal)
+        .color("workload")
+        .size("avg_latency")
+        .x("avg_hops")
+        .y("data_size")
+        .colors({"green", "orange", "brown"})
+        .ribbons(Entity::kLocalLink, "router_rank")
+        .build();
+  }
+  if (n == "fig5a") {
+    return SpecBuilder()
+        .level(Entity::kGlobalLink)
+        .aggregate({"group_id"})
+        .max_bins(8)
+        .color("sat_time")
+        .size("traffic")
+        .colors({"white", "purple"})
+        .level(Entity::kRouter)
+        .aggregate({"router_rank"})
+        .color("local_sat_time")
+        .colors({"white", "steelblue"})
+        .level(Entity::kTerminal)
+        .aggregate({"router_port", "workload"})
+        .color("workload")
+        .size("avg_hops")
+        .colors({"green", "orange", "brown"})
+        .ribbons(Entity::kGlobalLink, "job")
+        .ribbon_colors({"white", "purple"})
+        .build();
+  }
+  if (n == "fig7") {
+    return SpecBuilder()
+        .level(Entity::kLocalLink)
+        .aggregate({"router_rank"})
+        .color("sat_time")
+        .colors({"white", "steelblue"})
+        .level(Entity::kGlobalLink)
+        .aggregate({"router_rank"})
+        .color("sat_time")
+        .colors({"white", "purple"})
+        .level(Entity::kTerminal)
+        .aggregate({"router_rank"})
+        .color("sat_time")
+        .colors({"white", "crimson"})
+        .ribbons(Entity::kLocalLink, "router_rank")
+        .build();
+  }
+  if (n == "fig9") {
+    return SpecBuilder()
+        .level(Entity::kGlobalLink)
+        .aggregate({"group_id"})
+        .max_bins(12)
+        .color("sat_time")
+        .size("traffic")
+        .colors({"white", "purple"})
+        .level(Entity::kLocalLink)
+        .aggregate({"router_rank"})
+        .color("sat_time")
+        .size("traffic")
+        .colors({"white", "steelblue"})
+        .level(Entity::kTerminal)
+        .aggregate({"router_rank"})
+        .color("avg_latency")
+        .size("avg_hops")
+        .colors({"white", "crimson"})
+        .ribbons(Entity::kGlobalLink, "group_id")
+        .build();
+  }
+  if (n == "fig13") {
+    return SpecBuilder()
+        .level(Entity::kLocalLink)
+        .aggregate({"src_job"})
+        .color("sat_time")
+        .size("traffic")
+        .colors({"white", "steelblue"})
+        .level(Entity::kTerminal)
+        .aggregate({"workload"})
+        .color("avg_latency")
+        .size("avg_hops")
+        .colors({"white", "crimson"})
+        .ribbons(Entity::kGlobalLink, "job")
+        .build();
+  }
+  if (n == "overview") {
+    return SpecBuilder()
+        .level(Entity::kGlobalLink)
+        .aggregate({"router_rank"})
+        .color("sat_time")
+        .size("traffic")
+        .colors({"white", "purple"})
+        .level(Entity::kTerminal)
+        .aggregate({"router_rank"})
+        .color("sat_time")
+        .colors({"white", "steelblue"})
+        .ribbons(Entity::kLocalLink, "router_rank")
+        .build();
+  }
+  throw Error("unknown spec preset: " + name + " (available: " +
+              join(preset_names(), ", ") + ")");
+}
+
+bool is_preset_ref(const std::string& ref) {
+  return starts_with(to_lower(trim(ref)), "preset:");
+}
+
+ProjectionSpec preset_from_ref(const std::string& ref) {
+  DV_REQUIRE(is_preset_ref(ref), "not a preset reference: " + ref);
+  return preset(trim(ref).substr(7));
+}
+
+}  // namespace dv::core

@@ -1,0 +1,34 @@
+// Named projection-spec presets — the view configurations used in the
+// paper's figures, available by name from the library and the CLI
+// (`--spec preset:fig5a`), so any run can be inspected exactly the way the
+// paper presents it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+
+namespace dv::core {
+
+/// Available preset names:
+///   fig4        — rank/port bar + heatmap rings, terminal scatter,
+///                 rank-bundled local-link ribbons (Fig. 4c)
+///   fig5a       — group partitions via maxBins with job-colored terminals
+///                 and job-bundled global ribbons (Fig. 5a)
+///   fig7        — per-rank saturation across all three link classes
+///                 (Figs. 7/8/10 comparisons)
+///   fig9        — group-binned global links, local links, terminal
+///                 latency/hops (Fig. 9)
+///   fig13       — job-level local-link rings and global-link ribbons with
+///                 proxy arcs (Fig. 13a-c)
+///   overview    — a compact general-purpose default
+std::vector<std::string> preset_names();
+ProjectionSpec preset(const std::string& name);  // throws on unknown
+
+/// Resolves a CLI spec argument: "preset:<name>" loads a preset; anything
+/// else is treated as a script (the caller passes file contents).
+bool is_preset_ref(const std::string& ref);
+ProjectionSpec preset_from_ref(const std::string& ref);
+
+}  // namespace dv::core

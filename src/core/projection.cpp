@@ -1,0 +1,567 @@
+#include "core/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/str.hpp"
+
+namespace dv::core {
+
+namespace {
+constexpr double kTau = 6.283185307179586;
+
+bool is_categorical_attr(const std::string& attr) {
+  return attr == "workload" || attr == "job" || attr == "src_job" ||
+         attr == "dst_job";
+}
+
+/// (src key column, dst key column) for a ribbon bundling key.
+std::pair<std::string, std::string> ribbon_key_columns(
+    const DataTable& table, const std::string& key) {
+  if (key == "router_rank") return {"router_rank", "dst_rank"};
+  if (key == "group_id") return {"group_id", "dst_group"};
+  if (key == "job") return {"src_job", "dst_job"};
+  if (table.has_column(key) && table.has_column("dst_" + key)) {
+    return {key, "dst_" + key};
+  }
+  throw Error("cannot bundle ribbons by '" + key +
+              "' (no src/dst column pair)");
+}
+}  // namespace
+
+Rgb categorical_color(std::int64_t index) {
+  if (index < 0) return Rgb{170, 170, 170};  // idle terminals / proxy routers
+  static const Rgb palette[] = {
+      {46, 139, 34},    // green
+      {255, 140, 0},    // orange
+      {139, 69, 19},    // brown
+      {70, 130, 180},   // steelblue
+      {128, 0, 128},    // purple
+      {0, 128, 128},    // teal
+      {220, 20, 60},    // crimson
+      {128, 128, 0},    // olive
+      {0, 0, 128},      // navy
+      {199, 21, 133},   // magenta
+  };
+  return palette[static_cast<std::size_t>(index) % (sizeof(palette) / sizeof(palette[0]))];
+}
+
+std::string ProjectionView::scale_key(std::size_t level, const char* channel) {
+  return "L" + std::to_string(level) + "/" + channel;
+}
+
+ProjectionView::ProjectionView(const DataSet& data, ProjectionSpec spec,
+                               const ScaleSet* shared)
+    : spec_(std::move(spec)) {
+  DV_REQUIRE(!spec_.levels.empty(), "projection spec has no levels");
+  build(data, shared);
+}
+
+ScaleSet ProjectionView::compute_scales(const DataSet& data,
+                                        const ProjectionSpec& spec) {
+  return ProjectionView(data, spec).scales();
+}
+
+void ProjectionView::build(const DataSet& data, const ScaleSet* shared) {
+  for (std::size_t i = 0; i < spec_.levels.size(); ++i) {
+    build_ring(data, spec_.levels[i], i);
+  }
+  if (spec_.ribbons.enabled) build_ribbons(data);
+  if (shared) scales_.merge(*shared);
+  apply_scales();
+}
+
+void ProjectionView::build_ring(const DataSet& data, const LevelSpec& lvl,
+                                std::size_t level_idx) {
+  const DataTable& table = data.table(lvl.entity);
+  const Aggregation agg(table, lvl.aggregation_spec());
+
+  Ring ring;
+  ring.spec = lvl;
+  ring.type = lvl.plot_type();
+
+  const std::size_t n = agg.size();
+  ring.items.resize(n);
+
+  auto fill_channel = [&](const std::string& attr, const char* channel,
+                          auto setter) {
+    if (attr.empty()) return;
+    const auto vals = agg.reduce(attr);
+    auto& scale = scales_.get_or_add(scale_key(level_idx, channel));
+    for (std::size_t j = 0; j < n; ++j) {
+      setter(ring.items[j], vals[j]);
+      scale.include(vals[j]);
+    }
+  };
+  fill_channel(lvl.vmap.color, "color",
+               [](RingItem& it, double v) { it.color_value = v; });
+  fill_channel(lvl.vmap.size, "size",
+               [](RingItem& it, double v) { it.size_value = v; });
+  fill_channel(lvl.vmap.x, "x",
+               [](RingItem& it, double v) { it.x_value = v; });
+  fill_channel(lvl.vmap.y, "y",
+               [](RingItem& it, double v) { it.y_value = v; });
+
+  const std::vector<double>* first_key_col =
+      lvl.aggregate.empty() ? nullptr : &table.column(lvl.aggregate[0]);
+  for (std::size_t j = 0; j < n; ++j) {
+    RingItem& it = ring.items[j];
+    it.keys = agg.groups()[j].keys;
+    it.source_rows = agg.groups()[j].rows;
+    if (first_key_col && !it.source_rows.empty()) {
+      it.key_lo = it.key_hi = (*first_key_col)[it.source_rows[0]];
+      for (std::uint32_t r : it.source_rows) {
+        it.key_lo = std::min(it.key_lo, (*first_key_col)[r]);
+        it.key_hi = std::max(it.key_hi, (*first_key_col)[r]);
+      }
+    }
+    it.a0 = kTau * static_cast<double>(j) / static_cast<double>(std::max<std::size_t>(1, n));
+    it.a1 = kTau * static_cast<double>(j + 1) / static_cast<double>(std::max<std::size_t>(1, n));
+  }
+  rings_.push_back(std::move(ring));
+}
+
+void ProjectionView::build_ribbons(const DataSet& data) {
+  const RibbonSpec& rs = spec_.ribbons;
+  const DataTable& table = data.table(rs.entity);
+  const auto [src_col_name, dst_col_name] =
+      ribbon_key_columns(table, rs.key);
+  const auto& src_col = table.column(src_col_name);
+  const auto& dst_col = table.column(dst_col_name);
+  const auto& size_col = table.column(rs.size_attr);
+  const auto& color_col = table.column(rs.color_attr);
+
+  // Bundle directed links by unordered key pair.
+  struct Acc {
+    double size = 0.0;
+    double color = 0.0;
+    std::vector<std::uint32_t> rows;
+  };
+  std::map<std::pair<double, double>, Acc> bundles;
+  std::set<double> keys;
+  for (std::uint32_t r = 0; r < table.rows(); ++r) {
+    const double ka = src_col[r];
+    const double kb = dst_col[r];
+    keys.insert(ka);
+    keys.insert(kb);
+    if (size_col[r] == 0.0 && color_col[r] == 0.0) continue;  // unused link
+    auto& acc = bundles[{std::min(ka, kb), std::max(ka, kb)}];
+    acc.size += size_col[r];
+    acc.color = std::max(acc.color, color_col[r]);
+    acc.rows.push_back(r);
+  }
+
+  // Arcs: span proportional to the bundled traffic touching each key
+  // ("the size of the arcs shows the ratios of the total traffic" —
+  // Sec. V-D); keys with no traffic get a minimal span.
+  std::vector<double> key_list(keys.begin(), keys.end());
+  std::map<double, std::size_t> arc_of;
+  arcs_.clear();
+  for (std::size_t i = 0; i < key_list.size(); ++i) {
+    arc_of[key_list[i]] = i;
+    RibbonArc arc;
+    arc.key = key_list[i];
+    arc.color = is_categorical_attr(rs.key) || rs.key == "job"
+                    ? categorical_color(static_cast<std::int64_t>(
+                          std::llround(key_list[i])))
+                    : categorical_color(static_cast<std::int64_t>(i));
+    arcs_.push_back(arc);
+  }
+  for (const auto& [pair, acc] : bundles) {
+    arcs_[arc_of[pair.first]].weight += acc.size;
+    arcs_[arc_of[pair.second]].weight += acc.size;
+  }
+
+  double total_weight = 0.0;
+  for (const auto& arc : arcs_) total_weight += arc.weight;
+  const std::size_t n_arcs = arcs_.size();
+  if (n_arcs == 0) return;
+  const double gap = kTau * 0.08 / static_cast<double>(n_arcs);
+  const double usable = kTau - gap * static_cast<double>(n_arcs);
+  const double min_span = usable * 0.01;
+
+  // First pass: raw spans; then normalize to fill the circle.
+  std::vector<double> spans(n_arcs);
+  double span_sum = 0.0;
+  for (std::size_t i = 0; i < n_arcs; ++i) {
+    spans[i] = total_weight > 0
+                   ? std::max(min_span, usable * arcs_[i].weight / total_weight)
+                   : usable / static_cast<double>(n_arcs);
+    span_sum += spans[i];
+  }
+  double angle = 0.0;
+  for (std::size_t i = 0; i < n_arcs; ++i) {
+    const double span = spans[i] * usable / span_sum;
+    arcs_[i].a0 = angle;
+    arcs_[i].a1 = angle + span;
+    angle += span + gap;
+  }
+
+  // Sub-span allocation (chord layout): walk each arc, giving every bundle
+  // an end width proportional to its size; self-bundles take two slots.
+  struct End {
+    std::size_t bundle;
+    bool first_end;
+    double partner_key;
+    double size;
+  };
+  std::vector<std::vector<End>> ends(n_arcs);
+  ribbons_.clear();
+  ribbons_.reserve(bundles.size());
+  auto& sscale = scales_.get_or_add("R/size");
+  auto& cscale = scales_.get_or_add("R/color");
+  for (const auto& [pair, acc] : bundles) {
+    RibbonBundle rb;
+    rb.arc_a = arc_of[pair.first];
+    rb.arc_b = arc_of[pair.second];
+    rb.size_value = acc.size;
+    rb.color_value = acc.color;
+    rb.source_rows = acc.rows;
+    sscale.include(rb.size_value);
+    cscale.include(rb.color_value);
+    const std::size_t idx = ribbons_.size();
+    ends[rb.arc_a].push_back(End{idx, true, pair.second, acc.size});
+    ends[rb.arc_b].push_back(End{idx, false, pair.first, acc.size});
+    ribbons_.push_back(std::move(rb));
+  }
+  for (std::size_t i = 0; i < n_arcs; ++i) {
+    auto& list = ends[i];
+    std::sort(list.begin(), list.end(), [](const End& a, const End& b) {
+      if (a.partner_key != b.partner_key) return a.partner_key < b.partner_key;
+      return a.first_end && !b.first_end;
+    });
+    double wsum = 0.0;
+    for (const auto& e : list) wsum += e.size;
+    double cursor = arcs_[i].a0;
+    const double arc_span = arcs_[i].a1 - arcs_[i].a0;
+    for (const auto& e : list) {
+      const double w = wsum > 0
+                           ? arc_span * e.size / wsum
+                           : arc_span / static_cast<double>(list.size());
+      RibbonBundle& rb = ribbons_[e.bundle];
+      if (e.first_end) {
+        rb.a0 = cursor;
+        rb.a1 = cursor + w;
+      } else {
+        rb.b0 = cursor;
+        rb.b1 = cursor + w;
+      }
+      cursor += w;
+    }
+  }
+}
+
+void ProjectionView::apply_scales() {
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    Ring& ring = rings_[i];
+    const VisualMapping& vm = ring.spec.vmap;
+    const ColorRamp ramp = ring.spec.colors.empty()
+                               ? ColorRamp::from_names({"white", "steelblue"})
+                               : ColorRamp::from_names(ring.spec.colors);
+    const bool categorical = is_categorical_attr(vm.color);
+    for (RingItem& it : ring.items) {
+      if (!vm.color.empty()) {
+        it.color_t = scales_.at(scale_key(i, "color")).norm(it.color_value);
+        it.color = categorical
+                       ? categorical_color(static_cast<std::int64_t>(
+                             std::llround(it.color_value)))
+                       : ramp.at(it.color_t);
+      } else {
+        it.color = Rgb{190, 190, 200};
+      }
+      if (!vm.size.empty()) {
+        it.size_t_ = scales_.at(scale_key(i, "size")).norm(it.size_value);
+      }
+      if (!vm.x.empty()) {
+        it.x_t = scales_.at(scale_key(i, "x")).norm(it.x_value);
+      }
+      if (!vm.y.empty()) {
+        it.y_t = scales_.at(scale_key(i, "y")).norm(it.y_value);
+      }
+    }
+  }
+  if (!ribbons_.empty()) {
+    const ColorRamp ramp = ColorRamp::from_names(spec_.ribbons.colors);
+    for (RibbonBundle& rb : ribbons_) {
+      rb.size_t_ = scales_.at("R/size").norm(rb.size_value);
+      rb.color_t = scales_.at("R/color").norm(rb.color_value);
+      rb.color = ramp.at(rb.color_t);
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& ProjectionView::select(
+    std::size_t ring, std::size_t item) const {
+  DV_REQUIRE(ring < rings_.size(), "ring index out of range");
+  DV_REQUIRE(item < rings_[ring].items.size(), "item index out of range");
+  return rings_[ring].items[item].source_rows;
+}
+
+ProjectionSpec ProjectionView::drill_down(std::size_t ring,
+                                          std::size_t item) const {
+  DV_REQUIRE(ring < rings_.size(), "ring index out of range");
+  DV_REQUIRE(item < rings_[ring].items.size(), "item index out of range");
+  const LevelSpec& lvl = rings_[ring].spec;
+  DV_REQUIRE(!lvl.aggregate.empty(),
+             "drill-down needs an aggregated ring (individual entities "
+             "have nothing to expand)");
+  const std::string& attr = lvl.aggregate[0];
+  const RingItem& it = rings_[ring].items[item];
+
+  ProjectionSpec focused = spec_;
+  for (auto& level : focused.levels) {
+    level.filters.push_back(AttrFilter{attr, it.key_lo, it.key_hi});
+    // Inside the focus the partitioning is no longer needed.
+    if (&level - focused.levels.data() == static_cast<std::ptrdiff_t>(ring)) {
+      level.max_bins = 0;
+    }
+  }
+  return focused;
+}
+
+std::size_t ProjectionView::highlight(
+    Entity entity, const std::vector<std::uint32_t>& rows) {
+  const std::unordered_set<std::uint32_t> set(rows.begin(), rows.end());
+  std::size_t hits = 0;
+  for (Ring& ring : rings_) {
+    if (ring.spec.entity != entity) continue;
+    for (RingItem& it : ring.items) {
+      const bool hit = std::any_of(
+          it.source_rows.begin(), it.source_rows.end(),
+          [&](std::uint32_t r) { return set.count(r) > 0; });
+      if (hit) {
+        it.highlighted = true;
+        ++hits;
+      }
+    }
+  }
+  if (spec_.ribbons.enabled && spec_.ribbons.entity == entity) {
+    for (RibbonBundle& rb : ribbons_) {
+      const bool hit = std::any_of(
+          rb.source_rows.begin(), rb.source_rows.end(),
+          [&](std::uint32_t r) { return set.count(r) > 0; });
+      if (hit) {
+        rb.highlighted = true;
+        ++hits;
+      }
+    }
+  }
+  return hits;
+}
+
+void ProjectionView::clear_highlight() {
+  for (Ring& ring : rings_) {
+    for (RingItem& it : ring.items) it.highlighted = false;
+  }
+  for (RibbonBundle& rb : ribbons_) rb.highlighted = false;
+}
+
+// ----------------------------------------------------------------- render
+
+void ProjectionView::render(SvgDocument& doc, double cx, double cy,
+                            double radius) const {
+  const Rgb highlight_color{255, 215, 0};  // gold, as in the paper's UI
+  const double r_ribbon = radius * 0.40;
+  const double rings_r0 = radius * 0.46;
+  const std::size_t n_rings = rings_.size();
+  const double band =
+      n_rings ? (radius - rings_r0) / static_cast<double>(n_rings) : 0.0;
+
+  doc.begin_group("ribbons");
+  if (spec_.ribbons.enabled) {
+    for (const auto& arc : arcs_) {
+      doc.ring_sector(cx, cy, r_ribbon + 2.0, r_ribbon + radius * 0.02,
+                      arc.a0, arc.a1, Style::filled(arc.color));
+    }
+    for (const auto& rb : ribbons_) {
+      Style s = Style::filled(Rgb{rb.color.r, rb.color.g, rb.color.b, 200});
+      if (rb.highlighted) {
+        s.stroke = highlight_color;
+        s.stroke_width = 1.5;
+      }
+      doc.ribbon(cx, cy, r_ribbon, rb.a0, rb.a1, rb.b0, rb.b1, s);
+    }
+  }
+  doc.end_group();
+
+  for (std::size_t i = 0; i < n_rings; ++i) {
+    const Ring& ring = rings_[i];
+    const double r0 = rings_r0 + band * static_cast<double>(i) + band * 0.06;
+    const double r1 = rings_r0 + band * static_cast<double>(i + 1) - band * 0.06;
+    doc.begin_group("ring" + std::to_string(i));
+
+    const Style border_style = Style::stroked(Rgb{210, 210, 210}, 0.4);
+    switch (ring.type) {
+      case PlotType::kHeatmap1D:
+        for (const auto& it : ring.items) {
+          Style s = Style::filled(it.color);
+          if (ring.spec.border) {
+            s.stroke = border_style.stroke;
+            s.stroke_width = border_style.stroke_width;
+          }
+          if (it.highlighted) {
+            s.stroke = highlight_color;
+            s.stroke_width = 1.5;
+          }
+          doc.ring_sector(cx, cy, r0, r1, it.a0, it.a1, s);
+        }
+        break;
+
+      case PlotType::kBarChart:
+        for (const auto& it : ring.items) {
+          if (ring.spec.border) {
+            doc.ring_sector(cx, cy, r0, r1, it.a0, it.a1,
+                            Style::filled(Rgb{245, 245, 245}));
+          }
+          const double rb = r0 + (r1 - r0) * std::max(0.02, it.size_t_);
+          Style s = Style::filled(it.color);
+          if (it.highlighted) {
+            s.stroke = highlight_color;
+            s.stroke_width = 1.5;
+          }
+          doc.ring_sector(cx, cy, r0, rb, it.a0, it.a1, s);
+        }
+        break;
+
+      case PlotType::kHeatmap2D: {
+        // Grid cells: x and y channels index the angular/radial position.
+        std::set<double> xs, ys;
+        for (const auto& it : ring.items) {
+          xs.insert(it.x_value);
+          ys.insert(it.y_value);
+        }
+        std::map<double, std::size_t> xi, yi;
+        std::size_t k = 0;
+        for (double v : xs) xi[v] = k++;
+        k = 0;
+        for (double v : ys) yi[v] = k++;
+        const double da = kTau / static_cast<double>(std::max<std::size_t>(1, xs.size()));
+        const double dr =
+            (r1 - r0) / static_cast<double>(std::max<std::size_t>(1, ys.size()));
+        for (const auto& it : ring.items) {
+          const double a0 = da * static_cast<double>(xi[it.x_value]);
+          const double rr0 = r0 + dr * static_cast<double>(yi[it.y_value]);
+          Style s = Style::filled(it.color);
+          if (ring.spec.border) {
+            s.stroke = border_style.stroke;
+            s.stroke_width = border_style.stroke_width;
+          }
+          if (it.highlighted) {
+            s.stroke = highlight_color;
+            s.stroke_width = 1.5;
+          }
+          doc.ring_sector(cx, cy, rr0, rr0 + dr, a0, a0 + da, s);
+        }
+        break;
+      }
+
+      case PlotType::kScatter: {
+        const bool aggregated = !ring.spec.aggregate.empty();
+        for (const auto& it : ring.items) {
+          const double angle =
+              aggregated ? it.a0 + it.x_t * (it.a1 - it.a0) : it.x_t * kTau;
+          const double rr = r0 + (r1 - r0) * (0.1 + 0.8 * it.y_t);
+          const double pr =
+              band * (0.05 + 0.18 * (ring.spec.vmap.size.empty() ? 0.5
+                                                                 : it.size_t_));
+          Style s = Style::filled(Rgb{it.color.r, it.color.g, it.color.b, 220});
+          if (it.highlighted) {
+            s.stroke = highlight_color;
+            s.stroke_width = 1.2;
+          }
+          doc.circle(cx + rr * std::cos(angle), cy - rr * std::sin(angle),
+                     pr, s);
+        }
+        break;
+      }
+    }
+    doc.end_group();
+  }
+}
+
+double ProjectionView::legend_height() const {
+  return 14.0 * static_cast<double>(rings_.size() +
+                                    (spec_.ribbons.enabled ? 1 : 0)) +
+         6.0;
+}
+
+void ProjectionView::render_legend(SvgDocument& doc, double x, double y,
+                                   double width) const {
+  const Rgb text_color{70, 70, 70};
+  double line_y = y + 10;
+  auto ramp_bar = [&](double bx, const std::vector<std::string>& colors,
+                      const LinearScale* scale) {
+    const ColorRamp ramp = colors.empty()
+                               ? ColorRamp::from_names({"white", "steelblue"})
+                               : ColorRamp::from_names(colors);
+    const double bar_w = 46.0;
+    for (int k = 0; k < 20; ++k) {
+      doc.rect(bx + bar_w * k / 20.0, line_y - 8, bar_w / 20.0 + 0.4, 9,
+               Style::filled(ramp.at(k / 19.0)));
+    }
+    doc.rect(bx, line_y - 8, bar_w, 9, Style::stroked(Rgb{150, 150, 150}, 0.5));
+    if (scale && scale->valid()) {
+      doc.text(bx + bar_w + 4, line_y,
+               "[" + fmt_double(scale->lo(), 1) + " .. " +
+                   fmt_double(scale->hi(), 1) + "]",
+               8, text_color);
+    }
+  };
+
+  if (spec_.ribbons.enabled) {
+    doc.text(x, line_y,
+             "ribbons: " + to_string(spec_.ribbons.entity) + " by " +
+                 spec_.ribbons.key + "  size=" + spec_.ribbons.size_attr +
+                 "  color=" + spec_.ribbons.color_attr,
+             9, text_color);
+    const LinearScale* s = scales_.has("R/color") ? &scales_.at("R/color") : nullptr;
+    ramp_bar(x + width * 0.58, spec_.ribbons.colors, s);
+    line_y += 14;
+  }
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    const LevelSpec& lvl = rings_[i].spec;
+    std::string desc = "ring " + std::to_string(i) + " (" +
+                       to_string(rings_[i].type) + "): " +
+                       to_string(lvl.entity);
+    if (!lvl.aggregate.empty()) desc += " by " + join(lvl.aggregate, ",");
+    if (!lvl.vmap.color.empty()) desc += "  color=" + lvl.vmap.color;
+    if (!lvl.vmap.size.empty()) desc += "  size=" + lvl.vmap.size;
+    if (!lvl.vmap.x.empty()) desc += "  x=" + lvl.vmap.x;
+    if (!lvl.vmap.y.empty()) desc += "  y=" + lvl.vmap.y;
+    doc.text(x, line_y, desc, 9, text_color);
+    if (!lvl.vmap.color.empty() && !is_categorical_attr(lvl.vmap.color)) {
+      const std::string key = scale_key(i, "color");
+      const LinearScale* s = scales_.has(key) ? &scales_.at(key) : nullptr;
+      ramp_bar(x + width * 0.58, lvl.colors, s);
+    }
+    line_y += 14;
+  }
+}
+
+std::string ProjectionView::to_svg(double size_px,
+                                   const std::string& title) const {
+  const double legend_h = legend_height();
+  SvgDocument doc(size_px, size_px + 28 + legend_h);
+  doc.rect(0, 0, size_px, size_px + 28 + legend_h,
+           Style::filled(Rgb{255, 255, 255}));
+  if (!title.empty()) {
+    doc.text(size_px / 2, 18, title, 14, Rgb{40, 40, 40}, "middle");
+  }
+  render(doc, size_px / 2, size_px / 2 + 24, size_px * 0.47);
+  render_legend(doc, 10, size_px + 24, size_px - 20);
+  return doc.str();
+}
+
+void ProjectionView::save_svg(const std::string& path, double size_px,
+                              const std::string& title) const {
+  std::ofstream os(path, std::ios::binary);
+  DV_REQUIRE(os.good(), "cannot open svg for writing: " + path);
+  os << to_svg(size_px, title);
+  DV_REQUIRE(os.good(), "svg write failed: " + path);
+}
+
+}  // namespace dv::core

@@ -1,0 +1,136 @@
+// Hierarchical radial projection views (Sec. IV-B of the paper).
+//
+// A ProjectionView executes a ProjectionSpec against a DataSet: every level
+// becomes one ring of aggregate items laid out around the circle in key
+// order, and the centre shows bundled link ribbons between aggregate
+// groups (chord-diagram layout; arc spans are proportional to the total
+// bundled traffic of each group, and the two ends of a ribbon have equal
+// width — both as described for Fig. 13).
+//
+// The view is a pure data structure plus an SVG renderer, so every visual
+// quantity (angular spans, normalized channels, colors) is testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/datatable.hpp"
+#include "core/scales.hpp"
+#include "core/spec.hpp"
+#include "core/svg.hpp"
+
+namespace dv::core {
+
+/// One visual aggregate item on a ring.
+struct RingItem {
+  std::vector<double> keys;
+  std::vector<std::uint32_t> source_rows;  ///< rows in the entity table
+  double key_lo = 0.0, key_hi = 0.0;  ///< first-key value range (for drill-down)
+  double a0 = 0.0, a1 = 0.0;               ///< angular span (radians)
+  double color_value = 0.0, size_value = 0.0, x_value = 0.0, y_value = 0.0;
+  double color_t = 0.0, size_t_ = 0.0, x_t = 0.0, y_t = 0.0;  ///< normalized
+  Rgb color{200, 200, 200};
+  bool highlighted = false;
+};
+
+struct Ring {
+  LevelSpec spec;
+  PlotType type = PlotType::kHeatmap1D;
+  std::vector<RingItem> items;
+};
+
+/// Endpoint arc for the ribbon layer: one per distinct bundling key.
+struct RibbonArc {
+  double key = 0.0;
+  double a0 = 0.0, a1 = 0.0;
+  double weight = 0.0;  ///< total bundled size touching this arc
+  Rgb color{150, 150, 150};
+};
+
+/// A bundle of directed links between two key groups (unordered pair).
+struct RibbonBundle {
+  std::size_t arc_a = 0, arc_b = 0;  ///< indices into arcs()
+  double a0 = 0.0, a1 = 0.0;         ///< sub-span on arc_a
+  double b0 = 0.0, b1 = 0.0;         ///< sub-span on arc_b
+  double size_value = 0.0;           ///< summed size attr over both directions
+  double color_value = 0.0;          ///< max color attr over bundled links
+  double size_t_ = 0.0, color_t = 0.0;
+  Rgb color{150, 150, 150};
+  std::vector<std::uint32_t> source_rows;  ///< link rows in both directions
+  bool highlighted = false;
+};
+
+class ProjectionView {
+ public:
+  /// Builds the view. If `shared` is given, its domains are unioned into
+  /// the locally computed scales (cross-run comparison uses the same
+  /// min/max — Sec. IV-B2).
+  ProjectionView(const DataSet& data, ProjectionSpec spec,
+                 const ScaleSet* shared = nullptr);
+
+  const std::vector<Ring>& rings() const { return rings_; }
+  const std::vector<RibbonArc>& arcs() const { return arcs_; }
+  const std::vector<RibbonBundle>& ribbons() const { return ribbons_; }
+  const ScaleSet& scales() const { return scales_; }
+  const ProjectionSpec& spec() const { return spec_; }
+
+  /// Scale domains this spec produces on this dataset (merge the results
+  /// of several runs to build a shared ScaleSet).
+  static ScaleSet compute_scales(const DataSet& data,
+                                 const ProjectionSpec& spec);
+
+  /// "Details on demand": source entity rows behind one visual aggregate.
+  const std::vector<std::uint32_t>& select(std::size_t ring,
+                                           std::size_t item) const;
+
+  /// "Click to focus on aggregate items" (Fig. 5): derives a spec whose
+  /// every level is filtered to the clicked aggregate's first-key value
+  /// range, so rebuilding yields the drill-down view of that partition.
+  /// The clicked ring's first aggregation key must be a structural
+  /// attribute shared by all entity tables (e.g. group_id, router_rank).
+  ProjectionSpec drill_down(std::size_t ring, std::size_t item) const;
+
+  /// Marks every ring item containing any of `rows` of `entity`
+  /// (selection linking from the detail view); returns the hit count.
+  std::size_t highlight(Entity entity, const std::vector<std::uint32_t>& rows);
+  void clear_highlight();
+
+  /// Renders into a square region centred at (cx, cy) with outer radius R.
+  void render(SvgDocument& doc, double cx, double cy, double radius) const;
+
+  /// Renders the per-ring/ribbon legend (attribute names, color ramps with
+  /// their domains, plot types) into a box starting at (x, y).
+  void render_legend(SvgDocument& doc, double x, double y,
+                     double width) const;
+  /// Vertical space render_legend needs.
+  double legend_height() const;
+
+  /// Convenience: standalone SVG document.
+  std::string to_svg(double size_px = 800,
+                     const std::string& title = "") const;
+  void save_svg(const std::string& path, double size_px = 800,
+                const std::string& title = "") const;
+
+ private:
+  void build(const DataSet& data, const ScaleSet* shared);
+  void build_ring(const DataSet& data, const LevelSpec& lvl,
+                  std::size_t level_idx);
+  void build_ribbons(const DataSet& data);
+  void apply_scales();
+
+  static std::string scale_key(std::size_t level, const char* channel);
+
+  ProjectionSpec spec_;
+  ScaleSet scales_;
+  std::vector<Ring> rings_;
+  std::vector<RibbonArc> arcs_;
+  std::vector<RibbonBundle> ribbons_;
+};
+
+/// Categorical palette for job/class coloring (greens/oranges/browns as in
+/// the paper's figures, then distinguishable extras; index -1 = idle/proxy
+/// gray).
+Rgb categorical_color(std::int64_t index);
+
+}  // namespace dv::core

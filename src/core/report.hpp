@@ -1,0 +1,61 @@
+// HTML analysis reports.
+//
+// The paper's system lets users "better communicate and present the
+// information and discoveries in the results". A ReportBuilder assembles a
+// self-contained HTML page — run metadata, embedded SVG views, the spec
+// scripts that produced them, job summary tables, and free-text notes —
+// so a whole analysis session can be shared as one file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/comparison.hpp"
+#include "core/views.hpp"
+
+namespace dv::core {
+
+class ReportBuilder {
+ public:
+  explicit ReportBuilder(std::string title);
+
+  /// Free-text sections (paragraph-level; HTML-escaped).
+  ReportBuilder& note(const std::string& heading, const std::string& text);
+
+  /// Run metadata block (workload, routing, placement, totals).
+  ReportBuilder& run_summary(const DataSet& data);
+
+  /// Embeds a projection view (SVG inline) with its spec script.
+  ReportBuilder& projection(const ProjectionView& view,
+                            const std::string& caption,
+                            double size_px = 640);
+
+  /// Embeds a side-by-side comparison and its per-job summary table.
+  ReportBuilder& comparison(const ComparisonView& cmp,
+                            const std::string& caption,
+                            double panel_px = 420);
+
+  /// Embeds the detail view (link scatters + parallel coordinates).
+  ReportBuilder& detail(const DetailView& view, const std::string& caption,
+                        double w = 900, double h = 360);
+
+  /// Embeds the timeline view (requires a sampled run).
+  ReportBuilder& timeline(const TimelineView& view,
+                          const std::string& caption, double w = 900,
+                          double h = 220);
+
+  /// Embeds any prebuilt SVG string.
+  ReportBuilder& svg(const std::string& svg_markup,
+                     const std::string& caption);
+
+  std::string html() const;
+  void save(const std::string& path) const;
+
+ private:
+  void heading(const std::string& text);
+
+  std::string title_;
+  std::string body_;
+};
+
+}  // namespace dv::core

@@ -1,0 +1,47 @@
+#include "core/scales.hpp"
+
+#include <algorithm>
+
+namespace dv::core {
+
+LinearScale::LinearScale(double lo, double hi) : lo_(lo), hi_(hi) {
+  DV_REQUIRE(hi >= lo, "scale domain inverted");
+}
+
+double LinearScale::norm(double v) const {
+  if (!valid() || hi_ == lo_) return 0.0;
+  return std::clamp((v - lo_) / (hi_ - lo_), 0.0, 1.0);
+}
+
+void LinearScale::include(double v) {
+  if (!valid()) {
+    lo_ = hi_ = v;
+    return;
+  }
+  lo_ = std::min(lo_, v);
+  hi_ = std::max(hi_, v);
+}
+
+void LinearScale::merge(const LinearScale& other) {
+  if (!other.valid()) return;
+  include(other.lo_);
+  include(other.hi_);
+}
+
+const LinearScale& ScaleSet::at(const std::string& key) const {
+  const auto it = scales_.find(key);
+  if (it == scales_.end()) throw Error("no scale for key: " + key);
+  return it->second;
+}
+
+LinearScale& ScaleSet::get_or_add(const std::string& key) {
+  return scales_[key];
+}
+
+void ScaleSet::merge(const ScaleSet& other) {
+  for (const auto& [key, scale] : other) {
+    scales_[key].merge(scale);
+  }
+}
+
+}  // namespace dv::core

@@ -1,0 +1,60 @@
+// Visual-encoding scales.
+//
+// When the paper's system compares datasets, "the scale for visual encoding
+// uses the same minimum and maximum values, which ensures fair comparison"
+// (Sec. IV-B2). ScaleSet captures per-(entity, attribute, level) domains and
+// can be unioned across runs to implement exactly that.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace dv::core {
+
+/// Linear domain→[0,1] normalization with clamping.
+class LinearScale {
+ public:
+  LinearScale() = default;
+  LinearScale(double lo, double hi);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Normalized position in [0,1]; degenerate domains map to 0.
+  double norm(double v) const;
+
+  /// Extends the domain to cover v.
+  void include(double v);
+  /// Union with another scale's domain.
+  void merge(const LinearScale& other);
+
+  bool valid() const { return hi_ >= lo_; }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = -1.0;  // invalid until set
+};
+
+/// Domains keyed by an arbitrary string key (the projection layer uses
+/// "level<i>/<channel>" so the same spec applied to two runs shares scales
+/// channel-by-channel).
+class ScaleSet {
+ public:
+  bool has(const std::string& key) const { return scales_.count(key) > 0; }
+  const LinearScale& at(const std::string& key) const;
+  LinearScale& get_or_add(const std::string& key);
+
+  /// Unions every domain of `other` into this set (cross-run comparison).
+  void merge(const ScaleSet& other);
+
+  std::size_t size() const { return scales_.size(); }
+  auto begin() const { return scales_.begin(); }
+  auto end() const { return scales_.end(); }
+
+ private:
+  std::map<std::string, LinearScale> scales_;
+};
+
+}  // namespace dv::core

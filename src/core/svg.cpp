@@ -1,0 +1,161 @@
+#include "core/svg.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/common.hpp"
+#include "util/str.hpp"
+
+namespace dv::core {
+
+namespace {
+std::string num(double v) { return fmt_double(v, 3); }
+
+Pt polar(double cx, double cy, double r, double a) {
+  // SVG y grows downward; negate to keep mathematical orientation.
+  return {cx + r * std::cos(a), cy - r * std::sin(a)};
+}
+}  // namespace
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height) {
+  DV_REQUIRE(width > 0 && height > 0, "svg size must be positive");
+}
+
+std::string SvgDocument::style_attrs(const Style& s) const {
+  std::string out;
+  out += " fill=\"";
+  out += s.fill.a ? s.fill.hex() : std::string("none");
+  out += "\"";
+  if (s.fill.a && s.fill.a != 255) {
+    out += " fill-opacity=\"" + num(s.fill.a / 255.0) + "\"";
+  }
+  if (s.stroke.a) {
+    out += " stroke=\"" + s.stroke.hex() + "\" stroke-width=\"" +
+           num(s.stroke_width) + "\"";
+    if (s.stroke.a != 255) {
+      out += " stroke-opacity=\"" + num(s.stroke.a / 255.0) + "\"";
+    }
+  }
+  if (s.opacity != 1.0) out += " opacity=\"" + num(s.opacity) + "\"";
+  return out;
+}
+
+void SvgDocument::rect(double x, double y, double w, double h,
+                       const Style& s) {
+  body_ << "<rect x=\"" << num(x) << "\" y=\"" << num(y) << "\" width=\""
+        << num(w) << "\" height=\"" << num(h) << "\"" << style_attrs(s)
+        << "/>\n";
+  ++elements_;
+}
+
+void SvgDocument::circle(double cx, double cy, double r, const Style& s) {
+  body_ << "<circle cx=\"" << num(cx) << "\" cy=\"" << num(cy) << "\" r=\""
+        << num(r) << "\"" << style_attrs(s) << "/>\n";
+  ++elements_;
+}
+
+void SvgDocument::line(Pt a, Pt b, const Style& s) {
+  body_ << "<line x1=\"" << num(a.x) << "\" y1=\"" << num(a.y) << "\" x2=\""
+        << num(b.x) << "\" y2=\"" << num(b.y) << "\"" << style_attrs(s)
+        << "/>\n";
+  ++elements_;
+}
+
+void SvgDocument::polyline(const std::vector<Pt>& pts, const Style& s) {
+  body_ << "<polyline points=\"";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i) body_ << ' ';
+    body_ << num(pts[i].x) << ',' << num(pts[i].y);
+  }
+  body_ << "\"" << style_attrs(s) << "/>\n";
+  ++elements_;
+}
+
+void SvgDocument::path(const std::string& d, const Style& s) {
+  body_ << "<path d=\"" << d << "\"" << style_attrs(s) << "/>\n";
+  ++elements_;
+}
+
+void SvgDocument::text(double x, double y, const std::string& content,
+                       double size, const Rgb& color,
+                       const std::string& anchor) {
+  body_ << "<text x=\"" << num(x) << "\" y=\"" << num(y)
+        << "\" font-size=\"" << num(size) << "\" font-family=\"sans-serif\""
+        << " fill=\"" << color.hex() << "\" text-anchor=\"" << anchor
+        << "\">";
+  for (char c : content) {
+    switch (c) {
+      case '<': body_ << "&lt;"; break;
+      case '>': body_ << "&gt;"; break;
+      case '&': body_ << "&amp;"; break;
+      default: body_ << c;
+    }
+  }
+  body_ << "</text>\n";
+  ++elements_;
+}
+
+void SvgDocument::ring_sector(double cx, double cy, double r0, double r1,
+                              double a0, double a1, const Style& s) {
+  DV_REQUIRE(r1 >= r0 && r0 >= 0, "bad ring radii");
+  const Pt p00 = polar(cx, cy, r0, a0), p01 = polar(cx, cy, r0, a1);
+  const Pt p10 = polar(cx, cy, r1, a0), p11 = polar(cx, cy, r1, a1);
+  const int large = (a1 - a0) > 3.14159265358979323846 ? 1 : 0;
+  std::ostringstream d;
+  // Outer arc a0->a1 (sweep 0 because of the flipped y axis), inner back.
+  d << "M" << num(p10.x) << ' ' << num(p10.y) << " A" << num(r1) << ' '
+    << num(r1) << " 0 " << large << " 0 " << num(p11.x) << ' ' << num(p11.y)
+    << " L" << num(p01.x) << ' ' << num(p01.y) << " A" << num(r0) << ' '
+    << num(r0) << " 0 " << large << " 1 " << num(p00.x) << ' ' << num(p00.y)
+    << " Z";
+  path(d.str(), s);
+}
+
+void SvgDocument::ribbon(double cx, double cy, double r, double a0,
+                         double a1, double b0, double b1, const Style& s) {
+  const Pt pa0 = polar(cx, cy, r, a0), pa1 = polar(cx, cy, r, a1);
+  const Pt pb0 = polar(cx, cy, r, b0), pb1 = polar(cx, cy, r, b1);
+  std::ostringstream d;
+  // Arc across span A, curve through centre to span B, arc, curve back.
+  d << "M" << num(pa0.x) << ' ' << num(pa0.y)
+    << " A" << num(r) << ' ' << num(r) << " 0 0 0 " << num(pa1.x) << ' '
+    << num(pa1.y)
+    << " Q" << num(cx) << ' ' << num(cy) << ' ' << num(pb0.x) << ' '
+    << num(pb0.y)
+    << " A" << num(r) << ' ' << num(r) << " 0 0 0 " << num(pb1.x) << ' '
+    << num(pb1.y)
+    << " Q" << num(cx) << ' ' << num(cy) << ' ' << num(pa0.x) << ' '
+    << num(pa0.y) << " Z";
+  path(d.str(), s);
+}
+
+void SvgDocument::begin_group(const std::string& id) {
+  body_ << "<g id=\"" << id << "\">\n";
+  ++open_groups_;
+}
+
+void SvgDocument::end_group() {
+  DV_REQUIRE(open_groups_ > 0, "end_group without begin_group");
+  body_ << "</g>\n";
+  --open_groups_;
+}
+
+std::string SvgDocument::str() const {
+  DV_REQUIRE(open_groups_ == 0, "unclosed svg group");
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << num(width_)
+      << "\" height=\"" << num(height_) << "\" viewBox=\"0 0 " << num(width_)
+      << ' ' << num(height_) << "\">\n"
+      << body_.str() << "</svg>\n";
+  return out.str();
+}
+
+void SvgDocument::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  DV_REQUIRE(os.good(), "cannot open svg for writing: " + path);
+  os << str();
+  DV_REQUIRE(os.good(), "svg write failed: " + path);
+}
+
+}  // namespace dv::core

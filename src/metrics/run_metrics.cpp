@@ -1,0 +1,311 @@
+#include "metrics/run_metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/str.hpp"
+
+namespace dv::metrics {
+
+// ------------------------------------------------------------ SampledSeries
+
+void SampledSeries::push_frame(const std::vector<float>& deltas) {
+  DV_REQUIRE(deltas.size() == entities_, "frame size mismatch");
+  data_.insert(data_.end(), deltas.begin(), deltas.end());
+}
+
+float SampledSeries::at(std::size_t frame, std::size_t entity) const {
+  DV_REQUIRE(frame < frames() && entity < entities_, "series index out of range");
+  return data_[frame * entities_ + entity];
+}
+
+double SampledSeries::frame_total(std::size_t frame) const {
+  DV_REQUIRE(frame < frames(), "frame out of range");
+  double s = 0.0;
+  for (std::size_t e = 0; e < entities_; ++e) s += data_[frame * entities_ + e];
+  return s;
+}
+
+double SampledSeries::range_sum(std::size_t entity, std::size_t f0,
+                                std::size_t f1) const {
+  DV_REQUIRE(entity < entities_, "entity out of range");
+  DV_REQUIRE(f0 <= f1 && f1 <= frames(), "bad frame range");
+  double s = 0.0;
+  for (std::size_t f = f0; f < f1; ++f) s += data_[f * entities_ + entity];
+  return s;
+}
+
+std::size_t SampledSeries::frame_of(SimTime t) const {
+  if (dt_ <= 0.0 || frames() == 0) return 0;
+  if (t <= 0.0) return 0;
+  const auto f = static_cast<std::size_t>(t / dt_);
+  return f >= frames() ? frames() - 1 : f;
+}
+
+// ------------------------------------------------------------ RunMetrics
+
+std::vector<RouterMetrics> RunMetrics::derive_routers() const {
+  const std::uint32_t a = routers_per_group;
+  const std::uint32_t n_routers = groups * a;
+  std::vector<RouterMetrics> out(n_routers);
+  for (std::uint32_t r = 0; r < n_routers; ++r) {
+    out[r].router = r;
+    out[r].group = r / a;
+    out[r].rank = r % a;
+  }
+  for (const auto& l : local_links) {
+    out[l.src_router].local_traffic += l.traffic;
+    out[l.src_router].local_sat_time += l.sat_time;
+  }
+  for (const auto& l : global_links) {
+    out[l.src_router].global_traffic += l.traffic;
+    out[l.src_router].global_sat_time += l.sat_time;
+  }
+  return out;
+}
+
+double RunMetrics::total_local_traffic() const {
+  double s = 0.0;
+  for (const auto& l : local_links) s += l.traffic;
+  return s;
+}
+
+double RunMetrics::total_global_traffic() const {
+  double s = 0.0;
+  for (const auto& l : global_links) s += l.traffic;
+  return s;
+}
+
+double RunMetrics::total_terminal_traffic() const {
+  double s = 0.0;
+  for (const auto& t : terminals) s += t.data_size;
+  return s;
+}
+
+double RunMetrics::total_injected() const { return total_terminal_traffic(); }
+
+std::uint64_t RunMetrics::total_packets_finished() const {
+  std::uint64_t s = 0;
+  for (const auto& t : terminals) s += t.packets_finished;
+  return s;
+}
+
+namespace {
+
+json::Value links_to_json(const std::vector<LinkMetrics>& links) {
+  json::Array arr;
+  arr.reserve(links.size());
+  for (const auto& l : links) {
+    json::Array row;
+    row.emplace_back(l.src_router);
+    row.emplace_back(l.src_port);
+    row.emplace_back(l.dst_router);
+    row.emplace_back(l.dst_port);
+    row.emplace_back(l.traffic);
+    row.emplace_back(l.sat_time);
+    arr.emplace_back(std::move(row));
+  }
+  return json::Value(std::move(arr));
+}
+
+std::vector<LinkMetrics> links_from_json(const json::Value& v) {
+  std::vector<LinkMetrics> out;
+  for (const auto& rowv : v.as_array()) {
+    const auto& row = rowv.as_array();
+    DV_REQUIRE(row.size() == 6, "bad link row");
+    LinkMetrics l;
+    l.src_router = static_cast<std::uint32_t>(row[0].as_int());
+    l.src_port = static_cast<std::uint32_t>(row[1].as_int());
+    l.dst_router = static_cast<std::uint32_t>(row[2].as_int());
+    l.dst_port = static_cast<std::uint32_t>(row[3].as_int());
+    l.traffic = row[4].as_number();
+    l.sat_time = row[5].as_number();
+    out.push_back(l);
+  }
+  return out;
+}
+
+json::Value series_to_json(const SampledSeries& s) {
+  json::Object o;
+  o["entities"] = json::Value(s.entities());
+  o["dt"] = json::Value(s.dt());
+  json::Array frames;
+  for (std::size_t f = 0; f < s.frames(); ++f) {
+    json::Array frame;
+    frame.reserve(s.entities());
+    for (std::size_t e = 0; e < s.entities(); ++e) {
+      frame.emplace_back(static_cast<double>(s.at(f, e)));
+    }
+    frames.emplace_back(std::move(frame));
+  }
+  o["frames"] = json::Value(std::move(frames));
+  return json::Value(std::move(o));
+}
+
+SampledSeries series_from_json(const json::Value& v) {
+  const auto n = static_cast<std::size_t>(v.at("entities").as_int());
+  SampledSeries s(n, v.at("dt").as_number());
+  for (const auto& framev : v.at("frames").as_array()) {
+    const auto& frame = framev.as_array();
+    DV_REQUIRE(frame.size() == n, "bad series frame width");
+    std::vector<float> deltas(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      deltas[e] = static_cast<float>(frame[e].as_number());
+    }
+    s.push_frame(deltas);
+  }
+  return s;
+}
+
+}  // namespace
+
+json::Value RunMetrics::to_json() const {
+  json::Object o;
+  o["groups"] = json::Value(groups);
+  o["routers_per_group"] = json::Value(routers_per_group);
+  o["terminals_per_router"] = json::Value(terminals_per_router);
+  o["global_per_router"] = json::Value(global_per_router);
+  o["workload"] = json::Value(workload);
+  o["routing"] = json::Value(routing);
+  o["placement"] = json::Value(placement);
+  o["seed"] = json::Value(static_cast<double>(seed));
+  o["end_time"] = json::Value(end_time);
+  {
+    json::Array names;
+    for (const auto& n : job_names) names.emplace_back(n);
+    o["job_names"] = json::Value(std::move(names));
+  }
+  o["local_links"] = links_to_json(local_links);
+  o["global_links"] = links_to_json(global_links);
+  {
+    json::Array arr;
+    arr.reserve(terminals.size());
+    for (const auto& t : terminals) {
+      json::Array row;
+      row.emplace_back(t.router);
+      row.emplace_back(t.port);
+      row.emplace_back(t.data_size);
+      row.emplace_back(t.sat_time);
+      row.emplace_back(t.packets_finished);
+      row.emplace_back(t.sum_latency);
+      row.emplace_back(t.sum_hops);
+      row.emplace_back(static_cast<double>(t.job));
+      arr.emplace_back(std::move(row));
+    }
+    o["terminals"] = json::Value(std::move(arr));
+  }
+  o["sample_dt"] = json::Value(sample_dt);
+  if (has_time_series()) {
+    o["local_traffic_ts"] = series_to_json(local_traffic_ts);
+    o["local_sat_ts"] = series_to_json(local_sat_ts);
+    o["global_traffic_ts"] = series_to_json(global_traffic_ts);
+    o["global_sat_ts"] = series_to_json(global_sat_ts);
+    o["term_traffic_ts"] = series_to_json(term_traffic_ts);
+    o["term_sat_ts"] = series_to_json(term_sat_ts);
+  }
+  return json::Value(std::move(o));
+}
+
+RunMetrics RunMetrics::from_json(const json::Value& v) {
+  RunMetrics m;
+  m.groups = static_cast<std::uint32_t>(v.at("groups").as_int());
+  m.routers_per_group =
+      static_cast<std::uint32_t>(v.at("routers_per_group").as_int());
+  m.terminals_per_router =
+      static_cast<std::uint32_t>(v.at("terminals_per_router").as_int());
+  m.global_per_router =
+      static_cast<std::uint32_t>(v.at("global_per_router").as_int());
+  m.workload = v.get_string("workload", "");
+  m.routing = v.get_string("routing", "");
+  m.placement = v.get_string("placement", "");
+  m.seed = static_cast<std::uint64_t>(v.get_number("seed", 0));
+  m.end_time = v.get_number("end_time", 0.0);
+  if (const auto* names = v.find("job_names")) {
+    for (const auto& n : names->as_array()) m.job_names.push_back(n.as_string());
+  }
+  m.local_links = links_from_json(v.at("local_links"));
+  m.global_links = links_from_json(v.at("global_links"));
+  for (const auto& rowv : v.at("terminals").as_array()) {
+    const auto& row = rowv.as_array();
+    DV_REQUIRE(row.size() == 8, "bad terminal row");
+    TerminalMetrics t;
+    t.router = static_cast<std::uint32_t>(row[0].as_int());
+    t.port = static_cast<std::uint32_t>(row[1].as_int());
+    t.data_size = row[2].as_number();
+    t.sat_time = row[3].as_number();
+    t.packets_finished = static_cast<std::uint64_t>(row[4].as_int());
+    t.sum_latency = row[5].as_number();
+    t.sum_hops = row[6].as_number();
+    t.job = static_cast<std::int32_t>(row[7].as_int());
+    m.terminals.push_back(t);
+  }
+  m.sample_dt = v.get_number("sample_dt", 0.0);
+  if (m.sample_dt > 0.0) {
+    m.local_traffic_ts = series_from_json(v.at("local_traffic_ts"));
+    m.local_sat_ts = series_from_json(v.at("local_sat_ts"));
+    m.global_traffic_ts = series_from_json(v.at("global_traffic_ts"));
+    m.global_sat_ts = series_from_json(v.at("global_sat_ts"));
+    m.term_traffic_ts = series_from_json(v.at("term_traffic_ts"));
+    m.term_sat_ts = series_from_json(v.at("term_sat_ts"));
+  }
+  return m;
+}
+
+void RunMetrics::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  DV_REQUIRE(os.good(), "cannot open for writing: " + path);
+  os << json::dump(to_json());
+  DV_REQUIRE(os.good(), "write failed: " + path);
+}
+
+RunMetrics RunMetrics::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DV_REQUIRE(is.good(), "cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return from_json(json::parse(buf.str()));
+}
+
+CsvTable RunMetrics::to_csv(const std::string& entity_class) const {
+  CsvTable t;
+  auto num = [](double v) { return fmt_double(v, 3); };
+  if (entity_class == "local_links" || entity_class == "global_links") {
+    const auto& links =
+        entity_class == "local_links" ? local_links : global_links;
+    t.header = {"src_router", "src_port", "dst_router", "dst_port",
+                "traffic",    "sat_time"};
+    for (const auto& l : links) {
+      t.rows.push_back({std::to_string(l.src_router), std::to_string(l.src_port),
+                        std::to_string(l.dst_router), std::to_string(l.dst_port),
+                        num(l.traffic), num(l.sat_time)});
+    }
+    return t;
+  }
+  if (entity_class == "terminals") {
+    t.header = {"router", "port",        "data_size",  "sat_time",
+                "packets", "avg_latency", "avg_hops",  "job"};
+    for (const auto& term : terminals) {
+      t.rows.push_back({std::to_string(term.router), std::to_string(term.port),
+                        num(term.data_size), num(term.sat_time),
+                        std::to_string(term.packets_finished),
+                        num(term.avg_latency()), num(term.avg_hops()),
+                        std::to_string(term.job)});
+    }
+    return t;
+  }
+  if (entity_class == "routers") {
+    t.header = {"router",        "group",          "rank",
+                "global_traffic", "global_sat_time", "local_traffic",
+                "local_sat_time"};
+    for (const auto& r : derive_routers()) {
+      t.rows.push_back({std::to_string(r.router), std::to_string(r.group),
+                        std::to_string(r.rank), num(r.global_traffic),
+                        num(r.global_sat_time), num(r.local_traffic),
+                        num(r.local_sat_time)});
+    }
+    return t;
+  }
+  throw Error("unknown entity class for csv export: " + entity_class);
+}
+
+}  // namespace dv::metrics

@@ -1,0 +1,137 @@
+// Simulation output schema — the data the VA layer consumes.
+//
+// Mirrors Fig. 2(a) of the paper: per-entity metric records for routers,
+// local/global links and terminals, plus (Sec. III) time-series sampling of
+// every link-class metric at a configurable rate so temporal behaviour can
+// be explored and a time range re-aggregated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "util/common.hpp"
+#include "util/csv.hpp"
+
+namespace dv::metrics {
+
+/// One directed network link (local or global).
+struct LinkMetrics {
+  std::uint32_t src_router = 0;
+  std::uint32_t src_port = 0;
+  std::uint32_t dst_router = 0;
+  std::uint32_t dst_port = 0;
+  double traffic = 0.0;   ///< bytes transmitted
+  double sat_time = 0.0;  ///< total ns during which VC buffers were full
+};
+
+/// One terminal (compute node NIC) — Fig. 2(a) "Terminal".
+struct TerminalMetrics {
+  std::uint32_t router = 0;  ///< router the terminal attaches to
+  std::uint32_t port = 0;    ///< terminal slot on that router
+  double data_size = 0.0;    ///< bytes injected by this terminal
+  double sat_time = 0.0;     ///< injection-link buffer-full time (ns)
+  std::uint64_t packets_finished = 0;  ///< packets delivered to this terminal
+  double sum_latency = 0.0;  ///< over finished packets (ns)
+  double sum_hops = 0.0;     ///< router visits over finished packets
+  std::int32_t job = -1;     ///< job id, -1 when idle
+
+  double avg_latency() const {
+    return packets_finished ? sum_latency / static_cast<double>(packets_finished) : 0.0;
+  }
+  double avg_hops() const {
+    return packets_finished ? sum_hops / static_cast<double>(packets_finished) : 0.0;
+  }
+};
+
+/// Per-router aggregate — Fig. 2(a) "Router" (derived from link metrics).
+struct RouterMetrics {
+  std::uint32_t router = 0;
+  std::uint32_t group = 0;
+  std::uint32_t rank = 0;
+  double global_traffic = 0.0;
+  double global_sat_time = 0.0;
+  double local_traffic = 0.0;
+  double local_sat_time = 0.0;
+};
+
+/// Fixed-rate sampled series for one entity class: frame f stores the
+/// *delta* of a metric for every entity during [f*dt, (f+1)*dt).
+class SampledSeries {
+ public:
+  SampledSeries() = default;
+  SampledSeries(std::size_t entities, double dt)
+      : entities_(entities), dt_(dt) {}
+
+  std::size_t entities() const { return entities_; }
+  std::size_t frames() const {
+    return entities_ ? data_.size() / entities_ : 0;
+  }
+  double dt() const { return dt_; }
+  bool empty() const { return data_.empty(); }
+
+  void push_frame(const std::vector<float>& deltas);
+  float at(std::size_t frame, std::size_t entity) const;
+
+  /// Sum over all entities in one frame.
+  double frame_total(std::size_t frame) const;
+  /// Sum over frames [f0, f1) for one entity (time-range selection).
+  double range_sum(std::size_t entity, std::size_t f0, std::size_t f1) const;
+  /// Frame index containing time t (clamped).
+  std::size_t frame_of(SimTime t) const;
+
+ private:
+  std::size_t entities_ = 0;
+  double dt_ = 0.0;
+  std::vector<float> data_;  // frame-major
+};
+
+/// Everything one simulation run produces.
+struct RunMetrics {
+  // Configuration echo (enough to rebuild entity relations in the VA layer).
+  std::uint32_t groups = 0;
+  std::uint32_t routers_per_group = 0;
+  std::uint32_t terminals_per_router = 0;
+  std::uint32_t global_per_router = 0;
+  std::string workload;
+  std::string routing;
+  std::string placement;
+  std::uint64_t seed = 0;
+  double end_time = 0.0;  ///< simulated ns at completion
+  std::vector<std::string> job_names;
+
+  std::vector<LinkMetrics> local_links;   // id = router*(a-1)+lport
+  std::vector<LinkMetrics> global_links;  // id = router*h+channel
+  std::vector<TerminalMetrics> terminals;
+
+  // Optional sampling (enabled per run); indices match the vectors above.
+  double sample_dt = 0.0;
+  SampledSeries local_traffic_ts, local_sat_ts;
+  SampledSeries global_traffic_ts, global_sat_ts;
+  SampledSeries term_traffic_ts, term_sat_ts;
+
+  bool has_time_series() const { return sample_dt > 0.0; }
+
+  /// Derives the per-router record of Fig. 2(a).
+  std::vector<RouterMetrics> derive_routers() const;
+
+  // Totals (used by timeline plots and sanity tests).
+  double total_local_traffic() const;
+  double total_global_traffic() const;
+  double total_terminal_traffic() const;
+  double total_injected() const;
+  std::uint64_t total_packets_finished() const;
+
+  // Serialization.
+  json::Value to_json() const;
+  static RunMetrics from_json(const json::Value& v);
+  void save(const std::string& path) const;
+  static RunMetrics load(const std::string& path);
+
+  /// CSV export of one entity class: "local_links", "global_links",
+  /// "terminals" or "routers".
+  CsvTable to_csv(const std::string& entity_class) const;
+};
+
+}  // namespace dv::metrics

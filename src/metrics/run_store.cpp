@@ -1,0 +1,125 @@
+#include "metrics/run_store.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dv::metrics {
+
+namespace fs = std::filesystem;
+
+RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
+  DV_REQUIRE(!dir_.empty(), "run store needs a directory");
+  fs::create_directories(dir_);
+  load_index();
+}
+
+std::string RunStore::path_of(const std::string& name) const {
+  return (fs::path(dir_) / (name + ".json")).string();
+}
+
+bool RunStore::contains(const std::string& name) const {
+  return std::any_of(index_.begin(), index_.end(),
+                     [&](const RunInfo& i) { return i.name == name; });
+}
+
+std::string RunStore::add(const RunMetrics& run, std::string name) {
+  if (name.empty()) {
+    name = run.workload + "_" + run.routing + "_" + run.placement;
+    for (auto& c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != '-') {
+        c = '-';
+      }
+    }
+  }
+  std::string final_name = name;
+  for (int suffix = 2; contains(final_name); ++suffix) {
+    final_name = name + "_" + std::to_string(suffix);
+  }
+  run.save(path_of(final_name));
+  RunInfo info;
+  info.name = final_name;
+  info.workload = run.workload;
+  info.routing = run.routing;
+  info.placement = run.placement;
+  info.terminals =
+      run.groups * run.routers_per_group * run.terminals_per_router;
+  info.end_time = run.end_time;
+  info.sampled = run.has_time_series();
+  index_.push_back(info);
+  save_index();
+  return final_name;
+}
+
+RunMetrics RunStore::load(const std::string& name) const {
+  DV_REQUIRE(contains(name), "run store has no run named '" + name + "'");
+  return RunMetrics::load(path_of(name));
+}
+
+void RunStore::remove(const std::string& name) {
+  const auto it = std::find_if(index_.begin(), index_.end(),
+                               [&](const RunInfo& i) { return i.name == name; });
+  DV_REQUIRE(it != index_.end(), "run store has no run named '" + name + "'");
+  fs::remove(path_of(name));
+  index_.erase(it);
+  save_index();
+}
+
+std::vector<std::string> RunStore::find(const std::string& workload,
+                                        const std::string& routing,
+                                        const std::string& placement) const {
+  std::vector<std::string> out;
+  for (const auto& info : index_) {
+    if (!workload.empty() && info.workload != workload) continue;
+    if (!routing.empty() && info.routing != routing) continue;
+    if (!placement.empty() && info.placement != placement) continue;
+    out.push_back(info.name);
+  }
+  return out;
+}
+
+void RunStore::save_index() const {
+  json::Array arr;
+  for (const auto& info : index_) {
+    json::Object o;
+    o["name"] = json::Value(info.name);
+    o["workload"] = json::Value(info.workload);
+    o["routing"] = json::Value(info.routing);
+    o["placement"] = json::Value(info.placement);
+    o["terminals"] = json::Value(info.terminals);
+    o["end_time"] = json::Value(info.end_time);
+    o["sampled"] = json::Value(info.sampled);
+    arr.emplace_back(std::move(o));
+  }
+  std::ofstream os((fs::path(dir_) / "index.json").string(),
+                   std::ios::binary);
+  DV_REQUIRE(os.good(), "cannot write run store index");
+  os << json::dump(json::Value(std::move(arr)), 2);
+}
+
+void RunStore::load_index() {
+  const auto path = (fs::path(dir_) / "index.json").string();
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return;  // empty store
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto v = json::parse(buf.str());
+  index_.clear();
+  for (const auto& entry : v.as_array()) {
+    RunInfo info;
+    info.name = entry.at("name").as_string();
+    info.workload = entry.get_string("workload", "");
+    info.routing = entry.get_string("routing", "");
+    info.placement = entry.get_string("placement", "");
+    info.terminals =
+        static_cast<std::uint32_t>(entry.get_number("terminals", 0));
+    info.end_time = entry.get_number("end_time", 0.0);
+    info.sampled = entry.get_bool("sampled", false);
+    index_.push_back(info);
+  }
+}
+
+}  // namespace dv::metrics

@@ -1,0 +1,402 @@
+#include "netsim/fattree_network.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace dv::netsim {
+
+namespace {
+/// Deterministic ECMP flow hash.
+std::uint32_t flow_hash(std::uint32_t src, std::uint32_t dst,
+                        std::uint64_t seed) {
+  std::uint64_t s = (static_cast<std::uint64_t>(src) << 32) | dst;
+  s ^= seed * 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::uint32_t>(splitmix64(s) >> 32);
+}
+}  // namespace
+
+void FatTreeParams::validate() const {
+  DV_REQUIRE(host_bandwidth > 0 && link_bandwidth > 0,
+             "bandwidths must be positive");
+  DV_REQUIRE(host_latency >= 0 && link_latency >= 0 && switch_delay >= 0,
+             "latencies must be non-negative");
+  DV_REQUIRE(packet_size > 0, "packet size must be positive");
+  DV_REQUIRE(queue_packets > 0, "queue threshold must be positive");
+}
+
+FatTreeNetwork::FatTreeNetwork(const topo::FatTree& topo,
+                               FatTreeParams params, std::uint64_t seed)
+    : topo_(topo), params_(params), seed_(seed) {
+  params_.validate();
+  hosts_.resize(topo_.num_hosts());
+  host_stats_.resize(topo_.num_hosts());
+  host_job_.assign(topo_.num_hosts(), -1);
+  const std::uint32_t half = topo_.k() / 2;
+  for (std::uint32_t h = 0; h < topo_.num_hosts(); ++h) {
+    host_stats_[h].router =
+        topo_.host_pod(h) * topo_.k() + (topo_.host_edge(h) % half);
+    host_stats_[h].port = h % half;
+  }
+  // Port layout.
+  port_base_.resize(node_count() + 1);
+  std::uint32_t base = 0;
+  for (std::uint32_t n = 0; n < node_count(); ++n) {
+    port_base_[n] = base;
+    base += ports_of(n);
+  }
+  port_base_[node_count()] = base;
+  ports_.resize(base);
+  sim_.add_lp(this);
+  if (params_.event_budget) sim_.set_event_budget(params_.event_budget);
+}
+
+std::uint32_t FatTreeNetwork::node_count() const {
+  return topo_.num_hosts() + topo_.num_edge() + topo_.num_agg() +
+         topo_.num_core();
+}
+
+std::uint32_t FatTreeNetwork::ports_of(std::uint32_t node) const {
+  const std::uint32_t h = topo_.num_hosts();
+  if (node < h) return 1;                              // host uplink
+  if (node < h + topo_.num_edge()) return topo_.k();   // edge: down+up
+  if (node < h + topo_.num_edge() + topo_.num_agg()) return topo_.k();
+  return topo_.k();                                    // core: one per pod
+}
+
+FatTreeNetwork::OutPort& FatTreeNetwork::port(std::uint32_t node,
+                                              std::uint32_t p) {
+  DV_CHECK(port_base_[node] + p < port_base_[node + 1], "port out of range");
+  return ports_[port_base_[node] + p];
+}
+
+void FatTreeNetwork::add_message(const Message& m) {
+  DV_REQUIRE(!ran_, "add_message after run()");
+  DV_REQUIRE(m.src_terminal < topo_.num_hosts() &&
+                 m.dst_terminal < topo_.num_hosts(),
+             "message host out of range");
+  DV_REQUIRE(m.src_terminal != m.dst_terminal, "self-message");
+  DV_REQUIRE(m.bytes > 0 && m.time >= 0.0, "bad message");
+  messages_.push_back(m);
+}
+
+void FatTreeNetwork::add_messages(const std::vector<Message>& ms) {
+  for (const auto& m : ms) add_message(m);
+}
+
+void FatTreeNetwork::set_labels(std::string workload, std::string placement,
+                                std::vector<std::string> job_names) {
+  workload_label_ = std::move(workload);
+  placement_label_ = std::move(placement);
+  job_names_ = std::move(job_names);
+}
+
+void FatTreeNetwork::set_jobs(const std::vector<std::int32_t>& job_of) {
+  DV_REQUIRE(job_of.size() == host_job_.size(), "job map size mismatch");
+  host_job_ = job_of;
+}
+
+std::uint32_t FatTreeNetwork::alloc_packet() {
+  if (!free_packets_.empty()) {
+    const std::uint32_t id = free_packets_.back();
+    free_packets_.pop_back();
+    packets_[id] = Packet{};
+    return id;
+  }
+  packets_.emplace_back();
+  return static_cast<std::uint32_t>(packets_.size() - 1);
+}
+
+void FatTreeNetwork::free_packet(std::uint32_t id) {
+  free_packets_.push_back(id);
+}
+
+void FatTreeNetwork::update_saturation(OutPort& op, SimTime now) {
+  const bool full = op.queue.size() >= params_.queue_packets;
+  if (full == op.saturated) return;
+  if (full) {
+    op.saturated = true;
+    op.sat_since = now;
+  } else {
+    op.saturated = false;
+    op.sat_closed += now - op.sat_since;
+  }
+}
+
+double FatTreeNetwork::sat_at(const OutPort& op, SimTime now) const {
+  return op.sat_closed + (op.saturated ? now - op.sat_since : 0.0);
+}
+
+std::pair<std::uint32_t, std::uint32_t> FatTreeNetwork::route(
+    const Packet& pkt, std::uint32_t node) {
+  const std::uint32_t k = topo_.k();
+  const std::uint32_t half = k / 2;
+  const std::uint32_t h = topo_.num_hosts();
+  const std::uint32_t dst_edge = topo_.host_edge(pkt.dst);
+  const std::uint32_t dst_pod = topo_.host_pod(pkt.dst);
+
+  if (node < h) {
+    // Host uplink to its edge switch.
+    return {h + topo_.host_edge(pkt.src), 0};
+  }
+  if (node < h + topo_.num_edge()) {
+    const std::uint32_t edge = node - h;
+    if (edge == dst_edge) {
+      // Down to the host: port = host slot.
+      return {pkt.dst, pkt.dst % half};
+    }
+    // Up to an aggregation switch (ECMP): up ports are [half, k).
+    const std::uint32_t u = flow_hash(pkt.src, pkt.dst, seed_) % half;
+    const std::uint32_t pod = edge / half;
+    return {h + topo_.num_edge() + pod * half + u, half + u};
+  }
+  if (node < h + topo_.num_edge() + topo_.num_agg()) {
+    const std::uint32_t agg = node - h - topo_.num_edge();
+    const std::uint32_t pod = agg / half;
+    const std::uint32_t j = agg % half;
+    if (pod == dst_pod) {
+      // Down to the destination edge: down ports are [0, half).
+      const std::uint32_t e = dst_edge % half;
+      return {h + dst_edge, e};
+    }
+    // Up to a core switch (ECMP over this agg's half cores).
+    const std::uint32_t u = flow_hash(pkt.src, pkt.dst, seed_ + 1) % half;
+    return {h + topo_.num_edge() + topo_.num_agg() + j * half + u, half + u};
+  }
+  // Core: down to the destination pod's aggregation switch.
+  const std::uint32_t core = node - h - topo_.num_edge() - topo_.num_agg();
+  const std::uint32_t j = core / half;
+  return {h + topo_.num_edge() + dst_pod * half + j, dst_pod};
+}
+
+void FatTreeNetwork::try_inject(std::uint32_t host) {
+  HostState& hs = hosts_[host];
+  if (hs.injector_busy || hs.pending.empty()) return;
+  auto& [msg, remaining] = hs.pending.front();
+  const std::uint32_t size = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(params_.packet_size, remaining));
+  const std::uint32_t pid = alloc_packet();
+  Packet& pkt = packets_[pid];
+  pkt.src = host;
+  pkt.dst = msg.dst_terminal;
+  pkt.size = size;
+  pkt.job = msg.job;
+  pkt.issue_time = msg.time;
+  remaining -= size;
+  if (remaining == 0) {
+    hs.pending.pop_front();
+    --msgs_unfinished_;
+  }
+  ++packets_in_flight_;
+  bytes_injected_ += size;
+  host_stats_[host].data_size += size;
+
+  OutPort& op = port(host, 0);
+  op.queue.push_back(pid);
+  update_saturation(op, sim_.now());
+  hs.injector_busy = true;
+  try_transmit(host, 0);
+  // The injector frees when the host port finishes serializing (kEvPortFree
+  // re-enables it via try_inject below).
+}
+
+void FatTreeNetwork::try_transmit(std::uint32_t node, std::uint32_t p) {
+  OutPort& op = port(node, p);
+  if (op.busy || op.queue.empty()) return;
+  const std::uint32_t pid = op.queue.front();
+  op.queue.pop_front();
+  update_saturation(op, sim_.now());
+  Packet& pkt = packets_[pid];
+  op.traffic += pkt.size;
+  const bool from_host = node < topo_.num_hosts();
+  const double bw = from_host ? params_.host_bandwidth : params_.link_bandwidth;
+  const double ser = static_cast<double>(pkt.size) / bw;
+  op.busy = true;
+  sim_.schedule_in(ser, 0, kEvPortFree, node, p);
+
+  const auto [next, next_port] = route(pkt, node);
+  (void)next_port;
+  const bool to_host = next < topo_.num_hosts();
+  const double lat =
+      (from_host || to_host ? params_.host_latency : params_.link_latency) +
+      (to_host ? 0.0 : params_.switch_delay);
+  sim_.schedule_in(ser + lat, 0, kEvArrive, pid, next);
+}
+
+void FatTreeNetwork::on_event(pdes::Simulator& sim, const pdes::Event& ev) {
+  switch (ev.kind) {
+    case kEvMsgStart: {
+      const Message& m = messages_[ev.data0];
+      hosts_[m.src_terminal].pending.push_back({m, m.bytes});
+      try_inject(m.src_terminal);
+      break;
+    }
+    case kEvPortFree: {
+      const auto node = static_cast<std::uint32_t>(ev.data0);
+      const auto p = static_cast<std::uint32_t>(ev.data1);
+      port(node, p).busy = false;
+      if (node < topo_.num_hosts()) {
+        hosts_[node].injector_busy = false;
+        try_inject(node);
+      }
+      try_transmit(node, p);
+      break;
+    }
+    case kEvArrive: {
+      const auto pid = static_cast<std::uint32_t>(ev.data0);
+      const auto node = static_cast<std::uint32_t>(ev.data1);
+      Packet& pkt = packets_[pid];
+      if (node < topo_.num_hosts()) {
+        DV_CHECK(node == pkt.dst, "packet at the wrong host");
+        metrics::TerminalMetrics& tm = host_stats_[node];
+        ++tm.packets_finished;
+        tm.sum_latency += sim.now() - pkt.issue_time;
+        tm.sum_hops += pkt.hops;
+        ++packets_delivered_;
+        bytes_delivered_ += pkt.size;
+        --packets_in_flight_;
+        free_packet(pid);
+        break;
+      }
+      ++pkt.hops;  // switch visit
+      const auto [next, out_port] = route(pkt, node);
+      (void)next;
+      OutPort& op = port(node, out_port);
+      op.queue.push_back(pid);
+      update_saturation(op, sim.now());
+      try_transmit(node, out_port);
+      break;
+    }
+    default:
+      DV_CHECK(false, "unknown event kind");
+  }
+}
+
+metrics::RunMetrics FatTreeNetwork::run() {
+  DV_REQUIRE(!ran_, "a FatTreeNetwork can only run once");
+  ran_ = true;
+  msgs_unfinished_ = messages_.size();
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    sim_.schedule(messages_[i].time, 0, kEvMsgStart, i);
+  }
+  sim_.run();
+  DV_CHECK(packets_in_flight_ == 0 && msgs_unfinished_ == 0,
+           "fat tree drained with work outstanding");
+  DV_CHECK(bytes_injected_ == bytes_delivered_, "flow conservation violated");
+
+  const SimTime end = sim_.now();
+  const std::uint32_t k = topo_.k();
+  const std::uint32_t half = k / 2;
+  const std::uint32_t h = topo_.num_hosts();
+
+  metrics::RunMetrics out;
+  // VA mapping: pods are groups; cores live in trailing pseudo-pods.
+  const std::uint32_t core_pods = (topo_.num_core() + k - 1) / k;
+  out.groups = k + core_pods;
+  out.routers_per_group = k;
+  out.terminals_per_router = half;
+  out.global_per_router = half;
+  out.workload = workload_label_;
+  out.routing = "ecmp_up_down";
+  out.placement = placement_label_;
+  out.job_names = job_names_;
+  out.seed = seed_;
+  out.end_time = end;
+
+  auto va_router = [&](std::uint32_t node) -> std::uint32_t {
+    if (node < h + topo_.num_edge()) {
+      const std::uint32_t edge = node - h;
+      return (edge / half) * k + (edge % half);
+    }
+    if (node < h + topo_.num_edge() + topo_.num_agg()) {
+      const std::uint32_t agg = node - h - topo_.num_edge();
+      return (agg / half) * k + half + (agg % half);
+    }
+    const std::uint32_t core = node - h - topo_.num_edge() - topo_.num_agg();
+    return (k + core / k) * k + (core % k);
+  };
+
+  // Local links: edge <-> agg within each pod (both directions).
+  for (std::uint32_t pod = 0; pod < k; ++pod) {
+    for (std::uint32_t i = 0; i < half; ++i) {
+      const std::uint32_t edge_node = h + pod * half + i;
+      for (std::uint32_t j = 0; j < half; ++j) {
+        const std::uint32_t agg_node = h + topo_.num_edge() + pod * half + j;
+        metrics::LinkMetrics up;
+        up.src_router = va_router(edge_node);
+        up.src_port = half + j;
+        up.dst_router = va_router(agg_node);
+        up.dst_port = i;
+        const OutPort& opu = port(edge_node, half + j);
+        up.traffic = opu.traffic;
+        up.sat_time = sat_at(opu, end);
+        out.local_links.push_back(up);
+
+        metrics::LinkMetrics down;
+        down.src_router = va_router(agg_node);
+        down.src_port = i;
+        down.dst_router = va_router(edge_node);
+        down.dst_port = half + j;
+        const OutPort& opd = port(agg_node, i);
+        down.traffic = opd.traffic;
+        down.sat_time = sat_at(opd, end);
+        out.local_links.push_back(down);
+      }
+    }
+  }
+  // Global links: agg <-> core (both directions).
+  for (std::uint32_t agg = 0; agg < topo_.num_agg(); ++agg) {
+    const std::uint32_t agg_node = h + topo_.num_edge() + agg;
+    const std::uint32_t pod = agg / half;
+    const std::uint32_t j = agg % half;
+    for (std::uint32_t u = 0; u < half; ++u) {
+      const std::uint32_t core = j * half + u;
+      const std::uint32_t core_node =
+          h + topo_.num_edge() + topo_.num_agg() + core;
+      metrics::LinkMetrics up;
+      up.src_router = va_router(agg_node);
+      up.src_port = half + u;
+      up.dst_router = va_router(core_node);
+      up.dst_port = pod;
+      const OutPort& opu = port(agg_node, half + u);
+      up.traffic = opu.traffic;
+      up.sat_time = sat_at(opu, end);
+      out.global_links.push_back(up);
+
+      metrics::LinkMetrics down;
+      down.src_router = va_router(core_node);
+      down.src_port = pod;
+      down.dst_router = va_router(agg_node);
+      down.dst_port = half + u;
+      const OutPort& opd = port(core_node, pod);
+      down.traffic = opd.traffic;
+      down.sat_time = sat_at(opd, end);
+      out.global_links.push_back(down);
+    }
+  }
+  // Terminals: hosts, plus padding rows for the pseudo-pod routers so the
+  // VA invariant terminals == groups * a * p holds.
+  out.terminals = host_stats_;
+  for (std::uint32_t t = 0; t < out.terminals.size(); ++t) {
+    out.terminals[t].job = host_job_[t];
+    const OutPort& inj = port(t, 0);
+    out.terminals[t].sat_time = sat_at(inj, end);
+    // Edge down-port saturation (ejection) adds to the host's signal.
+    const std::uint32_t edge_node = h + topo_.host_edge(t);
+    const OutPort& ej = port(edge_node, t % half);
+    out.terminals[t].sat_time += sat_at(ej, end);
+  }
+  const std::uint32_t want =
+      out.groups * out.routers_per_group * out.terminals_per_router;
+  for (std::uint32_t t = static_cast<std::uint32_t>(out.terminals.size());
+       t < want; ++t) {
+    metrics::TerminalMetrics pad;
+    pad.router = t / half;
+    pad.port = t % half;
+    pad.job = -1;
+    out.terminals.push_back(pad);
+  }
+  return out;
+}
+
+}  // namespace dv::netsim

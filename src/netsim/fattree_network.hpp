@@ -1,0 +1,138 @@
+// Fat-tree packet simulator — the paper's future-work extension.
+//
+// "In future work, we plan to extend our system to support analysis and
+// exploration of other network topologies, such as Fat Tree and Slim Fly."
+// (Sec. VI). This simulator runs the same message workloads on a 3-level
+// k-ary fat tree with ECMP up-routing and emits the *same* RunMetrics
+// schema as the Dragonfly simulator, mapped so the whole VA layer (entity
+// tables, aggregation, projection views) works unchanged:
+//
+//   group_id      <- pod            routers_per_group <- switches per pod
+//   router        <- edge/agg switch (pod-major: edge 0..k/2-1, agg k/2..)
+//   local links   <- edge <-> aggregation links (intra-pod, both dirs)
+//   global links  <- aggregation <-> core links (inter-pod, both dirs;
+//                    core switches appear as a trailing pseudo-pod)
+//   terminals     <- hosts
+//
+// Model: store-and-forward output-queued switches; saturation is the time
+// a port's backlog holds at least `queue_packets` packets (the same
+// congestion signal as the Dragonfly model's backlog term). ECMP picks
+// up-links by deterministic flow hash.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "metrics/run_metrics.hpp"
+#include "netsim/network.hpp"
+#include "pdes/engine.hpp"
+#include "topology/fattree.hpp"
+
+namespace dv::netsim {
+
+struct FatTreeParams {
+  double host_bandwidth = 5.25;   // GB/s == bytes/ns
+  double link_bandwidth = 5.25;
+  double host_latency = 30.0;     // ns
+  double link_latency = 100.0;
+  double switch_delay = 50.0;
+  std::uint32_t packet_size = 2048;
+  std::uint32_t queue_packets = 8;  ///< backlog threshold for saturation
+  std::uint64_t event_budget = 0;
+
+  void validate() const;
+};
+
+class FatTreeNetwork final : public pdes::LogicalProcess {
+ public:
+  FatTreeNetwork(const topo::FatTree& topo, FatTreeParams params = {},
+                 std::uint64_t seed = 1);
+
+  FatTreeNetwork(const FatTreeNetwork&) = delete;
+  FatTreeNetwork& operator=(const FatTreeNetwork&) = delete;
+
+  const topo::FatTree& topology() const { return topo_; }
+
+  /// Message endpoints are host ids.
+  void add_message(const Message& m);
+  void add_messages(const std::vector<Message>& ms);
+  void set_labels(std::string workload, std::string placement,
+                  std::vector<std::string> job_names);
+  /// job_of[host] = job id or -1, as in placement::Placement::job_of.
+  void set_jobs(const std::vector<std::int32_t>& job_of);
+
+  /// Runs to completion; the RunMetrics uses the pod/switch mapping above.
+  metrics::RunMetrics run();
+
+  void on_event(pdes::Simulator& sim, const pdes::Event& ev) override;
+
+  std::uint64_t events_processed() const { return sim_.events_processed(); }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+
+ private:
+  // Node ids: hosts [0, H); edge switches [H, H+E); agg [H+E, H+E+A);
+  // core [H+E+A, ...). Each node has output ports (see port map below).
+  enum : std::uint32_t { kEvMsgStart, kEvPortFree, kEvArrive };
+
+  struct Packet {
+    std::uint32_t src = 0, dst = 0, size = 0;
+    std::int32_t job = -1;
+    SimTime issue_time = 0.0;
+    std::uint32_t hops = 0;  // switches visited
+  };
+  struct OutPort {
+    std::deque<std::uint32_t> queue;
+    bool busy = false;
+    double traffic = 0.0;
+    double sat_closed = 0.0;
+    SimTime sat_since = 0.0;
+    bool saturated = false;
+  };
+  struct HostState {
+    std::deque<std::pair<Message, std::uint64_t>> pending;  // msg, remaining
+    bool injector_busy = false;
+  };
+
+  std::uint32_t node_count() const;
+  std::uint32_t ports_of(std::uint32_t node) const;
+  OutPort& port(std::uint32_t node, std::uint32_t p);
+  /// Next hop for a packet at `node`: (next node, output port index).
+  std::pair<std::uint32_t, std::uint32_t> route(const Packet& pkt,
+                                                std::uint32_t node);
+  void try_inject(std::uint32_t host);
+  void try_transmit(std::uint32_t node, std::uint32_t p);
+  void update_saturation(OutPort& op, SimTime now);
+  double sat_at(const OutPort& op, SimTime now) const;
+
+  std::uint32_t alloc_packet();
+  void free_packet(std::uint32_t id);
+
+  const topo::FatTree topo_;
+  FatTreeParams params_;
+  pdes::Simulator sim_;
+  std::uint64_t seed_;
+
+  std::vector<Message> messages_;
+  std::vector<HostState> hosts_;
+  std::vector<OutPort> ports_;
+  std::vector<std::uint32_t> port_base_;  // per node
+
+  std::vector<Packet> packets_;
+  std::vector<std::uint32_t> free_packets_;
+  std::vector<metrics::TerminalMetrics> host_stats_;
+  std::vector<std::int32_t> host_job_;
+  std::string workload_label_ = "custom";
+  std::string placement_label_ = "custom";
+  std::vector<std::string> job_names_;
+
+  std::size_t msgs_unfinished_ = 0;
+  std::size_t packets_in_flight_ = 0;
+  std::uint64_t bytes_injected_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace dv::netsim

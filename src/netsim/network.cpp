@@ -1,0 +1,600 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+
+namespace dv::netsim {
+
+// ----------------------------------------------------------------- Params
+
+void Params::validate() const {
+  DV_REQUIRE(terminal_bandwidth > 0 && local_bandwidth > 0 &&
+                 global_bandwidth > 0,
+             "bandwidths must be positive");
+  DV_REQUIRE(terminal_latency >= 0 && local_latency >= 0 &&
+                 global_latency >= 0 && router_delay >= 0 &&
+                 credit_latency >= 0,
+             "latencies must be non-negative");
+  DV_REQUIRE(packet_size > 0, "packet size must be positive");
+  DV_REQUIRE(vc_buffer_packets > 0, "vc buffer must hold at least one packet");
+}
+
+// ----------------------------------------------------------------- LinkArray
+
+void Network::LinkArray::init(std::size_t links, std::uint32_t vcs_per_link,
+                              std::int32_t initial_credits) {
+  vcs = vcs_per_link;
+  credits.assign(links * vcs, initial_credits);
+  zero_since.assign(links * vcs, 0.0);
+  closed_sat.assign(links, 0.0);
+  open_zero.assign(links, 0);
+  open_since_sum.assign(links, 0.0);
+  traffic.assign(links, 0.0);
+  backlog.assign(links, 0);
+  backlog_since.assign(links, 0.0);
+}
+
+void Network::LinkArray::set_backlog(std::uint32_t link, bool full,
+                                     SimTime now) {
+  if (full == static_cast<bool>(backlog[link])) return;
+  if (full) {
+    backlog[link] = 1;
+    backlog_since[link] = now;
+    ++open_zero[link];
+    open_since_sum[link] += now;
+  } else {
+    backlog[link] = 0;
+    closed_sat[link] += now - backlog_since[link];
+    DV_CHECK(open_zero[link] > 0, "backlog bookkeeping underflow");
+    --open_zero[link];
+    open_since_sum[link] -= backlog_since[link];
+  }
+}
+
+bool Network::LinkArray::has_credit(std::uint32_t link, std::uint32_t vc) const {
+  return credits[link * vcs + vc] > 0;
+}
+
+void Network::LinkArray::take_credit(std::uint32_t link, std::uint32_t vc,
+                                     SimTime now) {
+  const std::size_t idx = link * vcs + vc;
+  DV_CHECK(credits[idx] > 0, "taking credit from an empty pool");
+  if (--credits[idx] == 0) {
+    zero_since[idx] = now;
+    ++open_zero[link];
+    open_since_sum[link] += now;
+  }
+}
+
+void Network::LinkArray::give_credit(std::uint32_t link, std::uint32_t vc,
+                                     SimTime now) {
+  const std::size_t idx = link * vcs + vc;
+  if (credits[idx] == 0) {
+    closed_sat[link] += now - zero_since[idx];
+    DV_CHECK(open_zero[link] > 0, "credit bookkeeping underflow");
+    --open_zero[link];
+    open_since_sum[link] -= zero_since[idx];
+  }
+  ++credits[idx];
+}
+
+double Network::LinkArray::sat_at(std::uint32_t link, SimTime now) const {
+  return closed_sat[link] +
+         static_cast<double>(open_zero[link]) * now - open_since_sum[link];
+}
+
+// ----------------------------------------------------------------- encoding
+
+std::uint64_t Network::encode_link(LinkClass c, std::uint32_t id,
+                                   std::uint32_t vc) {
+  return (static_cast<std::uint64_t>(c) << 48) |
+         (static_cast<std::uint64_t>(vc) << 40) | id;
+}
+
+Network::LinkClass Network::link_class(std::uint64_t enc) {
+  return static_cast<LinkClass>(enc >> 48);
+}
+
+std::uint32_t Network::link_id(std::uint64_t enc) {
+  return static_cast<std::uint32_t>(enc & 0xffffffffULL);
+}
+
+std::uint32_t Network::link_vc(std::uint64_t enc) {
+  return static_cast<std::uint32_t>((enc >> 40) & 0xff);
+}
+
+// ----------------------------------------------------------------- setup
+
+Network::Network(const topo::Dragonfly& topo, routing::Algo algo,
+                 Params params, std::uint64_t seed)
+    : topo_(topo), params_(params),
+      planner_(topo_, algo, params.adaptive, seed),
+      rng_(seed, 0x5e7f10ULL), seed_(seed) {
+  params_.validate();
+  ports_per_router_ = topo_.ports_per_router();
+  ports_.resize(static_cast<std::size_t>(topo_.num_routers()) *
+                ports_per_router_);
+  terminals_.resize(topo_.num_terminals());
+  term_stats_.resize(topo_.num_terminals());
+  term_job_.assign(topo_.num_terminals(), -1);
+  for (std::uint32_t t = 0; t < topo_.num_terminals(); ++t) {
+    term_stats_[t].router = topo_.terminal_router(t);
+    term_stats_[t].port = topo_.terminal_slot(t);
+  }
+
+  num_vcs_ = planner_.max_link_hops();
+  const auto buf = static_cast<std::int32_t>(params_.vc_buffer_packets);
+  local_links_.init(topo_.num_local_links(), num_vcs_, buf);
+  global_links_.init(topo_.num_global_links(), num_vcs_, buf);
+  injection_.init(topo_.num_terminals(), 1, buf);
+  ejection_.init(topo_.num_terminals(), 1, buf);
+
+  sim_.add_lp(this);  // single-LP dispatch; kind selects the handler
+  if (params_.event_budget) sim_.set_event_budget(params_.event_budget);
+}
+
+void Network::add_message(const Message& m) {
+  DV_REQUIRE(!ran_, "add_message after run()");
+  DV_REQUIRE(m.src_terminal < topo_.num_terminals() &&
+                 m.dst_terminal < topo_.num_terminals(),
+             "message terminal out of range");
+  DV_REQUIRE(m.src_terminal != m.dst_terminal,
+             "self-messages never enter the network");
+  DV_REQUIRE(m.bytes > 0, "empty message");
+  DV_REQUIRE(m.time >= 0.0, "negative message time");
+  messages_.push_back(m);
+}
+
+void Network::add_messages(const std::vector<Message>& ms) {
+  for (const auto& m : ms) add_message(m);
+}
+
+void Network::set_labels(std::string workload, std::string placement,
+                         std::vector<std::string> job_names) {
+  workload_label_ = std::move(workload);
+  placement_label_ = std::move(placement);
+  job_names_ = std::move(job_names);
+}
+
+void Network::set_jobs(const placement::Placement& placement) {
+  DV_REQUIRE(placement.job_of.size() == term_job_.size(),
+             "placement size mismatch");
+  term_job_ = placement.job_of;
+}
+
+void Network::enable_sampling(double dt) {
+  DV_REQUIRE(!ran_, "enable_sampling after run()");
+  DV_REQUIRE(dt > 0.0, "sampling interval must be positive");
+  sample_dt_ = dt;
+  local_traffic_ts_ = metrics::SampledSeries(topo_.num_local_links(), dt);
+  local_sat_ts_ = metrics::SampledSeries(topo_.num_local_links(), dt);
+  global_traffic_ts_ = metrics::SampledSeries(topo_.num_global_links(), dt);
+  global_sat_ts_ = metrics::SampledSeries(topo_.num_global_links(), dt);
+  term_traffic_ts_ = metrics::SampledSeries(topo_.num_terminals(), dt);
+  term_sat_ts_ = metrics::SampledSeries(topo_.num_terminals(), dt);
+  prev_local_traffic_.assign(topo_.num_local_links(), 0.0);
+  prev_local_sat_.assign(topo_.num_local_links(), 0.0);
+  prev_global_traffic_.assign(topo_.num_global_links(), 0.0);
+  prev_global_sat_.assign(topo_.num_global_links(), 0.0);
+  prev_term_traffic_.assign(topo_.num_terminals(), 0.0);
+  prev_term_sat_.assign(topo_.num_terminals(), 0.0);
+}
+
+// ----------------------------------------------------------------- arena
+
+std::uint32_t Network::alloc_packet() {
+  if (!free_packets_.empty()) {
+    const std::uint32_t id = free_packets_.back();
+    free_packets_.pop_back();
+    packets_[id] = Packet{};
+    return id;
+  }
+  packets_.emplace_back();
+  return static_cast<std::uint32_t>(packets_.size() - 1);
+}
+
+void Network::free_packet(std::uint32_t id) { free_packets_.push_back(id); }
+
+Network::OutPort& Network::port(std::uint32_t router, std::uint32_t p) {
+  return ports_[static_cast<std::size_t>(router) * ports_per_router_ + p];
+}
+
+double Network::depth(std::uint32_t router, std::uint32_t p) const {
+  const auto& op =
+      ports_[static_cast<std::size_t>(router) * ports_per_router_ + p];
+  return static_cast<double>(op.queue.size()) + (op.busy ? 1.0 : 0.0);
+}
+
+// ----------------------------------------------------------------- hops
+
+Network::Hop Network::hop_for_port(std::uint32_t router,
+                                   std::uint32_t p) const {
+  Hop hop;
+  const std::uint32_t nterm = topo_.terminals_per_router();
+  const std::uint32_t nlocal = topo_.routers_per_group() - 1;
+  if (p < nterm) {
+    hop.cls = LinkClass::kEjection;
+    hop.dst_terminal = topo_.terminal_id(router, p);
+    hop.id = hop.dst_terminal;
+    hop.bandwidth = params_.terminal_bandwidth;
+    hop.latency = params_.terminal_latency;
+    return hop;
+  }
+  if (p < nterm + nlocal) {
+    const std::uint32_t lport = p - nterm;
+    const std::uint32_t nrank =
+        topo_.local_neighbor(topo_.router_rank(router), lport);
+    hop.cls = LinkClass::kLocal;
+    hop.dst_router = topo_.router_id(topo_.router_group(router), nrank);
+    hop.dst_port =
+        nterm + (topo_.local_port(nrank, topo_.router_rank(router)) - nterm);
+    hop.id = topo_.local_link_id(router, lport);
+    hop.bandwidth = params_.local_bandwidth;
+    hop.latency = params_.local_latency;
+    return hop;
+  }
+  const std::uint32_t channel = p - nterm - nlocal;
+  const topo::GlobalEnd ge = topo_.global_neighbor(router, channel);
+  hop.cls = LinkClass::kGlobal;
+  hop.dst_router = ge.router;
+  hop.dst_port = topo_.global_port(ge.channel);
+  hop.id = topo_.global_link_id(router, channel);
+  hop.bandwidth = params_.global_bandwidth;
+  hop.latency = params_.global_latency;
+  return hop;
+}
+
+// ----------------------------------------------------------------- injection
+
+void Network::try_inject(std::uint32_t term) {
+  TerminalState& ts = terminals_[term];
+  if (ts.injector_busy || ts.pending.empty()) return;
+  if (!injection_.has_credit(term, 0)) return;  // retried on credit return
+
+  const SimTime now = sim_.now();
+  MsgProgress& msg = ts.pending.front();
+  const std::uint32_t size = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(params_.packet_size, msg.remaining));
+
+  const std::uint32_t pid = alloc_packet();
+  Packet& pkt = packets_[pid];
+  pkt.src = term;
+  pkt.dst = msg.dst;
+  pkt.size = size;
+  pkt.job = msg.job;
+  // Latency is measured from the application's send time, so source-side
+  // queueing (the dominant cost under congestion) is included — this is
+  // what makes per-job "application performance" comparable across
+  // placements as in Fig. 13d.
+  pkt.inject_time = msg.issue_time;
+  pkt.route.dst_terminal = msg.dst;
+  planner_.on_inject(pkt.route, term, *this);
+  pkt.in_link = encode_link(LinkClass::kInjection, term, 0);
+
+  injection_.take_credit(term, 0, now);
+  injection_.traffic[term] += size;
+  ++packets_injected_;
+  bytes_injected_ += size;
+
+  msg.remaining -= size;
+  if (msg.remaining == 0) {
+    ts.pending.pop_front();
+    DV_CHECK(msgs_unfinished_ > 0, "message bookkeeping underflow");
+    --msgs_unfinished_;
+  }
+  ++packets_in_flight_;
+
+  const double ser = static_cast<double>(size) / params_.terminal_bandwidth;
+  ts.injector_busy = true;
+  sim_.schedule_in(ser, 0, kEvInjectorFree, term);
+  sim_.schedule_in(ser + params_.terminal_latency + params_.router_delay, 0,
+                   kEvPktAtRouter, pid, topo_.terminal_router(term));
+}
+
+// ----------------------------------------------------------------- transit
+
+Network::LinkArray& Network::link_array_for(LinkClass cls) {
+  switch (cls) {
+    case LinkClass::kEjection: return ejection_;
+    case LinkClass::kLocal: return local_links_;
+    case LinkClass::kGlobal: return global_links_;
+    default: break;
+  }
+  throw Error("no link array for this link class");
+}
+
+void Network::update_backlog(std::uint32_t router, std::uint32_t p) {
+  const Hop hop = hop_for_port(router, p);
+  LinkArray& la = link_array_for(hop.cls);
+  la.set_backlog(hop.id,
+                 port(router, p).queue.size() >= params_.vc_buffer_packets,
+                 sim_.now());
+}
+
+void Network::try_transmit(std::uint32_t router, std::uint32_t p) {
+  OutPort& op = port(router, p);
+  if (op.busy || op.queue.empty()) return;
+
+  const Hop hop = hop_for_port(router, p);
+  LinkArray& la = link_array_for(hop.cls);
+
+  // VC arbitration: first queued packet whose VC has a downstream slot.
+  std::size_t pick = op.queue.size();
+  std::uint32_t vc = 0;
+  for (std::size_t i = 0; i < op.queue.size(); ++i) {
+    const Packet& cand = packets_[op.queue[i]];
+    const std::uint32_t cvc =
+        hop.cls == LinkClass::kEjection ? 0u : cand.link_hops;
+    if (la.has_credit(hop.id, cvc)) {
+      pick = i;
+      vc = cvc;
+      break;
+    }
+  }
+  if (pick == op.queue.size()) return;  // all VCs full; retried on credit
+
+  const std::uint32_t pid = op.queue[pick];
+  op.queue.erase(op.queue.begin() + static_cast<std::ptrdiff_t>(pick));
+  la.set_backlog(hop.id, op.queue.size() >= params_.vc_buffer_packets,
+                 sim_.now());
+  Packet& pkt = packets_[pid];
+  const SimTime now = sim_.now();
+
+  la.take_credit(hop.id, vc, now);
+  la.traffic[hop.id] += pkt.size;
+  return_credit(pkt.in_link);  // upstream buffer slot frees as we depart
+  pkt.in_link = encode_link(hop.cls, hop.id, vc);
+  if (hop.cls != LinkClass::kEjection) {
+    ++pkt.link_hops;
+    DV_CHECK(pkt.link_hops <= num_vcs_, "packet exceeded the VC/hop bound");
+  }
+
+  const double ser = static_cast<double>(pkt.size) / hop.bandwidth;
+  op.busy = true;
+  sim_.schedule_in(ser, 0, kEvPortFree, router, p);
+  if (hop.cls == LinkClass::kEjection) {
+    sim_.schedule_in(ser + hop.latency, 0, kEvPktAtTerminal, pid,
+                     hop.dst_terminal);
+  } else {
+    sim_.schedule_in(ser + hop.latency + params_.router_delay, 0,
+                     kEvPktAtRouter, pid, hop.dst_router);
+  }
+}
+
+void Network::return_credit(std::uint64_t enc_link) {
+  if (link_class(enc_link) == LinkClass::kNone) return;
+  sim_.schedule_in(params_.credit_latency, 0, kEvCredit, enc_link);
+}
+
+void Network::handle_packet_at_router(std::uint32_t pid,
+                                      std::uint32_t router) {
+  Packet& pkt = packets_[pid];
+  ++pkt.router_hops;
+  const routing::Decision d = planner_.route(pkt.route, router, *this);
+  port(router, d.port).queue.push_back(pid);
+  update_backlog(router, d.port);
+  try_transmit(router, d.port);
+}
+
+void Network::handle_packet_at_terminal(std::uint32_t pid,
+                                        std::uint32_t term) {
+  Packet& pkt = packets_[pid];
+  DV_CHECK(pkt.dst == term, "packet delivered to the wrong terminal");
+  metrics::TerminalMetrics& tm = term_stats_[term];
+  ++tm.packets_finished;
+  tm.sum_latency += sim_.now() - pkt.inject_time;
+  tm.sum_hops += pkt.router_hops;
+  ++packets_delivered_;
+  bytes_delivered_ += pkt.size;
+  DV_CHECK(packets_in_flight_ > 0, "packet bookkeeping underflow");
+  --packets_in_flight_;
+
+  // The ejection buffer slot frees once the NIC has drained the packet.
+  DV_CHECK(link_class(pkt.in_link) == LinkClass::kEjection,
+           "terminal received a packet not via its ejection link");
+  const double drain =
+      static_cast<double>(pkt.size) / params_.terminal_bandwidth;
+  sim_.schedule_in(drain, 0, kEvCredit, pkt.in_link);
+  free_packet(pid);
+}
+
+// ----------------------------------------------------------------- sampling
+
+void Network::take_sample() {
+  const SimTime now = sim_.now();
+  auto capture = [now](const LinkArray& la, std::vector<double>& prev_traffic,
+                       std::vector<double>& prev_sat,
+                       metrics::SampledSeries& traffic_ts,
+                       metrics::SampledSeries& sat_ts) {
+    const std::size_t n = la.traffic.size();
+    std::vector<float> dt(n), ds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double cur_t = la.traffic[i];
+      const double cur_s = la.sat_at(static_cast<std::uint32_t>(i), now);
+      dt[i] = static_cast<float>(cur_t - prev_traffic[i]);
+      ds[i] = static_cast<float>(cur_s - prev_sat[i]);
+      prev_traffic[i] = cur_t;
+      prev_sat[i] = cur_s;
+    }
+    traffic_ts.push_frame(dt);
+    sat_ts.push_frame(ds);
+  };
+  capture(local_links_, prev_local_traffic_, prev_local_sat_,
+          local_traffic_ts_, local_sat_ts_);
+  capture(global_links_, prev_global_traffic_, prev_global_sat_,
+          global_traffic_ts_, global_sat_ts_);
+  // Terminal series: injected bytes and injection+ejection saturation.
+  {
+    const std::size_t n = topo_.num_terminals();
+    std::vector<float> dt(n), ds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto li = static_cast<std::uint32_t>(i);
+      const double cur_t = injection_.traffic[i];
+      const double cur_s =
+          injection_.sat_at(li, now) + ejection_.sat_at(li, now);
+      dt[i] = static_cast<float>(cur_t - prev_term_traffic_[i]);
+      ds[i] = static_cast<float>(cur_s - prev_term_sat_[i]);
+      prev_term_traffic_[i] = cur_t;
+      prev_term_sat_[i] = cur_s;
+    }
+    term_traffic_ts_.push_frame(dt);
+    term_sat_ts_.push_frame(ds);
+  }
+}
+
+// ----------------------------------------------------------------- dispatch
+
+void Network::on_event(pdes::Simulator& sim, const pdes::Event& ev) {
+  switch (ev.kind) {
+    case kEvMsgStart: {
+      const Message& m = messages_[ev.data0];
+      terminals_[m.src_terminal].pending.push_back(
+          MsgProgress{m.dst_terminal, m.bytes, m.job, sim.now()});
+      try_inject(m.src_terminal);
+      break;
+    }
+    case kEvInjectorFree: {
+      const auto term = static_cast<std::uint32_t>(ev.data0);
+      terminals_[term].injector_busy = false;
+      try_inject(term);
+      break;
+    }
+    case kEvPktAtRouter:
+      handle_packet_at_router(static_cast<std::uint32_t>(ev.data0),
+                              static_cast<std::uint32_t>(ev.data1));
+      break;
+    case kEvPktAtTerminal:
+      handle_packet_at_terminal(static_cast<std::uint32_t>(ev.data0),
+                                static_cast<std::uint32_t>(ev.data1));
+      break;
+    case kEvPortFree: {
+      const auto router = static_cast<std::uint32_t>(ev.data0);
+      const auto p = static_cast<std::uint32_t>(ev.data1);
+      port(router, p).busy = false;
+      try_transmit(router, p);
+      break;
+    }
+    case kEvCredit: {
+      const std::uint64_t enc = ev.data0;
+      const std::uint32_t id = link_id(enc);
+      const std::uint32_t vc = link_vc(enc);
+      switch (link_class(enc)) {
+        case LinkClass::kInjection:
+          injection_.give_credit(id, vc, sim.now());
+          try_inject(id);
+          break;
+        case LinkClass::kEjection: {
+          ejection_.give_credit(id, vc, sim.now());
+          const std::uint32_t router = topo_.terminal_router(id);
+          try_transmit(router, topo_.terminal_slot(id));
+          break;
+        }
+        case LinkClass::kLocal: {
+          local_links_.give_credit(id, vc, sim.now());
+          const auto [router, lport] = topo_.local_link_ends(id);
+          try_transmit(router, topo_.terminals_per_router() + lport);
+          break;
+        }
+        case LinkClass::kGlobal: {
+          global_links_.give_credit(id, vc, sim.now());
+          const topo::GlobalEnd src = topo_.global_link_src(id);
+          try_transmit(src.router, topo_.global_port(src.channel));
+          break;
+        }
+        case LinkClass::kNone:
+          DV_CHECK(false, "credit for the null link");
+      }
+      break;
+    }
+    case kEvSample:
+      take_sample();
+      if (packets_in_flight_ > 0 || msgs_unfinished_ > 0) {
+        sim.schedule_in(sample_dt_, 0, kEvSample);
+      }
+      break;
+    default:
+      DV_CHECK(false, "unknown event kind");
+  }
+}
+
+// ----------------------------------------------------------------- run
+
+metrics::RunMetrics Network::run() {
+  DV_REQUIRE(!ran_, "a Network can only run once");
+  ran_ = true;
+
+  msgs_unfinished_ = messages_.size();
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    sim_.schedule(messages_[i].time, 0, kEvMsgStart, i);
+  }
+  if (sample_dt_ > 0.0) sim_.schedule(sample_dt_, 0, kEvSample);
+
+  sim_.run();
+
+  DV_CHECK(packets_in_flight_ == 0 && msgs_unfinished_ == 0,
+           "simulation drained with work outstanding");
+  DV_CHECK(bytes_injected_ == bytes_delivered_,
+           "flow conservation violated: injected != delivered bytes");
+
+  metrics::RunMetrics out;
+  flush_and_collect(out);
+  return out;
+}
+
+void Network::flush_and_collect(metrics::RunMetrics& out) {
+  const SimTime end = sim_.now();
+  out.groups = topo_.groups();
+  out.routers_per_group = topo_.routers_per_group();
+  out.terminals_per_router = topo_.terminals_per_router();
+  out.global_per_router = topo_.global_per_router();
+  out.workload = workload_label_;
+  out.routing = routing::to_string(planner_.algo());
+  out.placement = placement_label_;
+  out.job_names = job_names_;
+  out.seed = seed_;
+  out.end_time = end;
+
+  out.local_links.resize(topo_.num_local_links());
+  for (std::uint32_t lid = 0; lid < topo_.num_local_links(); ++lid) {
+    const auto [router, lport] = topo_.local_link_ends(lid);
+    const Hop hop = hop_for_port(router, topo_.terminals_per_router() + lport);
+    metrics::LinkMetrics& l = out.local_links[lid];
+    l.src_router = router;
+    l.src_port = topo_.terminals_per_router() + lport;
+    l.dst_router = hop.dst_router;
+    l.dst_port = hop.dst_port;
+    l.traffic = local_links_.traffic[lid];
+    l.sat_time = local_links_.sat_at(lid, end);
+  }
+  out.global_links.resize(topo_.num_global_links());
+  for (std::uint32_t gid = 0; gid < topo_.num_global_links(); ++gid) {
+    const topo::GlobalEnd src = topo_.global_link_src(gid);
+    const Hop hop = hop_for_port(src.router, topo_.global_port(src.channel));
+    metrics::LinkMetrics& l = out.global_links[gid];
+    l.src_router = src.router;
+    l.src_port = topo_.global_port(src.channel);
+    l.dst_router = hop.dst_router;
+    l.dst_port = hop.dst_port;
+    l.traffic = global_links_.traffic[gid];
+    l.sat_time = global_links_.sat_at(gid, end);
+  }
+  out.terminals = term_stats_;
+  for (std::uint32_t t = 0; t < topo_.num_terminals(); ++t) {
+    out.terminals[t].data_size = injection_.traffic[t];
+    out.terminals[t].sat_time =
+        injection_.sat_at(t, end) + ejection_.sat_at(t, end);
+    out.terminals[t].job = term_job_[t];
+  }
+
+  if (sample_dt_ > 0.0) {
+    take_sample();  // final partial frame
+    out.sample_dt = sample_dt_;
+    out.local_traffic_ts = std::move(local_traffic_ts_);
+    out.local_sat_ts = std::move(local_sat_ts_);
+    out.global_traffic_ts = std::move(global_traffic_ts_);
+    out.global_sat_ts = std::move(global_sat_ts_);
+    out.term_traffic_ts = std::move(term_traffic_ts_);
+    out.term_sat_ts = std::move(term_sat_ts_);
+  }
+}
+
+}  // namespace dv::netsim

@@ -1,0 +1,249 @@
+// Packet-level Dragonfly network simulator (the CODES stand-in).
+//
+// Model: store-and-forward packets, output-queued routers, credit-based
+// virtual-channel flow control. Every directed link (local, global, and
+// both directions of each terminal-router cable) has per-VC credit pools;
+// a packet occupies one downstream buffer slot from the moment its
+// transmission starts until the downstream hop forwards it onward. The
+// "link saturation time" metric — the paper's congestion signal — is the
+// accumulated time any VC buffer of the link is full, which is exactly the
+// back-pressure condition.
+//
+// Deadlock freedom: the VC used on a router-to-router link equals the
+// packet's link-hop index, which increases monotonically along every path
+// allowed by the RoutePlanner, so the channel dependency graph is acyclic.
+//
+// The simulator runs on the dv::pdes engine as a single logical process
+// dispatching on event kind; determinism comes from the engine's
+// (time, sequence) ordering and the planner's seeded RNG.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "metrics/run_metrics.hpp"
+#include "pdes/engine.hpp"
+#include "placement/placement.hpp"
+#include "routing/routing.hpp"
+#include "topology/dragonfly.hpp"
+#include "util/rng.hpp"
+
+namespace dv::netsim {
+
+/// Physical parameters. Bandwidths are in GB/s (== bytes/ns), latencies
+/// and delays in ns. Defaults approximate the Cray Aries-class links used
+/// in the paper's CODES configurations.
+struct Params {
+  double terminal_bandwidth = 5.25;
+  double local_bandwidth = 5.25;
+  double global_bandwidth = 4.7;
+  double terminal_latency = 30.0;
+  double local_latency = 50.0;
+  double global_latency = 300.0;
+  double router_delay = 50.0;
+  double credit_latency = 20.0;
+  std::uint32_t packet_size = 2048;       ///< bytes per packet (last may be short)
+  std::uint32_t vc_buffer_packets = 8;    ///< credits per (link, VC)
+  routing::AdaptiveParams adaptive;
+  std::uint64_t event_budget = 0;         ///< 0 = unlimited
+
+  void validate() const;
+};
+
+/// One application-level message to inject.
+struct Message {
+  std::uint32_t src_terminal = 0;
+  std::uint32_t dst_terminal = 0;
+  std::uint64_t bytes = 0;
+  SimTime time = 0.0;   ///< earliest injection time
+  std::int32_t job = -1;
+};
+
+/// A complete simulation: construct, add messages, run once.
+class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
+ public:
+  Network(const topo::Dragonfly& topo, routing::Algo algo, Params params = {},
+          std::uint64_t seed = 1);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const topo::Dragonfly& topology() const { return topo_; }
+
+  /// Queues a message (must be called before run()). src != dst required.
+  void add_message(const Message& m);
+  void add_messages(const std::vector<Message>& ms);
+
+  /// Labels the run for the metrics record.
+  void set_labels(std::string workload, std::string placement,
+                  std::vector<std::string> job_names);
+
+  /// Marks terminal job ownership (from a placement) for the metrics.
+  void set_jobs(const placement::Placement& placement);
+
+  /// Enables fixed-rate time-series sampling (dt in ns).
+  void enable_sampling(double dt);
+
+  /// Runs the simulation to completion and returns the collected metrics.
+  /// May be called once.
+  metrics::RunMetrics run();
+
+  // routing::QueueProbe: output queue depth (packets, incl. in service).
+  double depth(std::uint32_t router, std::uint32_t port) const override;
+
+  // pdes::LogicalProcess.
+  void on_event(pdes::Simulator& sim, const pdes::Event& ev) override;
+
+  std::uint64_t events_processed() const { return sim_.events_processed(); }
+  std::uint64_t packets_injected() const { return packets_injected_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+
+ private:
+  // ---- link identity: class + id ------------------------------------
+  enum class LinkClass : std::uint32_t { kNone, kInjection, kEjection, kLocal, kGlobal };
+  static std::uint64_t encode_link(LinkClass c, std::uint32_t id, std::uint32_t vc);
+  static LinkClass link_class(std::uint64_t enc);
+  static std::uint32_t link_id(std::uint64_t enc);
+  static std::uint32_t link_vc(std::uint64_t enc);
+
+  // ---- per-link-class credit/metric state ---------------------------
+  struct LinkArray {
+    std::uint32_t vcs = 1;
+    std::vector<std::int32_t> credits;    // [link*vcs + vc]
+    std::vector<SimTime> zero_since;      // [link*vcs + vc]
+    std::vector<double> closed_sat;       // [link]
+    std::vector<std::uint32_t> open_zero; // [link] count of open intervals
+    std::vector<double> open_since_sum;   // [link]
+    std::vector<double> traffic;          // [link] bytes
+    std::vector<std::uint8_t> backlog;    // [link] output backlog state
+    std::vector<SimTime> backlog_since;   // [link]
+
+    void init(std::size_t links, std::uint32_t vcs_per_link,
+              std::int32_t initial_credits);
+    void take_credit(std::uint32_t link, std::uint32_t vc, SimTime now);
+    void give_credit(std::uint32_t link, std::uint32_t vc, SimTime now);
+    bool has_credit(std::uint32_t link, std::uint32_t vc) const;
+    /// Output-backlog contribution: while the upstream output queue holds
+    /// a full buffer's worth of packets the link counts as saturated
+    /// (contention at the link itself, not just downstream blocking).
+    void set_backlog(std::uint32_t link, bool full, SimTime now);
+    /// Saturation accumulated up to `now`, including open intervals.
+    double sat_at(std::uint32_t link, SimTime now) const;
+  };
+
+  struct Packet {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint32_t size = 0;
+    std::int32_t job = -1;
+    SimTime inject_time = 0.0;
+    std::uint32_t router_hops = 0;  // routers visited
+    std::uint32_t link_hops = 0;    // router-router links crossed (== VC)
+    std::uint64_t in_link = 0;      // where to return the buffer credit
+    routing::PacketRoute route;
+  };
+
+  struct OutPort {
+    std::deque<std::uint32_t> queue;
+    bool busy = false;
+  };
+
+  struct MsgProgress {
+    std::uint32_t dst = 0;
+    std::uint64_t remaining = 0;
+    std::int32_t job = -1;
+    SimTime issue_time = 0.0;  ///< when the application issued the send
+  };
+
+  struct TerminalState {
+    std::deque<MsgProgress> pending;
+    bool injector_busy = false;
+  };
+
+  // ---- event kinds ---------------------------------------------------
+  enum : std::uint32_t {
+    kEvMsgStart,      // data0 = message index
+    kEvInjectorFree,  // data0 = terminal
+    kEvPktAtRouter,   // data0 = packet, data1 = router
+    kEvPktAtTerminal, // data0 = packet, data1 = terminal
+    kEvPortFree,      // data0 = router, data1 = port
+    kEvCredit,        // data0 = encoded link+vc
+    kEvSample,        // periodic sampling tick
+  };
+
+  // ---- helpers ---------------------------------------------------
+  std::uint32_t alloc_packet();
+  void free_packet(std::uint32_t id);
+  OutPort& port(std::uint32_t router, std::uint32_t p);
+  LinkArray& link_array_for(LinkClass cls);
+  void update_backlog(std::uint32_t router, std::uint32_t p);
+
+  void try_inject(std::uint32_t term);
+  void try_transmit(std::uint32_t router, std::uint32_t p);
+  void handle_packet_at_router(std::uint32_t pkt_id, std::uint32_t router);
+  void handle_packet_at_terminal(std::uint32_t pkt_id, std::uint32_t term);
+  void return_credit(std::uint64_t enc_link);
+  void take_sample();
+  void flush_and_collect(metrics::RunMetrics& out);
+
+  /// (link class, link id, downstream arrival delay, serialization rate)
+  struct Hop {
+    LinkClass cls = LinkClass::kNone;
+    std::uint32_t id = 0;
+    std::uint32_t dst_router = 0;   // for local/global
+    std::uint32_t dst_port = 0;
+    std::uint32_t dst_terminal = 0; // for ejection
+    double bandwidth = 1.0;
+    double latency = 0.0;
+  };
+  Hop hop_for_port(std::uint32_t router, std::uint32_t p) const;
+
+  // ---- state ---------------------------------------------------------
+  const topo::Dragonfly topo_;
+  Params params_;
+  routing::RoutePlanner planner_;
+  pdes::Simulator sim_;
+  Rng rng_;
+
+  std::vector<Message> messages_;
+  std::vector<TerminalState> terminals_;
+  std::vector<OutPort> ports_;       // router-major
+  std::uint32_t ports_per_router_ = 0;
+  std::uint32_t num_vcs_ = 1;
+
+  LinkArray local_links_, global_links_, injection_, ejection_;
+
+  std::vector<Packet> packets_;
+  std::vector<std::uint32_t> free_packets_;
+
+  // Terminal delivery stats.
+  std::vector<metrics::TerminalMetrics> term_stats_;
+
+  // Sampling.
+  double sample_dt_ = 0.0;
+  metrics::SampledSeries local_traffic_ts_, local_sat_ts_;
+  metrics::SampledSeries global_traffic_ts_, global_sat_ts_;
+  metrics::SampledSeries term_traffic_ts_, term_sat_ts_;
+  std::vector<double> prev_local_traffic_, prev_local_sat_;
+  std::vector<double> prev_global_traffic_, prev_global_sat_;
+  std::vector<double> prev_term_traffic_, prev_term_sat_;
+
+  std::string workload_label_ = "custom";
+  std::string placement_label_ = "custom";
+  std::vector<std::string> job_names_;
+  std::vector<std::int32_t> term_job_;
+
+  std::uint64_t seed_ = 1;
+  std::size_t msgs_unfinished_ = 0;
+  std::size_t packets_in_flight_ = 0;
+  std::uint64_t packets_injected_ = 0;
+  std::uint64_t packets_delivered_ = 0;
+  std::uint64_t bytes_injected_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace dv::netsim

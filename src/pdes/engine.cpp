@@ -1,0 +1,51 @@
+#include "pdes/engine.hpp"
+
+namespace dv::pdes {
+
+LpId Simulator::add_lp(LogicalProcess* lp) {
+  DV_REQUIRE(lp != nullptr, "null logical process");
+  lps_.push_back(lp);
+  return static_cast<LpId>(lps_.size() - 1);
+}
+
+void Simulator::schedule(SimTime t, LpId lp, std::uint32_t kind,
+                         std::uint64_t data0, std::uint64_t data1) {
+  DV_REQUIRE(lp < lps_.size(), "schedule to unknown LP");
+  DV_REQUIRE(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, lp, kind, data0, data1});
+}
+
+void Simulator::schedule_in(SimTime delay, LpId lp, std::uint32_t kind,
+                            std::uint64_t data0, std::uint64_t data1) {
+  DV_REQUIRE(delay >= 0.0, "negative delay");
+  schedule(now_ + delay, lp, kind, data0, data1);
+}
+
+void Simulator::dispatch(const Event& ev) {
+  now_ = ev.time;
+  ++events_processed_;
+  if (budget_ != 0 && events_processed_ > budget_) {
+    throw Error("simulation event budget exceeded");
+  }
+  lps_[ev.lp]->on_event(*this, ev);
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+}
+
+void Simulator::run_until(SimTime t_end) {
+  DV_REQUIRE(t_end >= now_, "run_until into the past");
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+  }
+  now_ = t_end;
+}
+
+}  // namespace dv::pdes

@@ -1,0 +1,98 @@
+// Discrete-event simulation engine.
+//
+// This is the substrate standing in for ROSS in the paper's toolchain: a
+// deterministic event engine over logical processes (LPs). Events are
+// ordered by (timestamp, sequence number), so simultaneous events execute
+// in schedule order and every run is bit-reproducible for a given seed.
+//
+// The model layer (netsim) keeps its own payload arenas; an event carries
+// the destination LP, a model-defined kind, and two 64-bit payload words,
+// which avoids per-event heap allocation on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dv::pdes {
+
+using LpId = std::uint32_t;
+
+/// One scheduled event. `kind` and `data` are interpreted by the receiving
+/// logical process.
+struct Event {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;  // global schedule order; breaks timestamp ties
+  LpId lp = 0;
+  std::uint32_t kind = 0;
+  std::uint64_t data0 = 0;
+  std::uint64_t data1 = 0;
+};
+
+class Simulator;
+
+/// Base class for simulation entities (routers, terminals, samplers...).
+class LogicalProcess {
+ public:
+  virtual ~LogicalProcess() = default;
+
+  /// Handles one event addressed to this LP. Called with sim.now() ==
+  /// event.time.
+  virtual void on_event(Simulator& sim, const Event& ev) = 0;
+};
+
+/// Sequential deterministic event-driven simulator.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers an LP and returns its id. The pointer must stay valid for
+  /// the simulator's lifetime (LPs are owned by the model layer).
+  LpId add_lp(LogicalProcess* lp);
+
+  std::size_t lp_count() const { return lps_.size(); }
+
+  /// Schedules an event at absolute time `t` (must be >= now()).
+  void schedule(SimTime t, LpId lp, std::uint32_t kind, std::uint64_t data0 = 0,
+                std::uint64_t data1 = 0);
+
+  /// Schedules an event `delay` after now().
+  void schedule_in(SimTime delay, LpId lp, std::uint32_t kind,
+                   std::uint64_t data0 = 0, std::uint64_t data1 = 0);
+
+  /// Runs until the event queue is empty (or the event budget is hit).
+  void run();
+
+  /// Runs while events exist with time <= t_end; now() ends at t_end.
+  void run_until(SimTime t_end);
+
+  SimTime now() const { return now_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+  bool queue_empty() const { return queue_.empty(); }
+
+  /// Safety valve against runaway models; 0 disables. Exceeding it throws.
+  void set_event_budget(std::uint64_t max_events) { budget_ = max_events; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(const Event& ev);
+
+  std::vector<LogicalProcess*> lps_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t budget_ = 0;
+};
+
+}  // namespace dv::pdes

@@ -1,0 +1,149 @@
+#include "pdes/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dv::pdes {
+
+ParallelSimulator::ParallelSimulator(std::size_t partitions,
+                                     double lookahead)
+    : lookahead_(lookahead), pool_(partitions) {
+  DV_REQUIRE(partitions >= 1, "need at least one partition");
+  DV_REQUIRE(lookahead > 0.0, "conservative lookahead must be positive");
+  parts_.reserve(partitions);
+  for (std::size_t i = 0; i < partitions; ++i) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+}
+
+LpId ParallelSimulator::add_lp(ParallelLp* lp) {
+  return add_lp(lp, static_cast<std::uint32_t>(lps_.size() % parts_.size()));
+}
+
+LpId ParallelSimulator::add_lp(ParallelLp* lp, std::uint32_t partition) {
+  DV_REQUIRE(lp != nullptr, "null logical process");
+  DV_REQUIRE(partition < parts_.size(), "partition out of range");
+  DV_REQUIRE(!running_, "cannot add LPs while running");
+  lps_.push_back(lp);
+  lp_partition_.push_back(partition);
+  return static_cast<LpId>(lps_.size() - 1);
+}
+
+std::uint32_t ParallelSimulator::partition_of(LpId lp) const {
+  DV_REQUIRE(lp < lp_partition_.size(), "unknown LP");
+  return lp_partition_[lp];
+}
+
+void ParallelSimulator::schedule(SimTime t, LpId lp, std::uint32_t kind,
+                                 std::uint64_t data0, std::uint64_t data1) {
+  DV_REQUIRE(!running_, "use ParallelContext::schedule during the run");
+  DV_REQUIRE(lp < lps_.size(), "schedule to unknown LP");
+  DV_REQUIRE(t >= 0.0, "negative timestamp");
+  Partition& part = *parts_[lp_partition_[lp]];
+  part.queue.push(Event{t, part.next_seq++, lp, kind, data0, data1});
+}
+
+void ParallelSimulator::enqueue_cross(std::uint32_t target,
+                                      const Event& ev) {
+  Partition& part = *parts_[target];
+  std::lock_guard<std::mutex> lock(part.mailbox_mu);
+  part.mailbox.push_back(ev);
+}
+
+void ParallelContext::schedule(SimTime t, LpId lp, std::uint32_t kind,
+                               std::uint64_t data0, std::uint64_t data1) {
+  DV_REQUIRE(lp < sim_->lps_.size(), "schedule to unknown LP");
+  DV_REQUIRE(t >= now_, "cannot schedule into the past");
+  const std::uint32_t target = sim_->lp_partition_[lp];
+  if (target == partition_) {
+    auto& part = *sim_->parts_[partition_];
+    part.queue.push(Event{t, part.next_seq++, lp, kind, data0, data1});
+    return;
+  }
+  // Conservative contract: cross-partition events must clear the window.
+  DV_REQUIRE(t >= now_ + sim_->lookahead_,
+             "cross-partition event violates the lookahead contract");
+  // seq is assigned when the mailbox is drained (deterministic order is
+  // established by sorting on (time, source order) there).
+  sim_->enqueue_cross(target, Event{t, 0, lp, kind, data0, data1});
+}
+
+void ParallelSimulator::process_window(std::uint32_t p,
+                                       SimTime window_end) {
+  Partition& part = *parts_[p];
+  while (!part.queue.empty() && part.queue.top().time < window_end) {
+    const Event ev = part.queue.top();
+    part.queue.pop();
+    ++part.processed;
+    ParallelContext ctx(this, p, ev.time);
+    lps_[ev.lp]->on_event(ctx, ev);
+  }
+}
+
+void ParallelSimulator::run_until(SimTime t_end) {
+  running_ = true;
+  for (;;) {
+    // Global lower bound on the next event.
+    SimTime gvt = std::numeric_limits<SimTime>::infinity();
+    for (const auto& part : parts_) {
+      if (!part->queue.empty()) {
+        gvt = std::min(gvt, part->queue.top().time);
+      }
+    }
+    if (gvt > t_end || !std::isfinite(gvt)) break;
+    // Match Simulator::run_until semantics: events with time <= t_end run.
+    const SimTime window_end = std::min(
+        gvt + lookahead_,
+        std::nextafter(t_end, std::numeric_limits<SimTime>::infinity()));
+
+    if (parts_.size() == 1) {
+      process_window(0, window_end);
+    } else {
+      // Worker exceptions (e.g. lookahead-contract violations) must reach
+      // the caller, not std::terminate a pool thread.
+      std::exception_ptr first_error;
+      std::mutex error_mu;
+      for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+        pool_.submit([this, p, window_end, &first_error, &error_mu] {
+          try {
+            process_window(p, window_end);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+      }
+      pool_.wait_idle();
+      if (first_error) {
+        running_ = false;
+        std::rethrow_exception(first_error);
+      }
+    }
+
+    // Barrier passed: drain mailboxes in deterministic order.
+    for (auto& part : parts_) {
+      std::lock_guard<std::mutex> lock(part->mailbox_mu);
+      std::stable_sort(part->mailbox.begin(), part->mailbox.end(),
+                       [](const Event& a, const Event& b) {
+                         if (a.time != b.time) return a.time < b.time;
+                         if (a.lp != b.lp) return a.lp < b.lp;
+                         return a.kind < b.kind;
+                       });
+      for (Event ev : part->mailbox) {
+        ev.seq = part->next_seq++;
+        part->queue.push(ev);
+      }
+      part->mailbox.clear();
+    }
+  }
+  running_ = false;
+}
+
+std::uint64_t ParallelSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& part : parts_) total += part->processed;
+  return total;
+}
+
+}  // namespace dv::pdes

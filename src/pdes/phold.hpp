@@ -1,0 +1,40 @@
+// PHOLD — the standard PDES benchmark model (used throughout the ROSS
+// literature the paper builds on). Each LP holds a population of events;
+// handling one schedules a successor at now + lookahead + Exp(mean) on a
+// uniformly random LP. Runs on both the sequential and the conservative
+// parallel engine so their equivalence can be tested and their throughput
+// compared.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pdes/engine.hpp"
+#include "pdes/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dv::pdes {
+
+struct PholdConfig {
+  std::uint32_t lps = 16;
+  std::uint32_t population = 4;  ///< initial events per LP
+  double lookahead = 1.0;
+  double mean_delay = 5.0;       ///< extra exponential delay
+  double horizon = 1000.0;       ///< run_until time
+  std::uint64_t seed = 1;
+};
+
+struct PholdResult {
+  std::uint64_t events = 0;
+  /// Per-LP event counts (model-level, excludes engine bookkeeping).
+  std::vector<std::uint64_t> per_lp;
+};
+
+/// Runs PHOLD on the sequential engine.
+PholdResult run_phold_sequential(const PholdConfig& cfg);
+
+/// Runs PHOLD on the conservative parallel engine with `partitions`.
+PholdResult run_phold_parallel(const PholdConfig& cfg,
+                               std::size_t partitions);
+
+}  // namespace dv::pdes

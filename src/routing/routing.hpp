@@ -1,0 +1,108 @@
+// Routing strategies for Dragonfly networks (Sec. II-A, V-B of the paper):
+// minimal, non-minimal (Valiant), adaptive (UGAL with local queue
+// information), and progressive adaptive routing (PAR, Jiang et al. 2009 —
+// the strategy the paper's burst analysis recommends).
+//
+// The planner is pure policy: it owns no network state. Queue occupancies
+// come from a QueueProbe supplied by the simulator, which keeps this module
+// unit-testable with synthetic congestion patterns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/dragonfly.hpp"
+#include "util/rng.hpp"
+
+namespace dv::routing {
+
+enum class Algo {
+  kMinimal,
+  kNonMinimal,          ///< Valiant: always via a random proxy group
+  kAdaptive,            ///< UGAL-L decision at the source router
+  kProgressiveAdaptive, ///< re-evaluate while still in the source group
+};
+
+Algo algo_from_string(const std::string& name);  // throws on unknown
+std::string to_string(Algo a);
+
+/// Per-packet routing state carried through the network.
+struct PacketRoute {
+  std::uint32_t dst_terminal = 0;
+  std::int32_t proxy_group = -1;   ///< Valiant intermediate group, -1 = none
+  bool proxy_reached = false;      ///< set once the packet enters the proxy
+  std::int32_t proxy_router = -1;  ///< intra-group Valiant intermediate router
+  bool proxy_router_reached = false;
+  bool decided = false;            ///< adaptive choice has been committed
+  std::int32_t src_group = -1;     ///< group of the injecting terminal
+};
+
+/// One forwarding decision: the output port on the current router.
+struct Decision {
+  enum class Kind { kTerminal, kLocal, kGlobal };
+  Kind kind = Kind::kTerminal;
+  std::uint32_t port = 0;  ///< router port index (see Dragonfly port map)
+};
+
+/// Read-only view of router output congestion, supplied by the simulator.
+/// depth() is in packets (queue length + in-service).
+class QueueProbe {
+ public:
+  virtual ~QueueProbe() = default;
+  virtual double depth(std::uint32_t router, std::uint32_t port) const = 0;
+};
+
+/// A probe reporting empty queues everywhere (for tests / pure path math).
+class NullProbe : public QueueProbe {
+ public:
+  double depth(std::uint32_t, std::uint32_t) const override { return 0.0; }
+};
+
+/// Tuning knobs for the adaptive decision.
+struct AdaptiveParams {
+  /// UGAL bias: minimal wins when q_min*H_min <= q_non*H_non + threshold.
+  double threshold = 1.0;
+  /// PAR divert trigger: divert when the queue toward the minimal next hop
+  /// exceeds this depth and a less-loaded non-minimal candidate exists.
+  double par_divert_depth = 4.0;
+};
+
+class RoutePlanner {
+ public:
+  RoutePlanner(const topo::Dragonfly& net, Algo algo,
+               AdaptiveParams params = {}, std::uint64_t seed = 1);
+
+  Algo algo() const { return algo_; }
+
+  /// Called when a packet is injected (state.dst_terminal must be set);
+  /// fixes src_group and, for Valiant, the proxy group.
+  void on_inject(PacketRoute& state, std::uint32_t src_terminal,
+                 const QueueProbe& probe);
+
+  /// Next hop for a packet sitting in `router`. Mutates state (proxy
+  /// progress, adaptive commitment).
+  Decision route(PacketRoute& state, std::uint32_t router,
+                 const QueueProbe& probe);
+
+  /// Upper bound on router-to-router link hops any packet can take; the
+  /// simulator sizes its VC count from this (VC index = hop index gives an
+  /// acyclic channel dependency graph, hence deadlock freedom).
+  std::uint32_t max_link_hops() const;
+
+ private:
+  Decision minimal_step(std::uint32_t router, std::uint32_t dst_terminal,
+                        std::int32_t target_group) const;
+  std::int32_t pick_proxy(std::uint32_t src_group, std::uint32_t dst_group);
+  std::int32_t pick_intermediate_router(std::uint32_t group,
+                                        std::uint32_t src_router,
+                                        std::uint32_t dst_router);
+  std::uint32_t first_hop_port(std::uint32_t router, std::uint32_t target_group,
+                               std::uint32_t dst_terminal) const;
+
+  const topo::Dragonfly& net_;
+  Algo algo_;
+  AdaptiveParams params_;
+  Rng rng_;
+};
+
+}  // namespace dv::routing

@@ -1,0 +1,133 @@
+#include "topology/dragonfly.hpp"
+
+#include <sstream>
+
+namespace dv::topo {
+
+Dragonfly::Dragonfly(std::uint32_t groups, std::uint32_t routers_per_group,
+                     std::uint32_t terminals_per_router,
+                     std::uint32_t global_per_router)
+    : g_(groups), a_(routers_per_group), p_(terminals_per_router),
+      h_(global_per_router) {
+  DV_REQUIRE(g_ >= 1, "dragonfly needs at least one group");
+  DV_REQUIRE(a_ >= 2, "dragonfly needs at least two routers per group");
+  DV_REQUIRE(p_ >= 1, "dragonfly needs at least one terminal per router");
+  if (g_ > 1) {
+    // One-link-per-group-pair (absolute) arrangement: every group spends all
+    // its a*h global channels reaching each other group exactly once.
+    DV_REQUIRE(a_ * h_ == g_ - 1,
+               "dragonfly requires a*h == g-1 for the absolute global-link "
+               "arrangement");
+  }
+}
+
+Dragonfly Dragonfly::canonical(std::uint32_t p) {
+  DV_REQUIRE(p >= 1, "canonical dragonfly needs p >= 1");
+  const std::uint32_t a = 2 * p;
+  const std::uint32_t h = p;
+  return Dragonfly(a * h + 1, a, p, h);
+}
+
+std::uint32_t Dragonfly::router_id(std::uint32_t group,
+                                   std::uint32_t rank) const {
+  DV_REQUIRE(group < g_ && rank < a_, "router_id out of range");
+  return group * a_ + rank;
+}
+
+std::uint32_t Dragonfly::terminal_id(std::uint32_t router,
+                                     std::uint32_t slot) const {
+  DV_REQUIRE(router < num_routers() && slot < p_, "terminal_id out of range");
+  return router * p_ + slot;
+}
+
+std::uint32_t Dragonfly::local_port(std::uint32_t from_rank,
+                                    std::uint32_t to_rank) const {
+  DV_REQUIRE(from_rank < a_ && to_rank < a_ && from_rank != to_rank,
+             "invalid local port query");
+  const std::uint32_t idx = to_rank < from_rank ? to_rank : to_rank - 1;
+  return p_ + idx;
+}
+
+std::uint32_t Dragonfly::local_neighbor(std::uint32_t from_rank,
+                                        std::uint32_t lport) const {
+  DV_REQUIRE(from_rank < a_ && lport < a_ - 1, "invalid local neighbor query");
+  return lport < from_rank ? lport : lport + 1;
+}
+
+std::uint32_t Dragonfly::local_link_id(std::uint32_t router,
+                                       std::uint32_t lport) const {
+  DV_REQUIRE(router < num_routers() && lport < a_ - 1,
+             "local_link_id out of range");
+  return router * (a_ - 1) + lport;
+}
+
+std::uint32_t Dragonfly::global_link_id(std::uint32_t router,
+                                        std::uint32_t channel) const {
+  DV_REQUIRE(router < num_routers() && channel < h_,
+             "global_link_id out of range");
+  return router * h_ + channel;
+}
+
+std::pair<std::uint32_t, std::uint32_t> Dragonfly::local_link_ends(
+    std::uint32_t lid) const {
+  DV_REQUIRE(lid < num_local_links(), "local link id out of range");
+  return {lid / (a_ - 1), lid % (a_ - 1)};
+}
+
+GlobalEnd Dragonfly::global_link_src(std::uint32_t gid) const {
+  DV_REQUIRE(gid < num_global_links(), "global link id out of range");
+  return {gid / h_, gid % h_};
+}
+
+GlobalEnd Dragonfly::global_neighbor(std::uint32_t router,
+                                     std::uint32_t channel) const {
+  DV_REQUIRE(router < num_routers() && channel < h_,
+             "global_neighbor out of range");
+  DV_REQUIRE(g_ > 1, "single-group dragonfly has no global links");
+  const std::uint32_t grp = router_group(router);
+  const std::uint32_t rank = router_rank(router);
+  // Slot of this channel within the group's g-1 outgoing global links.
+  const std::uint32_t slot = rank * h_ + channel;
+  const std::uint32_t dst_group = slot < grp ? slot : slot + 1;
+  // On the destination side, the link back to `grp` occupies slot grp
+  // (shifted down past dst_group itself).
+  const std::uint32_t back_slot = grp < dst_group ? grp : grp - 1;
+  return {router_id(dst_group, back_slot / h_), back_slot % h_};
+}
+
+GlobalEnd Dragonfly::group_exit(std::uint32_t src_group,
+                                std::uint32_t dst_group) const {
+  DV_REQUIRE(src_group < g_ && dst_group < g_ && src_group != dst_group,
+             "invalid group_exit query");
+  const std::uint32_t slot = dst_group < src_group ? dst_group : dst_group - 1;
+  return {router_id(src_group, slot / h_), slot % h_};
+}
+
+std::uint32_t Dragonfly::minimal_router_hops(std::uint32_t src_term,
+                                             std::uint32_t dst_term) const {
+  DV_REQUIRE(src_term < num_terminals() && dst_term < num_terminals(),
+             "terminal id out of range");
+  const std::uint32_t sr = terminal_router(src_term);
+  const std::uint32_t dr = terminal_router(dst_term);
+  if (sr == dr) return 1;
+  const std::uint32_t sg = router_group(sr);
+  const std::uint32_t dg = router_group(dr);
+  if (sg == dg) return 2;
+  const GlobalEnd exit = group_exit(sg, dg);
+  const GlobalEnd entry = global_neighbor(exit.router, exit.channel);
+  std::uint32_t hops = 1;                    // src router
+  if (exit.router != sr) ++hops;             // group exit router
+  ++hops;                                    // group entry router
+  if (entry.router != dr) ++hops;            // dst router
+  return hops;
+}
+
+std::string Dragonfly::describe() const {
+  std::ostringstream os;
+  os << "dragonfly(g=" << g_ << ", a=" << a_ << ", p=" << p_ << ", h=" << h_
+     << "; routers=" << num_routers() << ", terminals=" << num_terminals()
+     << ")";
+  return os.str();
+}
+
+}  // namespace dv::topo

@@ -1,0 +1,112 @@
+// Dragonfly topology (Kim, Dally, Scott, Abts 2008) — the network studied
+// in the paper.
+//
+// A Dragonfly has `g` groups; each group has `a` routers fully connected by
+// local links; each router has `p` terminals and `h` global channels to
+// other groups. The canonical balanced configuration is a = 2p = 2h and
+// g = a*h + 1, in which the inter-group graph is a complete graph with
+// exactly one global link between every pair of groups.
+//
+// The paper's three network scales are exactly the canonical Dragonflies
+// with p = 5, 6, 7: 2,550 / 5,256 / 9,702 terminals.
+//
+// Identifier scheme (used across netsim, metrics and the VA layer):
+//   router id   r  = group * a + rank               (rank in [0, a))
+//   terminal id t  = r * p + slot                   (slot in [0, p))
+//   router ports   [0, p)            terminal ports
+//                  [p, p + a-1)      local ports
+//                  [p + a-1, p+a-1+h) global ports
+//   local link id  (directed)  = r * (a-1) + local_port_index
+//   global link id (directed)  = r * h + channel
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dv::topo {
+
+/// Endpoint of a global channel: a (router, channel slot) pair.
+struct GlobalEnd {
+  std::uint32_t router = 0;
+  std::uint32_t channel = 0;
+  bool operator==(const GlobalEnd&) const = default;
+};
+
+class Dragonfly {
+ public:
+  /// General configuration. Requires the inter-group graph to be feasible:
+  /// a*h >= g-1 and (for the one-link-per-group-pair arrangement used
+  /// here) a*h == g-1 when g > 1.
+  Dragonfly(std::uint32_t groups, std::uint32_t routers_per_group,
+            std::uint32_t terminals_per_router,
+            std::uint32_t global_per_router);
+
+  /// Canonical balanced Dragonfly: a=2p, h=p, g=a*h+1.
+  static Dragonfly canonical(std::uint32_t p);
+
+  // ---- sizes -------------------------------------------------------
+  std::uint32_t groups() const { return g_; }
+  std::uint32_t routers_per_group() const { return a_; }
+  std::uint32_t terminals_per_router() const { return p_; }
+  std::uint32_t global_per_router() const { return h_; }
+  std::uint32_t num_routers() const { return g_ * a_; }
+  std::uint32_t num_terminals() const { return num_routers() * p_; }
+  /// Directed counts: each physical cable is two directed links.
+  std::uint32_t num_local_links() const { return num_routers() * (a_ - 1); }
+  std::uint32_t num_global_links() const { return num_routers() * h_; }
+  std::uint32_t ports_per_router() const { return p_ + (a_ - 1) + h_; }
+
+  // ---- id decomposition -------------------------------------------
+  std::uint32_t router_group(std::uint32_t router) const { return router / a_; }
+  std::uint32_t router_rank(std::uint32_t router) const { return router % a_; }
+  std::uint32_t router_id(std::uint32_t group, std::uint32_t rank) const;
+  std::uint32_t terminal_router(std::uint32_t term) const { return term / p_; }
+  std::uint32_t terminal_slot(std::uint32_t term) const { return term % p_; }
+  std::uint32_t terminal_id(std::uint32_t router, std::uint32_t slot) const;
+  std::uint32_t terminal_group(std::uint32_t term) const {
+    return router_group(terminal_router(term));
+  }
+
+  // ---- ports -------------------------------------------------------
+  std::uint32_t terminal_port(std::uint32_t slot) const { return slot; }
+  /// Local port on `from_rank` leading to `to_rank` (ranks must differ).
+  std::uint32_t local_port(std::uint32_t from_rank, std::uint32_t to_rank) const;
+  /// Rank reached through local port index `lport` in [0, a-1).
+  std::uint32_t local_neighbor(std::uint32_t from_rank, std::uint32_t lport) const;
+  std::uint32_t global_port(std::uint32_t channel) const {
+    return p_ + (a_ - 1) + channel;
+  }
+
+  // ---- link ids ----------------------------------------------------
+  std::uint32_t local_link_id(std::uint32_t router, std::uint32_t lport) const;
+  std::uint32_t global_link_id(std::uint32_t router, std::uint32_t channel) const;
+  /// Inverse of local_link_id.
+  std::pair<std::uint32_t, std::uint32_t> local_link_ends(std::uint32_t lid) const;
+  /// Source router / channel of a global link id.
+  GlobalEnd global_link_src(std::uint32_t gid) const;
+
+  // ---- global wiring (absolute / consecutive arrangement) ----------
+  /// Remote end of global channel `channel` on `router`.
+  GlobalEnd global_neighbor(std::uint32_t router, std::uint32_t channel) const;
+  /// The unique (router rank, channel) in `src_group` whose global link
+  /// reaches `dst_group` (groups must differ).
+  GlobalEnd group_exit(std::uint32_t src_group, std::uint32_t dst_group) const;
+
+  /// Minimal hop count between two terminals (1 = same router, 2-3 within
+  /// group, up to 5 across groups: src router, group exit, group entry,
+  /// dst router). Counts router-to-router hops + 2 terminal hops? No —
+  /// returns the number of routers on the minimal path, matching the
+  /// "hops" metric reported by CODES (router visits).
+  std::uint32_t minimal_router_hops(std::uint32_t src_term,
+                                    std::uint32_t dst_term) const;
+
+  std::string describe() const;
+
+ private:
+  std::uint32_t g_, a_, p_, h_;
+};
+
+}  // namespace dv::topo

@@ -1,0 +1,52 @@
+// Three-level k-ary Fat Tree (Al-Fares, Loukissas, Vahdat 2008).
+//
+// Listed by the paper as a future-work target topology for the VA system;
+// provided here so the entity-tree/aggregation layer has a second topology
+// to exercise. k must be even: k pods, each with k/2 edge and k/2
+// aggregation switches, (k/2)^2 core switches, and k^3/4 hosts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace dv::topo {
+
+class FatTree {
+ public:
+  explicit FatTree(std::uint32_t k);
+
+  std::uint32_t k() const { return k_; }
+  std::uint32_t pods() const { return k_; }
+  std::uint32_t edge_per_pod() const { return k_ / 2; }
+  std::uint32_t agg_per_pod() const { return k_ / 2; }
+  std::uint32_t num_core() const { return (k_ / 2) * (k_ / 2); }
+  std::uint32_t num_edge() const { return k_ * (k_ / 2); }
+  std::uint32_t num_agg() const { return k_ * (k_ / 2); }
+  std::uint32_t num_switches() const {
+    return num_core() + num_edge() + num_agg();
+  }
+  std::uint32_t hosts_per_edge() const { return k_ / 2; }
+  std::uint32_t num_hosts() const { return k_ * k_ * k_ / 4; }
+
+  // Host / switch id decomposition.
+  std::uint32_t host_pod(std::uint32_t host) const;
+  std::uint32_t host_edge(std::uint32_t host) const;  // global edge index
+  std::uint32_t edge_id(std::uint32_t pod, std::uint32_t idx) const;
+  std::uint32_t agg_id(std::uint32_t pod, std::uint32_t idx) const;
+
+  /// Core switch reached by up-port `up` of aggregation switch (pod, j).
+  std::uint32_t core_above(std::uint32_t agg_idx, std::uint32_t up) const;
+
+  /// Number of switches on the minimal path between two hosts
+  /// (1 same edge, 3 same pod, 5 across pods).
+  std::uint32_t minimal_switch_hops(std::uint32_t src, std::uint32_t dst) const;
+
+  std::string describe() const;
+
+ private:
+  std::uint32_t k_;
+};
+
+}  // namespace dv::topo

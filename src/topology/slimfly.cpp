@@ -1,0 +1,129 @@
+#include "topology/slimfly.hpp"
+
+#include <sstream>
+
+namespace dv::topo {
+
+namespace {
+
+bool is_prime(std::uint32_t n) {
+  if (n < 2) return false;
+  for (std::uint32_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t primitive_root(std::uint32_t q) {
+  // Brute force: order of g must be q-1.
+  for (std::uint32_t g = 2; g < q; ++g) {
+    std::uint32_t v = 1;
+    std::uint32_t order = 0;
+    do {
+      v = (v * g) % q;
+      ++order;
+    } while (v != 1);
+    if (order == q - 1) return g;
+  }
+  throw Error("no primitive root found (q not prime?)");
+}
+
+}  // namespace
+
+SlimFly::SlimFly(std::uint32_t q) : q_(q) {
+  DV_REQUIRE(is_prime(q), "slim fly q must be prime");
+  DV_REQUIRE(q % 4 == 1, "slim fly construction here requires q = 1 mod 4");
+  const std::uint32_t xi = primitive_root(q);
+  // Even powers of the primitive root -> quadratic residues (set X);
+  // odd powers -> non-residues (set X'). For q = 1 mod 4, -1 is a residue,
+  // so both sets are symmetric and define undirected Cayley graphs.
+  in_x_.assign(q, false);
+  in_xp_.assign(q, false);
+  std::uint32_t v = 1;
+  for (std::uint32_t e = 0; e < q - 1; ++e) {
+    if (e % 2 == 0) {
+      if (!in_x_[v]) {
+        in_x_[v] = true;
+        gen_x_.push_back(v);
+      }
+    } else {
+      if (!in_xp_[v]) {
+        in_xp_[v] = true;
+        gen_xp_.push_back(v);
+      }
+    }
+    v = (v * xi) % q;
+  }
+}
+
+std::uint32_t SlimFly::router_id(std::uint32_t s, std::uint32_t x,
+                                 std::uint32_t y) const {
+  DV_REQUIRE(s < 2 && x < q_ && y < q_, "slim fly coordinates out of range");
+  return s * q_ * q_ + x * q_ + y;
+}
+
+std::uint32_t SlimFly::router_subgraph(std::uint32_t r) const {
+  DV_REQUIRE(r < num_routers(), "router id out of range");
+  return r / (q_ * q_);
+}
+
+std::uint32_t SlimFly::router_x(std::uint32_t r) const {
+  DV_REQUIRE(r < num_routers(), "router id out of range");
+  return (r % (q_ * q_)) / q_;
+}
+
+std::uint32_t SlimFly::router_y(std::uint32_t r) const {
+  DV_REQUIRE(r < num_routers(), "router id out of range");
+  return r % q_;
+}
+
+bool SlimFly::connected(std::uint32_t r1, std::uint32_t r2) const {
+  if (r1 == r2) return false;
+  const std::uint32_t s1 = router_subgraph(r1), s2 = router_subgraph(r2);
+  const std::uint32_t x1 = router_x(r1), y1 = router_y(r1);
+  const std::uint32_t x2 = router_x(r2), y2 = router_y(r2);
+  if (s1 == s2) {
+    if (x1 != x2) return false;
+    const std::uint32_t diff = (y1 + q_ - y2) % q_;
+    return s1 == 0 ? in_x_[diff] : in_xp_[diff];
+  }
+  // Cross edge (0,x,y) ~ (1,m,c) iff y = m*x + c (mod q).
+  const std::uint32_t x = s1 == 0 ? x1 : x2;
+  const std::uint32_t y = s1 == 0 ? y1 : y2;
+  const std::uint32_t m = s1 == 0 ? x2 : x1;
+  const std::uint32_t c = s1 == 0 ? y2 : y1;
+  return y == (m * x + c) % q_;
+}
+
+std::vector<std::uint32_t> SlimFly::neighbors(std::uint32_t r) const {
+  const std::uint32_t s = router_subgraph(r);
+  const std::uint32_t x = router_x(r), y = router_y(r);
+  std::vector<std::uint32_t> out;
+  out.reserve(network_degree());
+  const auto& gens = s == 0 ? gen_x_ : gen_xp_;
+  for (std::uint32_t gval : gens) {
+    out.push_back(router_id(s, x, (y + gval) % q_));
+  }
+  if (s == 0) {
+    // (0,x,y) ~ (1,m,c) with c = y - m*x.
+    for (std::uint32_t m = 0; m < q_; ++m) {
+      const std::uint32_t c = (y + q_ - (m * x) % q_) % q_;
+      out.push_back(router_id(1, m, c));
+    }
+  } else {
+    // (1,m,c) ~ (0,x,y) with y = m*x + c.
+    for (std::uint32_t xx = 0; xx < q_; ++xx) {
+      out.push_back(router_id(0, xx, (x * xx + y) % q_));
+    }
+  }
+  return out;
+}
+
+std::string SlimFly::describe() const {
+  std::ostringstream os;
+  os << "slimfly(q=" << q_ << "; routers=" << num_routers()
+     << ", degree=" << network_degree() << ")";
+  return os.str();
+}
+
+}  // namespace dv::topo

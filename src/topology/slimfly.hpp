@@ -1,0 +1,52 @@
+// Slim Fly (Besta, Hoefler 2014) — MMS-graph diameter-2 topology.
+//
+// Listed by the paper as a future-work target. Implemented for prime
+// q ≡ 1 (mod 4) using the McKay–Miller–Širáň construction: two router
+// subgraphs of q×q routers each; routers (0,x,y) and (1,m,c) with x,y,m,c
+// in GF(q). Intra-subgraph edges follow generator sets X (quadratic
+// residues) and X' (non-residues); cross edges satisfy y = m*x + c.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dv::topo {
+
+class SlimFly {
+ public:
+  /// q must be a prime with q % 4 == 1 (so the generator sets are closed
+  /// under negation and the graph is undirected).
+  explicit SlimFly(std::uint32_t q);
+
+  std::uint32_t q() const { return q_; }
+  std::uint32_t num_routers() const { return 2 * q_ * q_; }
+  /// Network (router-to-router) degree: |X| + q = (3q - 1) / 2.
+  std::uint32_t network_degree() const { return (3 * q_ - 1) / 2; }
+
+  /// Router id for (subgraph s in {0,1}, x, y).
+  std::uint32_t router_id(std::uint32_t s, std::uint32_t x,
+                          std::uint32_t y) const;
+  std::uint32_t router_subgraph(std::uint32_t r) const;
+  std::uint32_t router_x(std::uint32_t r) const;
+  std::uint32_t router_y(std::uint32_t r) const;
+
+  bool connected(std::uint32_t r1, std::uint32_t r2) const;
+  std::vector<std::uint32_t> neighbors(std::uint32_t r) const;
+
+  /// Generator sets (exposed for tests).
+  const std::vector<std::uint32_t>& gen_x() const { return gen_x_; }
+  const std::vector<std::uint32_t>& gen_xp() const { return gen_xp_; }
+
+  std::string describe() const;
+
+ private:
+  std::uint32_t q_;
+  std::vector<std::uint32_t> gen_x_;   // quadratic residues (even powers)
+  std::vector<std::uint32_t> gen_xp_;  // non-residues (odd powers)
+  std::vector<bool> in_x_, in_xp_;
+};
+
+}  // namespace dv::topo

@@ -1,0 +1,15 @@
+#include "util/common.hpp"
+
+#include <sstream>
+
+namespace dv::detail {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& msg) {
+  std::ostringstream os;
+  os << "dragonviz " << kind << " failed: " << msg << " [" << expr << " at "
+     << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace dv::detail

@@ -1,0 +1,26 @@
+// Tiny CSV reader/writer used by the metrics layer for result export and by
+// tests for round-tripping.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dv {
+
+/// In-memory CSV table: a header row plus string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t col_index(const std::string& name) const;  // throws if missing
+};
+
+/// Writes with minimal quoting (fields containing , " or newline get quoted).
+void write_csv(std::ostream& os, const CsvTable& table);
+std::string to_csv_string(const CsvTable& table);
+
+/// Parses CSV with quoted-field support; first row is the header.
+CsvTable parse_csv(const std::string& text);
+
+}  // namespace dv

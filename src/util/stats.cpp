@@ -1,0 +1,75 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dv {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  DV_REQUIRE(bins > 0, "histogram needs at least one bin");
+  DV_REQUIRE(hi > lo, "histogram range must be non-empty");
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double f = (x - lo_) / (hi_ - lo_);
+  const auto b = static_cast<std::size_t>(f * static_cast<double>(counts_.size()));
+  return std::min(b, counts_.size() - 1);
+}
+
+void Histogram::add(double x, double weight) {
+  counts_[bin_of(x)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const { return bin_lo(b + 1); }
+
+double percentile(std::vector<double> values, double q) {
+  DV_REQUIRE(!values.empty(), "percentile of empty set");
+  DV_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+}  // namespace dv

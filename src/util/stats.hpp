@@ -1,0 +1,60 @@
+// Streaming statistics and histograms used by metrics collection and the
+// aggregation layer.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dv {
+
+/// Streaming accumulator: count/sum/min/max plus Welford mean & variance.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range equal-width histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t b) const;
+  double bin_hi(std::size_t b) const;
+  double count(std::size_t b) const { return counts_[b]; }
+  double total() const { return total_; }
+  /// Index of the bin x falls in (clamped to the range).
+  std::size_t bin_of(double x) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Exact percentile (sorts a copy). q in [0,1].
+double percentile(std::vector<double> values, double q);
+
+}  // namespace dv

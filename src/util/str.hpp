@@ -1,0 +1,21 @@
+// Small string helpers (formatting, splitting) shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dv {
+
+std::vector<std::string> split(const std::string& s, char sep);
+std::string trim(const std::string& s);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+bool starts_with(const std::string& s, const std::string& prefix);
+std::string to_lower(std::string s);
+
+/// "1.2 GB"-style human readable byte count.
+std::string human_bytes(double bytes);
+
+/// Fixed-precision double formatting without trailing-zero noise.
+std::string fmt_double(double v, int max_decimals = 6);
+
+}  // namespace dv

@@ -1,0 +1,50 @@
+// Shared fixtures for the VA-layer tests: a small simulated run with jobs,
+// time-series sampling, and mixed traffic.
+#pragma once
+
+#include "core/datatable.hpp"
+#include "netsim/network.hpp"
+#include "placement/placement.hpp"
+#include "workload/workload.hpp"
+
+namespace dv::testing {
+
+struct MiniRun {
+  topo::Dragonfly topo = topo::Dragonfly::canonical(2);  // 9 groups, 72 terms
+  placement::Placement placement;
+  metrics::RunMetrics run;
+};
+
+/// Two jobs (nearest-neighbour + uniform random) on a p=2 dragonfly with
+/// sampling enabled; deterministic.
+inline MiniRun make_mini_run(routing::Algo algo = routing::Algo::kAdaptive,
+                             placement::Policy p0 = placement::Policy::kContiguous,
+                             placement::Policy p1 = placement::Policy::kRandomRouter,
+                             std::uint64_t seed = 21) {
+  MiniRun out;
+  out.placement = placement::place_jobs(
+      out.topo, {{"nn_job", 12, p0}, {"ur_job", 12, p1}}, seed);
+
+  workload::Config cfg;
+  cfg.ranks = 12;
+  cfg.total_bytes = 3 << 20;
+  cfg.window = 4.0e4;
+  cfg.seed = seed;
+  cfg.msg_bytes = 4096;
+
+  netsim::Params params;
+  params.packet_size = 1024;
+  params.event_budget = 20'000'000;
+  netsim::Network net(out.topo, algo, params, seed);
+  net.set_jobs(out.placement);
+  net.set_labels("mixed", "test_placement", {"nn_job", "ur_job"});
+  net.add_messages(workload::map_to_terminals(
+      workload::generate_nearest_neighbor(cfg), out.placement, 0));
+  net.add_messages(workload::map_to_terminals(
+      workload::generate_uniform_random(cfg), out.placement, 1));
+  net.enable_sampling(500.0);
+  out.run = net.run();
+  return out;
+}
+
+}  // namespace dv::testing

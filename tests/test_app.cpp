@@ -1,0 +1,278 @@
+// Experiment-runner and CLI integration tests: the full pipeline from a
+// declarative config (or argv) through simulation to files on disk.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "app/cli.hpp"
+#include "app/runner.hpp"
+#include "core/projection.hpp"
+
+namespace dv::app {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmp(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+int cli(std::vector<std::string> args) {
+  args.insert(args.begin(), "dragonviz");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return run_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+// ----------------------------------------------------------------- runner
+
+TEST(Runner, SingleSyntheticJob) {
+  ExperimentConfig cfg;
+  cfg.dragonfly_p = 2;
+  cfg.jobs = {{"uniform_random", 0, placement::Policy::kContiguous, 0}};
+  cfg.window = 2.0e4;
+  const auto result = run_experiment(cfg);
+  EXPECT_EQ(result.topo.num_terminals(), 72u);
+  EXPECT_GT(result.events, 0u);
+  EXPECT_GT(result.run.total_injected(), 0.0);
+  EXPECT_EQ(result.run.workload, "uniform_random");
+  EXPECT_EQ(result.run.placement, "contiguous");
+  // All terminals belong to the single job.
+  for (const auto& t : result.run.terminals) EXPECT_EQ(t.job, 0);
+}
+
+TEST(Runner, AppJobUsesTableIDefaults) {
+  ExperimentConfig cfg;
+  cfg.dragonfly_p = 4;  // 1,056 terminals, enough for 1,056 >= amg? no:
+  // amg default is 1728 ranks, so give explicit ranks for the small net.
+  cfg.jobs = {{"amg", 512, placement::Policy::kRandomGroup, 4u << 20}};
+  cfg.window = 1.0e5;
+  const auto result = run_experiment(cfg);
+  EXPECT_EQ(result.placement.terminals[0].size(), 512u);
+  EXPECT_NEAR(result.run.total_injected(), 4.0 * (1 << 20), 0.2 * (1 << 20));
+}
+
+TEST(Runner, HybridLabel) {
+  ExperimentConfig cfg;
+  cfg.dragonfly_p = 2;
+  cfg.jobs = {{"uniform_random", 8, placement::Policy::kRandomRouter, 1 << 18},
+              {"nearest_neighbor", 8, placement::Policy::kRandomGroup, 1 << 18}};
+  EXPECT_EQ(cfg.placement_label(), "hybrid(random_router,random_group)");
+  cfg.window = 2.0e4;
+  const auto result = run_experiment(cfg);
+  EXPECT_EQ(result.run.placement, "hybrid(random_router,random_group)");
+  EXPECT_EQ(result.run.workload, "uniform_random+nearest_neighbor");
+  EXPECT_EQ(result.run.job_names.size(), 2u);
+}
+
+TEST(Runner, TrafficScaleScalesVolume) {
+  ExperimentConfig cfg;
+  cfg.dragonfly_p = 2;
+  cfg.jobs = {{"uniform_random", 0, placement::Policy::kContiguous, 2 << 20}};
+  cfg.window = 2.0e4;
+  const auto full = run_experiment(cfg);
+  cfg.traffic_scale = 0.5;
+  const auto half = run_experiment(cfg);
+  EXPECT_NEAR(half.run.total_injected(), full.run.total_injected() * 0.5,
+              full.run.total_injected() * 0.15);
+}
+
+TEST(Runner, Validation) {
+  ExperimentConfig cfg;
+  EXPECT_THROW(run_experiment(cfg), Error);  // no jobs
+  cfg.dragonfly_p = 2;
+  cfg.jobs = {{"bogus_workload", 8, placement::Policy::kContiguous, 1024}};
+  EXPECT_THROW(run_experiment(cfg), Error);
+  cfg.jobs = {{"uniform_random", 9999, placement::Policy::kContiguous, 1024}};
+  EXPECT_THROW(run_experiment(cfg), Error);  // does not fit
+  cfg.jobs = {{"uniform_random", 8, placement::Policy::kContiguous, 1024}};
+  cfg.traffic_scale = 0.0;
+  EXPECT_THROW(run_experiment(cfg), Error);
+}
+
+// ----------------------------------------------------------------- CLI
+
+TEST(Cli, SimRenderExportInfoPipeline) {
+  const std::string run_path = tmp("dv_cli_run.json");
+  const std::string spec_path = tmp("dv_cli_spec.json");
+  const std::string svg_path = tmp("dv_cli_view.svg");
+  const std::string csv_path = tmp("dv_cli_terms.csv");
+
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job", "uniform_random", "--window",
+                 "20000", "--sample-dt", "2000", "--out", run_path}),
+            0);
+  ASSERT_TRUE(fs::exists(run_path));
+
+  {
+    std::ofstream os(spec_path);
+    os << R"({ project: "global_link", aggregate: "router_rank",
+               vmap: { color: "sat_time", size: "traffic" } })";
+  }
+  EXPECT_EQ(cli({"render", "--run", run_path, "--spec", spec_path, "--out",
+                 svg_path}),
+            0);
+  ASSERT_TRUE(fs::exists(svg_path));
+  EXPECT_GT(fs::file_size(svg_path), 500u);
+
+  EXPECT_EQ(cli({"export", "--run", run_path, "--entity", "terminals",
+                 "--out", csv_path}),
+            0);
+  ASSERT_TRUE(fs::exists(csv_path));
+
+  EXPECT_EQ(cli({"info", "--run", run_path}), 0);
+
+  const std::string ui_path = tmp("dv_cli_ui.svg");
+  EXPECT_EQ(cli({"session", "--run", run_path, "--spec", spec_path, "--out",
+                 ui_path, "--t0", "0", "--t1", "10000"}),
+            0);
+  ASSERT_TRUE(fs::exists(ui_path));
+
+  for (const auto& p : {run_path, spec_path, svg_path, csv_path, ui_path}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(Cli, CompareProducesSharedScaleSvg) {
+  const std::string a = tmp("dv_cli_a.json"), b = tmp("dv_cli_b.json");
+  const std::string spec_path = tmp("dv_cli_cmp_spec.json");
+  const std::string out = tmp("dv_cli_cmp.svg");
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job", "uniform_random", "--routing",
+                 "minimal", "--window", "20000", "--out", a}),
+            0);
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job", "uniform_random", "--routing",
+                 "adaptive", "--window", "20000", "--out", b}),
+            0);
+  {
+    std::ofstream os(spec_path);
+    os << R"({ project: "terminal", aggregate: "workload",
+               vmap: { color: "avg_latency", size: "avg_hops" } })";
+  }
+  EXPECT_EQ(cli({"compare", "--run", a, "--run", b, "--spec", spec_path,
+                 "--out", out}),
+            0);
+  ASSERT_TRUE(fs::exists(out));
+  for (const auto& p : {a, b, spec_path, out}) std::remove(p.c_str());
+}
+
+TEST(Cli, JobSpecParsing) {
+  const std::string run_path = tmp("dv_cli_jobspec.json");
+  // workload:ranks:policy:bytes form.
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job",
+                 "nearest_neighbor:12:random_router:262144", "--window",
+                 "20000", "--out", run_path}),
+            0);
+  const auto run = metrics::RunMetrics::load(run_path);
+  EXPECT_EQ(run.placement, "random_router");
+  int placed = 0;
+  for (const auto& t : run.terminals) placed += (t.job == 0);
+  EXPECT_EQ(placed, 12);
+  std::remove(run_path.c_str());
+}
+
+TEST(Cli, TraceRecordReplayPipeline) {
+  const std::string trace_path = tmp("dv_cli_trace.dvtr");
+  const std::string run_path = tmp("dv_cli_trace_run.json");
+  EXPECT_EQ(cli({"trace-record", "--workload", "amg", "--ranks", "64",
+                 "--bytes", "2097152", "--window", "50000", "--out",
+                 trace_path}),
+            0);
+  ASSERT_TRUE(fs::exists(trace_path));
+  EXPECT_EQ(cli({"trace-replay", "--trace", trace_path, "--p", "2",
+                 "--placement", "random_router", "--routing", "adaptive",
+                 "--sample-dt", "5000", "--out", run_path}),
+            0);
+  const auto run = metrics::RunMetrics::load(run_path);
+  EXPECT_EQ(run.workload, "amg");
+  EXPECT_EQ(run.placement, "random_router");
+  EXPECT_TRUE(run.has_time_series());
+  EXPECT_GT(run.total_injected(), 1.5e6);
+  std::remove(trace_path.c_str());
+  std::remove(run_path.c_str());
+}
+
+TEST(Cli, StoreAndFocusWorkflow) {
+  const std::string run_path = tmp("dv_cli_store_run.json");
+  const std::string spec_path = tmp("dv_cli_store_spec.json");
+  const std::string svg_path = tmp("dv_cli_focus.svg");
+  const std::string store_dir = tmp("dv_cli_store_dir");
+  fs::remove_all(store_dir);
+
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job", "uniform_random", "--window",
+                 "20000", "--out", run_path}),
+            0);
+  EXPECT_EQ(cli({"store", "--dir", store_dir, "--action", "add", "--run",
+                 run_path, "--name", "probe"}),
+            0);
+  EXPECT_EQ(cli({"store", "--dir", store_dir}), 0);  // list
+  ASSERT_TRUE(fs::exists(fs::path(store_dir) / "probe.json"));
+
+  {
+    std::ofstream os(spec_path);
+    os << R"({ project: "global_link", aggregate: "group_id", maxBins: 4,
+               vmap: { color: "sat_time", size: "traffic" } })";
+  }
+  EXPECT_EQ(cli({"render", "--run", run_path, "--spec", spec_path,
+                 "--focus", "0:0", "--out", svg_path}),
+            0);
+  ASSERT_TRUE(fs::exists(svg_path));
+
+  EXPECT_EQ(cli({"store", "--dir", store_dir, "--action", "remove",
+                 "--name", "probe"}),
+            0);
+  EXPECT_THROW(cli({"store", "--dir", store_dir, "--action", "bogus"}),
+               Error);
+  fs::remove_all(store_dir);
+  for (const auto& p : {run_path, spec_path, svg_path}) std::remove(p.c_str());
+}
+
+TEST(Cli, ReportSingleAndComparison) {
+  const std::string a = tmp("dv_cli_rep_a.json"), b = tmp("dv_cli_rep_b.json");
+  const std::string spec_path = tmp("dv_cli_rep_spec.json");
+  const std::string out = tmp("dv_cli_report.html");
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job", "uniform_random", "--window",
+                 "20000", "--out", a}),
+            0);
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job", "uniform_random", "--routing",
+                 "minimal", "--window", "20000", "--out", b}),
+            0);
+  {
+    std::ofstream os(spec_path);
+    os << R"({ project: "global_link", aggregate: "router_rank",
+               vmap: { color: "sat_time", size: "traffic" } })";
+  }
+  EXPECT_EQ(cli({"report", "--run", a, "--spec", spec_path, "--out", out,
+                 "--title", "single run"}),
+            0);
+  EXPECT_GT(fs::file_size(out), 2000u);
+  EXPECT_EQ(cli({"report", "--run", a, "--run", b, "--spec", spec_path,
+                 "--out", out}),
+            0);
+  EXPECT_GT(fs::file_size(out), 2000u);
+  for (const auto& p : {a, b, spec_path, out}) std::remove(p.c_str());
+}
+
+TEST(Cli, TraceRecordValidation) {
+  EXPECT_THROW(cli({"trace-record", "--workload", "amg", "--out",
+                    tmp("z.dvtr")}),
+               Error);  // missing ranks/bytes
+  EXPECT_THROW(cli({"trace-replay", "--trace", "/nonexistent.dvtr", "--out",
+                    tmp("z.json")}),
+               Error);
+}
+
+TEST(Cli, ErrorsAreReported) {
+  EXPECT_THROW(cli({"frobnicate"}), Error);
+  EXPECT_THROW(cli({"sim", "--p", "2", "--out", tmp("x.json")}), Error);
+  EXPECT_THROW(cli({"sim", "--p"}), Error);             // missing value
+  EXPECT_THROW(cli({"sim", "p", "2"}), Error);          // not an option
+  EXPECT_THROW(cli({"render", "--run", "/nonexistent.json", "--spec",
+                    "/nonexistent.json", "--out", tmp("y.svg")}),
+               Error);
+  EXPECT_EQ(cli({"help"}), 0);
+}
+
+}  // namespace
+}  // namespace dv::app

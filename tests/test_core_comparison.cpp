@@ -1,0 +1,103 @@
+// Cross-run comparison tests: shared scales, side-by-side render, job
+// summaries (the machinery behind Figs. 8, 9, 13).
+#include <gtest/gtest.h>
+
+#include "core/comparison.hpp"
+#include "helpers.hpp"
+
+namespace dv::core {
+namespace {
+
+ProjectionSpec spec() {
+  return SpecBuilder()
+      .level(Entity::kGlobalLink)
+      .aggregate({"router_rank"})
+      .color("sat_time")
+      .size("traffic")
+      .level(Entity::kTerminal)
+      .aggregate({"router_rank"})
+      .color("avg_latency")
+      .ribbons(Entity::kGlobalLink, "group_id")
+      .build();
+}
+
+TEST(Comparison, SharedScaleIsUnionOfRuns) {
+  const auto run_min = dv::testing::make_mini_run(routing::Algo::kMinimal);
+  const auto run_adp = dv::testing::make_mini_run(routing::Algo::kAdaptive);
+  const DataSet d1(run_min.run), d2(run_adp.run);
+  const ComparisonView cmp({&d1, &d2}, spec());
+  ASSERT_EQ(cmp.run_count(), 2u);
+
+  const auto s1 = ProjectionView::compute_scales(d1, spec());
+  const auto s2 = ProjectionView::compute_scales(d2, spec());
+  const auto& shared = cmp.shared_scales();
+  EXPECT_DOUBLE_EQ(shared.at("L0/size").hi(),
+                   std::max(s1.at("L0/size").hi(), s2.at("L0/size").hi()));
+  EXPECT_DOUBLE_EQ(shared.at("L0/size").lo(),
+                   std::min(s1.at("L0/size").lo(), s2.at("L0/size").lo()));
+}
+
+TEST(Comparison, SameValueSameEncodingAcrossRuns) {
+  // The point of shared scales: identical raw values must normalize
+  // identically in both panels.
+  const auto run_min = dv::testing::make_mini_run(routing::Algo::kMinimal);
+  const auto run_adp = dv::testing::make_mini_run(routing::Algo::kAdaptive);
+  const DataSet d1(run_min.run), d2(run_adp.run);
+  const ComparisonView cmp({&d1, &d2}, spec());
+  const auto& shared = cmp.shared_scales();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (const auto& it : cmp.view(r).rings()[0].items) {
+      EXPECT_DOUBLE_EQ(it.size_t_, shared.at("L0/size").norm(it.size_value));
+    }
+  }
+}
+
+TEST(Comparison, LabelsDefaultFromRunMetadata) {
+  const auto run = dv::testing::make_mini_run();
+  const DataSet d(run.run);
+  const ComparisonView cmp({&d}, spec());
+  EXPECT_NE(cmp.label(0).find("mixed"), std::string::npos);
+  EXPECT_NE(cmp.label(0).find("adaptive"), std::string::npos);
+}
+
+TEST(Comparison, SideBySideSvg) {
+  const auto run_min = dv::testing::make_mini_run(routing::Algo::kMinimal);
+  const auto run_adp = dv::testing::make_mini_run(routing::Algo::kAdaptive);
+  const DataSet d1(run_min.run), d2(run_adp.run);
+  const ComparisonView cmp({&d1, &d2}, spec(), {"Minimal", "Adaptive"});
+  const auto svg = cmp.to_svg(300);
+  EXPECT_NE(svg.find("Minimal"), std::string::npos);
+  EXPECT_NE(svg.find("Adaptive"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"600\""), std::string::npos);
+}
+
+TEST(Comparison, JobSummaries) {
+  const auto run = dv::testing::make_mini_run();
+  const DataSet d(run.run);
+  const auto summaries = summarize_jobs(d);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].name, "nn_job");
+  EXPECT_EQ(summaries[1].name, "ur_job");
+  for (const auto& s : summaries) {
+    EXPECT_EQ(s.terminals, 12u);
+    EXPECT_GT(s.data_size, 0.0);
+    EXPECT_GT(s.avg_latency, 0.0);
+    EXPECT_GT(s.avg_hops, 0.0);
+  }
+  // Weighted-average identity: job latency equals total latency / packets.
+  double lat = 0, pkts = 0;
+  for (const auto& t : run.run.terminals) {
+    if (t.job == 0) {
+      lat += t.sum_latency;
+      pkts += static_cast<double>(t.packets_finished);
+    }
+  }
+  EXPECT_NEAR(summaries[0].avg_latency, lat / pkts, 1e-9);
+}
+
+TEST(Comparison, EmptyRunListThrows) {
+  EXPECT_THROW(ComparisonView({}, spec()), Error);
+}
+
+}  // namespace
+}  // namespace dv::core

@@ -1,0 +1,182 @@
+// Projection-spec tests: verbatim Fig. 5 scripts, builder API, plot-type
+// rule, round trips.
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include "core/spec.hpp"
+
+namespace dv::core {
+namespace {
+
+// Verbatim scripts from the paper (Fig. 5a and 5b).
+const char* kFig5aScript = R"(
+{ aggregate : "group_id",
+  maxBins : 8,
+  project : "global_link",
+  vmap : { color : "sat_time", size : "traffic" },
+  colors : ["white", "purple"]},
+{ project : "router",
+  aggregate : "router_rank",
+  vmap : { color : "local_sat_time", },
+  colors : ["white", "steelblue"],},
+{ project : "terminal",
+  aggregate : ["router_port", "workload"],
+  vmap: { color :"workload", size : "avg_hops", },
+  colors: ["green", "orange", "brown"],}
+)";
+
+const char* kFig5bScript = R"(
+{ filter: { group_id : [0, 8] },
+  aggregate : "group_id",
+  project : "router",
+  vmap : { size : "global_traffic"},
+  colors : ["white", "purple"]},
+{ project : "local_link",
+  aggregate : ["router_rank", "router_port"],
+  vmap : { color : "traffic", x : "router_rank", y : "router_port" },
+  colors : ["white", "steelblue"],},
+{ project : "terminal",
+  aggregate : ["router_rank", "router_port"],
+  vmap: { color :"workload", size : "data_size",
+          x : "router_rank", y : "router_port" },
+  colors: ["green", "orange", "brown"],
+  border: false}
+)";
+
+TEST(Spec, ParsesFig5a) {
+  const auto spec = ProjectionSpec::parse(kFig5aScript);
+  ASSERT_EQ(spec.levels.size(), 3u);
+  EXPECT_EQ(spec.levels[0].entity, Entity::kGlobalLink);
+  EXPECT_EQ(spec.levels[0].max_bins, 8u);
+  EXPECT_EQ(spec.levels[0].vmap.color, "sat_time");
+  EXPECT_EQ(spec.levels[0].vmap.size, "traffic");
+  EXPECT_EQ(spec.levels[0].colors,
+            (std::vector<std::string>{"white", "purple"}));
+  EXPECT_EQ(spec.levels[1].aggregate, (std::vector<std::string>{"router_rank"}));
+  EXPECT_EQ(spec.levels[2].aggregate,
+            (std::vector<std::string>{"router_port", "workload"}));
+}
+
+TEST(Spec, ParsesFig5bWithFilterAndBorder) {
+  const auto spec = ProjectionSpec::parse(kFig5bScript);
+  ASSERT_EQ(spec.levels.size(), 3u);
+  ASSERT_EQ(spec.levels[0].filters.size(), 1u);
+  EXPECT_EQ(spec.levels[0].filters[0].attr, "group_id");
+  EXPECT_DOUBLE_EQ(spec.levels[0].filters[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(spec.levels[0].filters[0].hi, 8.0);
+  EXPECT_TRUE(spec.levels[0].border);
+  EXPECT_FALSE(spec.levels[2].border);
+  EXPECT_EQ(spec.levels[1].vmap.x, "router_rank");
+  EXPECT_EQ(spec.levels[1].vmap.y, "router_port");
+}
+
+TEST(Spec, PlotTypeFollowsChannelCount) {
+  // Paper: plot type is chosen from the number of visual encodings.
+  LevelSpec lvl;
+  lvl.vmap.color = "sat_time";
+  EXPECT_EQ(lvl.plot_type(), PlotType::kHeatmap1D);
+  lvl.vmap.size = "traffic";
+  EXPECT_EQ(lvl.plot_type(), PlotType::kBarChart);
+  lvl.vmap.x = "router_rank";
+  EXPECT_EQ(lvl.plot_type(), PlotType::kHeatmap2D);
+  lvl.vmap.y = "router_port";
+  EXPECT_EQ(lvl.plot_type(), PlotType::kScatter);
+}
+
+TEST(Spec, Fig5PlotTypesComeOutRight) {
+  const auto a = ProjectionSpec::parse(kFig5aScript);
+  EXPECT_EQ(a.levels[0].plot_type(), PlotType::kBarChart);   // color+size
+  EXPECT_EQ(a.levels[1].plot_type(), PlotType::kHeatmap1D);  // color
+  EXPECT_EQ(a.levels[2].plot_type(), PlotType::kBarChart);   // color+size
+  const auto b = ProjectionSpec::parse(kFig5bScript);
+  EXPECT_EQ(b.levels[1].plot_type(), PlotType::kHeatmap2D);  // color+x+y
+  EXPECT_EQ(b.levels[2].plot_type(), PlotType::kScatter);    // 4 channels
+}
+
+TEST(Spec, ScriptRoundTrip) {
+  const auto spec = ProjectionSpec::parse(kFig5bScript);
+  const auto again = ProjectionSpec::parse(spec.to_script());
+  ASSERT_EQ(again.levels.size(), spec.levels.size());
+  for (std::size_t i = 0; i < spec.levels.size(); ++i) {
+    EXPECT_EQ(again.levels[i].entity, spec.levels[i].entity);
+    EXPECT_EQ(again.levels[i].aggregate, spec.levels[i].aggregate);
+    EXPECT_EQ(again.levels[i].max_bins, spec.levels[i].max_bins);
+    EXPECT_EQ(again.levels[i].vmap.color, spec.levels[i].vmap.color);
+    EXPECT_EQ(again.levels[i].vmap.x, spec.levels[i].vmap.x);
+    EXPECT_EQ(again.levels[i].border, spec.levels[i].border);
+    EXPECT_EQ(again.levels[i].colors, spec.levels[i].colors);
+  }
+}
+
+TEST(Spec, RibbonEntryParses) {
+  const auto spec = ProjectionSpec::parse(R"(
+    { project: "router", aggregate: "router_rank",
+      vmap: { color: "local_sat_time" } },
+    { ribbons: { project: "global_link", key: "job",
+                 vmap: { size: "traffic", color: "sat_time" },
+                 colors: ["white", "purple"] } }
+  )");
+  EXPECT_TRUE(spec.ribbons.enabled);
+  EXPECT_EQ(spec.ribbons.entity, Entity::kGlobalLink);
+  EXPECT_EQ(spec.ribbons.key, "job");
+  EXPECT_EQ(spec.ribbons.colors,
+            (std::vector<std::string>{"white", "purple"}));
+}
+
+TEST(Spec, BuilderMirrorsScripts) {
+  const auto spec = SpecBuilder()
+                        .level(Entity::kGlobalLink)
+                        .aggregate({"group_id"})
+                        .max_bins(8)
+                        .color("sat_time")
+                        .size("traffic")
+                        .colors({"white", "purple"})
+                        .level(Entity::kTerminal)
+                        .aggregate({"router_port", "workload"})
+                        .color("workload")
+                        .no_border()
+                        .ribbons(Entity::kLocalLink, "router_rank")
+                        .build();
+  ASSERT_EQ(spec.levels.size(), 2u);
+  EXPECT_EQ(spec.levels[0].max_bins, 8u);
+  EXPECT_FALSE(spec.levels[1].border);
+  EXPECT_EQ(spec.ribbons.key, "router_rank");
+  // Builder output survives a script round trip.
+  const auto again = ProjectionSpec::parse(spec.to_script());
+  EXPECT_EQ(again.levels.size(), 2u);
+  EXPECT_EQ(again.ribbons.key, "router_rank");
+}
+
+TEST(Spec, PresetsBuildAndRoundTrip) {
+  for (const auto& name : preset_names()) {
+    const auto spec = preset(name);
+    EXPECT_FALSE(spec.levels.empty()) << name;
+    // Every preset survives a script round trip.
+    const auto again = ProjectionSpec::parse(spec.to_script());
+    EXPECT_EQ(again.levels.size(), spec.levels.size()) << name;
+    EXPECT_EQ(again.ribbons.key, spec.ribbons.key) << name;
+  }
+  EXPECT_EQ(preset("fig5a").levels[0].max_bins, 8u);
+  EXPECT_EQ(preset("fig13").ribbons.key, "job");
+  EXPECT_THROW(preset("nope"), Error);
+  EXPECT_TRUE(is_preset_ref("preset:fig4"));
+  EXPECT_FALSE(is_preset_ref("spec.json"));
+  EXPECT_EQ(preset_from_ref("preset:fig4").levels.size(),
+            preset("fig4").levels.size());
+}
+
+TEST(Spec, Errors) {
+  EXPECT_THROW(ProjectionSpec::parse(""), Error);
+  EXPECT_THROW(ProjectionSpec::parse("{ aggregate: \"x\" }"), Error);  // no project
+  EXPECT_THROW(ProjectionSpec::parse("{ project: \"bogus\" }"), Error);
+  EXPECT_THROW(ProjectionSpec::parse(
+                   R"({ project: "router", filter: { a: [1] } })"),
+               Error);  // bad range
+  EXPECT_THROW(SpecBuilder().build(), Error);              // no levels
+  EXPECT_THROW(SpecBuilder().aggregate({"x"}), Error);     // config before level
+  SpecBuilder b;
+  EXPECT_THROW(b.ribbons(Entity::kRouter, "router_rank"), Error);
+}
+
+}  // namespace
+}  // namespace dv::core

@@ -1,0 +1,144 @@
+// Fat-tree simulator tests (the paper's future-work topology): flow
+// conservation, hop classes, ECMP spreading, incast congestion, and the
+// RunMetrics mapping that lets the VA layer consume fat-tree runs.
+#include <gtest/gtest.h>
+
+#include "core/projection.hpp"
+#include "netsim/fattree_network.hpp"
+
+namespace dv::netsim {
+namespace {
+
+topo::FatTree ft4() { return topo::FatTree(4); }  // 16 hosts, 20 switches
+
+FatTreeParams fast_params() {
+  FatTreeParams p;
+  p.packet_size = 512;
+  p.event_budget = 30'000'000;
+  return p;
+}
+
+TEST(FatTreeNet, FlowConservationUnderRandomTraffic) {
+  const auto topo = ft4();
+  FatTreeNetwork net(topo, fast_params(), 3);
+  Rng rng(5);
+  std::uint64_t injected = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(topo.num_hosts()));
+    auto dst = src;
+    while (dst == src) {
+      dst = static_cast<std::uint32_t>(rng.next_below(topo.num_hosts()));
+    }
+    const std::uint64_t bytes = 100 + rng.next_below(4000);
+    injected += bytes;
+    net.add_message({src, dst, bytes, rng.next_double() * 20000.0, 0});
+  }
+  const auto m = net.run();
+  EXPECT_DOUBLE_EQ(m.total_injected(), static_cast<double>(injected));
+  EXPECT_GT(net.packets_delivered(), 0u);
+}
+
+TEST(FatTreeNet, HopClassesMatchTopology) {
+  const auto topo = ft4();
+  struct Case {
+    std::uint32_t src, dst;
+    double hops;
+  };
+  // Same edge (hosts 0,1): 1 switch; same pod (0, 2): 3; cross pod: 5.
+  const Case cases[] = {{0, 1, 1.0}, {0, 2, 3.0}, {0, 15, 5.0}};
+  for (const auto& c : cases) {
+    FatTreeNetwork net(topo, fast_params(), 1);
+    net.add_message({c.src, c.dst, 512, 0.0, 0});
+    const auto m = net.run();
+    EXPECT_DOUBLE_EQ(m.terminals[c.dst].avg_hops(), c.hops)
+        << c.src << "->" << c.dst;
+    EXPECT_DOUBLE_EQ(m.terminals[c.dst].avg_hops(),
+                     topo.minimal_switch_hops(c.src, c.dst));
+  }
+}
+
+TEST(FatTreeNet, EcmpSpreadsCrossPodFlows) {
+  const auto topo = ft4();
+  FatTreeNetwork net(topo, fast_params(), 7);
+  // Many distinct flows from pod 0 to pod 3.
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (std::uint32_t d = 12; d < 16; ++d) {
+      net.add_message({s, d, 8192, 0.0, 0});
+    }
+  }
+  const auto m = net.run();
+  int used_global = 0;
+  for (const auto& l : m.global_links) used_global += l.traffic > 0;
+  EXPECT_GT(used_global, 4) << "ECMP should use multiple agg-core links";
+}
+
+TEST(FatTreeNet, IncastSaturatesTheVictimEdgeLink) {
+  const auto topo = ft4();
+  FatTreeParams p = fast_params();
+  p.queue_packets = 2;
+  FatTreeNetwork net(topo, p, 1);
+  // Everyone floods host 0.
+  for (std::uint32_t s = 4; s < 16; ++s) {
+    net.add_message({s, 0, 64 * 1024, 0.0, 0});
+  }
+  const auto m = net.run();
+  EXPECT_GT(m.terminals[0].sat_time, 0.0)
+      << "victim's edge down-link must saturate";
+}
+
+TEST(FatTreeNet, RunMetricsMappingFeedsTheVaLayer) {
+  const auto topo = ft4();
+  FatTreeNetwork net(topo, fast_params(), 9);
+  net.set_labels("uniform_random", "contiguous", {"job0"});
+  std::vector<std::int32_t> jobs(topo.num_hosts(), 0);
+  net.set_jobs(jobs);
+  Rng rng(11);
+  for (int i = 0; i < 150; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(topo.num_hosts()));
+    auto dst = src;
+    while (dst == src) {
+      dst = static_cast<std::uint32_t>(rng.next_below(topo.num_hosts()));
+    }
+    net.add_message({src, dst, 2048, rng.next_double() * 10000.0, 0});
+  }
+  const auto m = net.run();
+  // k=4: 4 pods + 1 pseudo-pod of cores; k routers per group.
+  EXPECT_EQ(m.groups, 5u);
+  EXPECT_EQ(m.routers_per_group, 4u);
+  EXPECT_EQ(m.terminals.size(),
+            m.groups * m.routers_per_group * m.terminals_per_router);
+  EXPECT_EQ(m.local_links.size(), 4u * 2u * 2u * 2u);   // pods*edges*aggs*2
+  EXPECT_EQ(m.global_links.size(), 8u * 2u * 2u);       // aggs*uplinks*2
+
+  // The whole VA pipeline consumes the mapped run unchanged.
+  const core::DataSet data(m);
+  const auto spec = core::SpecBuilder()
+                        .level(core::Entity::kGlobalLink)
+                        .aggregate({"group_id"})
+                        .color("sat_time")
+                        .size("traffic")
+                        .level(core::Entity::kTerminal)
+                        .aggregate({"router_rank"})
+                        .color("sat_time")
+                        .ribbons(core::Entity::kLocalLink, "router_rank")
+                        .build();
+  const core::ProjectionView view(data, spec);
+  EXPECT_EQ(view.rings().size(), 2u);
+  EXPECT_FALSE(view.rings()[0].items.empty());
+  const auto svg = view.to_svg(400, "fat tree via the dragonviz VA layer");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+TEST(FatTreeNet, Validation) {
+  const auto topo = ft4();
+  FatTreeNetwork net(topo, fast_params(), 1);
+  EXPECT_THROW(net.add_message({0, 0, 10, 0.0, 0}), Error);
+  EXPECT_THROW(net.add_message({0, 999, 10, 0.0, 0}), Error);
+  EXPECT_THROW(net.add_message({0, 1, 0, 0.0, 0}), Error);
+  FatTreeParams bad;
+  bad.packet_size = 0;
+  EXPECT_THROW(FatTreeNetwork(topo, bad, 1), Error);
+}
+
+}  // namespace
+}  // namespace dv::netsim

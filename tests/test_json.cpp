@@ -1,0 +1,122 @@
+// Unit tests for the JSON module, including the relaxed script dialect the
+// paper's Fig. 5 projection scripts use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "json/json.hpp"
+
+namespace dv::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("-4e2").as_number(), -400.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNested) {
+  const Value v = parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[2].at("b").as_string(), "c");
+  EXPECT_TRUE(v.at("d").at("e").is_null());
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  std::vector<std::string> keys;
+  for (const auto& [k, val] : v.as_object()) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(Json, RelaxedDialect) {
+  const Value v = parse("{ filter: { group_id : [0, 8] }, project : 'router', }");
+  EXPECT_EQ(v.at("project").as_string(), "router");
+  EXPECT_DOUBLE_EQ(v.at("filter").at("group_id").as_array()[1].as_number(), 8.0);
+}
+
+TEST(Json, Comments) {
+  const Value v = parse("// leading\n{ a: 1 /* inline */, b: 2 }");
+  EXPECT_DOUBLE_EQ(v.at("b").as_number(), 2.0);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"c\"\\")").as_string(), "a\nb\t\"c\"\\");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+}
+
+TEST(Json, RoundTripDump) {
+  const std::string src =
+      R"({"name":"x","vals":[1,2.5,true,null],"nested":{"k":"v"}})";
+  const Value v = parse(src);
+  EXPECT_EQ(parse(dump(v)), v);
+  EXPECT_EQ(parse(dump(v, 2)), v);  // pretty-print round trip
+}
+
+TEST(Json, Errors) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1,"), Error);
+  EXPECT_THROW(parse("{a 1}"), Error);
+  EXPECT_THROW(parse("\"unterminated"), Error);
+  EXPECT_THROW(parse("truex"), Error);
+  EXPECT_THROW(parse("{} extra"), Error);
+}
+
+TEST(Json, ErrorHasLineInfo) {
+  try {
+    parse("{\n  a: 1,\n  b: }\n");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Json, ScriptCommaSeparatedObjects) {
+  // The verbatim shape of the paper's Fig. 5 scripts.
+  const Value v = parse_script(R"(
+    { aggregate : "group_id", maxBins : 8,
+      project : "global_link",
+      vmap : { color : "sat_time", size : "traffic" },
+      colors : ["white", "purple"]},
+    { project : "router",
+      aggregate : "router_rank",
+      vmap : { color : "total_sat_time", },
+      colors : ["white", "steelblue"],},
+    { project : "terminal",
+      aggregate : ["router_port", "workload"],
+      vmap: { color :"workload", size : "avg_hops", },
+      colors: ["green", "orange", "brown"],}
+  )");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.as_array().size(), 3u);
+  EXPECT_EQ(v.as_array()[0].at("project").as_string(), "global_link");
+  EXPECT_EQ(v.as_array()[2].at("aggregate").as_array()[1].as_string(),
+            "workload");
+}
+
+TEST(Json, ScriptSingleObject) {
+  const Value v = parse_script("{a: 1}");
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.as_array().size(), 1u);
+}
+
+TEST(Json, AccessorsThrowOnWrongType) {
+  const Value v = parse("{\"a\": 1}");
+  EXPECT_THROW(v.as_array(), Error);
+  EXPECT_THROW(v.at("missing"), Error);
+  EXPECT_THROW(v.at("a").as_string(), Error);
+  EXPECT_DOUBLE_EQ(v.get_number("a", -1), 1.0);
+  EXPECT_DOUBLE_EQ(v.get_number("b", -1), -1.0);
+  EXPECT_EQ(v.get_string("a", "dflt"), "dflt");  // wrong type -> default
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(dump(Value(std::nan(""))), "null");
+}
+
+}  // namespace
+}  // namespace dv::json

@@ -1,0 +1,172 @@
+// RunMetrics schema tests: derivation, serialization, time series, CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "metrics/run_metrics.hpp"
+#include "metrics/run_store.hpp"
+#include "netsim/network.hpp"
+
+namespace dv::metrics {
+namespace {
+
+/// A small simulated run shared by the tests.
+RunMetrics sample_run(bool sampled) {
+  const auto topo = topo::Dragonfly::canonical(2);
+  netsim::Params p;
+  p.packet_size = 512;
+  netsim::Network net(topo, routing::Algo::kAdaptive, p, 17);
+  net.set_labels("uniform_random", "contiguous", {"job0"});
+  Rng rng(2);
+  for (int i = 0; i < 120; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    auto dst = src;
+    while (dst == src) {
+      dst = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    }
+    net.add_message({src, dst, 3000, rng.next_double() * 5000.0, 0});
+  }
+  if (sampled) net.enable_sampling(400.0);
+  return net.run();
+}
+
+TEST(Metrics, DeriveRoutersSumsLinks) {
+  const auto m = sample_run(false);
+  const auto routers = m.derive_routers();
+  ASSERT_EQ(routers.size(), m.groups * m.routers_per_group);
+  double rl = 0, rg = 0;
+  for (const auto& r : routers) {
+    rl += r.local_traffic;
+    rg += r.global_traffic;
+  }
+  EXPECT_DOUBLE_EQ(rl, m.total_local_traffic());
+  EXPECT_DOUBLE_EQ(rg, m.total_global_traffic());
+  EXPECT_EQ(routers[5].group, 5 / m.routers_per_group);
+  EXPECT_EQ(routers[5].rank, 5 % m.routers_per_group);
+}
+
+TEST(Metrics, JsonRoundTripUnsampled) {
+  const auto m = sample_run(false);
+  const auto back = RunMetrics::from_json(m.to_json());
+  EXPECT_EQ(back.groups, m.groups);
+  EXPECT_EQ(back.workload, m.workload);
+  EXPECT_EQ(back.terminals.size(), m.terminals.size());
+  EXPECT_DOUBLE_EQ(back.total_local_traffic(), m.total_local_traffic());
+  EXPECT_DOUBLE_EQ(back.end_time, m.end_time);
+  EXPECT_EQ(back.total_packets_finished(), m.total_packets_finished());
+  for (std::size_t i = 0; i < m.terminals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.terminals[i].avg_latency(),
+                     m.terminals[i].avg_latency());
+  }
+}
+
+TEST(Metrics, FileRoundTripSampled) {
+  const auto m = sample_run(true);
+  ASSERT_TRUE(m.has_time_series());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dv_metrics_test.json")
+          .string();
+  m.save(path);
+  const auto back = RunMetrics::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.has_time_series());
+  EXPECT_EQ(back.local_traffic_ts.frames(), m.local_traffic_ts.frames());
+  // Spot-check a frame.
+  const std::size_t f = m.local_traffic_ts.frames() / 2;
+  for (std::size_t e = 0; e < m.local_traffic_ts.entities(); e += 7) {
+    EXPECT_FLOAT_EQ(back.local_traffic_ts.at(f, e),
+                    m.local_traffic_ts.at(f, e));
+  }
+}
+
+TEST(Metrics, SampledSeriesRangeOps) {
+  SampledSeries s(3, 10.0);
+  s.push_frame({1.0f, 2.0f, 3.0f});
+  s.push_frame({4.0f, 5.0f, 6.0f});
+  s.push_frame({7.0f, 8.0f, 9.0f});
+  EXPECT_EQ(s.frames(), 3u);
+  EXPECT_DOUBLE_EQ(s.frame_total(1), 15.0);
+  EXPECT_DOUBLE_EQ(s.range_sum(0, 0, 3), 12.0);
+  EXPECT_DOUBLE_EQ(s.range_sum(2, 1, 2), 6.0);
+  EXPECT_EQ(s.frame_of(-5.0), 0u);
+  EXPECT_EQ(s.frame_of(15.0), 1u);
+  EXPECT_EQ(s.frame_of(1e9), 2u);
+  EXPECT_THROW(s.push_frame({1.0f}), Error);
+  EXPECT_THROW(s.range_sum(0, 2, 1), Error);
+}
+
+TEST(Metrics, CsvExportShapes) {
+  const auto m = sample_run(false);
+  const auto links = m.to_csv("local_links");
+  EXPECT_EQ(links.rows.size(), m.local_links.size());
+  EXPECT_EQ(links.header.size(), 6u);
+  const auto terms = m.to_csv("terminals");
+  EXPECT_EQ(terms.rows.size(), m.terminals.size());
+  const auto routers = m.to_csv("routers");
+  EXPECT_EQ(routers.rows.size(), m.groups * m.routers_per_group);
+  EXPECT_THROW(m.to_csv("bogus"), Error);
+}
+
+TEST(RunStore, AddListLoadRemove) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "dv_run_store_test").string();
+  std::filesystem::remove_all(dir);
+  {
+    RunStore store(dir);
+    EXPECT_EQ(store.size(), 0u);
+    const auto run = sample_run(false);
+    const auto name = store.add(run);
+    EXPECT_EQ(name, "uniform_random_adaptive_contiguous");
+    EXPECT_TRUE(store.contains(name));
+    // Duplicate names get suffixed.
+    const auto name2 = store.add(run);
+    EXPECT_EQ(name2, "uniform_random_adaptive_contiguous_2");
+    const auto loaded = store.load(name);
+    EXPECT_EQ(loaded.workload, run.workload);
+    EXPECT_DOUBLE_EQ(loaded.end_time, run.end_time);
+  }
+  {
+    // The index persists across store instances.
+    RunStore reopened(dir);
+    EXPECT_EQ(reopened.size(), 2u);
+    EXPECT_EQ(reopened.find("uniform_random").size(), 2u);
+    EXPECT_EQ(reopened.find("uniform_random", "minimal").size(), 0u);
+    reopened.remove("uniform_random_adaptive_contiguous_2");
+    EXPECT_EQ(reopened.size(), 1u);
+    EXPECT_THROW(reopened.load("gone"), Error);
+    EXPECT_THROW(reopened.remove("gone"), Error);
+  }
+  RunStore final_check(dir);
+  EXPECT_EQ(final_check.size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RunStore, CustomNameAndMetadata) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "dv_run_store_test2").string();
+  std::filesystem::remove_all(dir);
+  RunStore store(dir);
+  const auto run = sample_run(true);
+  store.add(run, "my_run");
+  ASSERT_EQ(store.list().size(), 1u);
+  const auto& info = store.list()[0];
+  EXPECT_EQ(info.name, "my_run");
+  EXPECT_EQ(info.terminals, 72u);
+  EXPECT_TRUE(info.sampled);
+  EXPECT_GT(info.end_time, 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Metrics, TerminalAverages) {
+  TerminalMetrics t;
+  EXPECT_DOUBLE_EQ(t.avg_latency(), 0.0);  // no division by zero
+  t.packets_finished = 4;
+  t.sum_latency = 100.0;
+  t.sum_hops = 10.0;
+  EXPECT_DOUBLE_EQ(t.avg_latency(), 25.0);
+  EXPECT_DOUBLE_EQ(t.avg_hops(), 2.5);
+}
+
+}  // namespace
+}  // namespace dv::metrics

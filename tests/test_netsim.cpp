@@ -1,0 +1,356 @@
+// Network-simulator tests: flow conservation, credit accounting,
+// saturation bookkeeping, determinism, backpressure, sampling.
+#include <gtest/gtest.h>
+
+#include "netsim/network.hpp"
+
+namespace dv::netsim {
+namespace {
+
+topo::Dragonfly small() { return topo::Dragonfly::canonical(2); }  // 36 terms
+
+Params fast_params() {
+  Params p;
+  p.packet_size = 512;
+  p.event_budget = 50'000'000;
+  return p;
+}
+
+class NetAllAlgos : public ::testing::TestWithParam<routing::Algo> {};
+
+TEST_P(NetAllAlgos, FlowConservation) {
+  const auto topo = small();
+  Network net(topo, GetParam(), fast_params(), 1);
+  Rng rng(1);
+  std::uint64_t injected = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    auto dst = src;
+    while (dst == src) {
+      dst = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    }
+    const std::uint64_t bytes = 100 + rng.next_below(5000);
+    injected += bytes;
+    net.add_message({src, dst, bytes, rng.next_double() * 10000.0, 0});
+  }
+  const auto m = net.run();
+  // Every injected byte is delivered (checked internally too) and the
+  // terminal data_size column accounts for all of it.
+  EXPECT_DOUBLE_EQ(m.total_injected(), static_cast<double>(injected));
+  EXPECT_EQ(net.packets_injected(), net.packets_delivered());
+  EXPECT_GT(m.end_time, 0.0);
+}
+
+TEST_P(NetAllAlgos, HopAndLatencyAccounting) {
+  const auto topo = small();
+  Network net(topo, GetParam(), fast_params(), 2);
+  // One packet between far terminals.
+  const std::uint32_t src = 0, dst = topo.num_terminals() - 1;
+  net.add_message({src, dst, 512, 0.0, 0});
+  const auto m = net.run();
+  const auto& t = m.terminals[dst];
+  EXPECT_EQ(t.packets_finished, 1u);
+  EXPECT_GT(t.avg_latency(), 0.0);
+  EXPECT_GE(t.avg_hops(), 2.0);   // at least exit + entry routers
+  EXPECT_LE(t.avg_hops(), 8.0);
+  EXPECT_DOUBLE_EQ(m.terminals[src].data_size, 512.0);
+}
+
+TEST_P(NetAllAlgos, DeterministicAcrossRuns) {
+  auto build = [] {
+    const auto topo = small();
+    auto net = std::make_unique<Network>(topo, routing::Algo::kAdaptive,
+                                         fast_params(), 99);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+      const auto src =
+          static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+      auto dst = src;
+      while (dst == src) {
+        dst = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+      }
+      net->add_message({src, dst, 2048, rng.next_double() * 1000.0, 0});
+    }
+    return net;
+  };
+  const auto m1 = build()->run();
+  const auto m2 = build()->run();
+  EXPECT_DOUBLE_EQ(m1.end_time, m2.end_time);
+  ASSERT_EQ(m1.local_links.size(), m2.local_links.size());
+  for (std::size_t i = 0; i < m1.local_links.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m1.local_links[i].traffic, m2.local_links[i].traffic);
+    EXPECT_DOUBLE_EQ(m1.local_links[i].sat_time, m2.local_links[i].sat_time);
+  }
+  for (std::size_t i = 0; i < m1.terminals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m1.terminals[i].sum_latency, m2.terminals[i].sum_latency);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, NetAllAlgos,
+                         ::testing::Values(routing::Algo::kMinimal,
+                                           routing::Algo::kNonMinimal,
+                                           routing::Algo::kAdaptive,
+                                           routing::Algo::kProgressiveAdaptive));
+
+TEST(Netsim, SingleHopLatencyMatchesAnalyticModel) {
+  const auto topo = small();
+  Params p = fast_params();
+  Network net(topo, routing::Algo::kMinimal, p, 1);
+  // Terminals 0 and 1 share router 0: path is inject -> router -> eject.
+  net.add_message({0, 1, 512, 0.0, 0});
+  const auto m = net.run();
+  const double ser_t = 512.0 / p.terminal_bandwidth;
+  const double expected = ser_t + p.terminal_latency + p.router_delay +
+                          ser_t + p.terminal_latency;
+  EXPECT_NEAR(m.terminals[1].avg_latency(), expected, 1e-6);
+  EXPECT_DOUBLE_EQ(m.terminals[1].avg_hops(), 1.0);
+}
+
+TEST(Netsim, LinkTrafficMatchesPath) {
+  const auto topo = small();
+  Network net(topo, routing::Algo::kMinimal, fast_params(), 1);
+  // Two terminals on different routers in the same group: one local link.
+  const std::uint32_t src = 0;
+  const std::uint32_t dst = topo.terminals_per_router();  // router 1, slot 0
+  net.add_message({src, dst, 2000, 0.0, 0});
+  const auto m = net.run();
+  double local_bytes = 0;
+  for (const auto& l : m.local_links) local_bytes += l.traffic;
+  double global_bytes = 0;
+  for (const auto& l : m.global_links) global_bytes += l.traffic;
+  EXPECT_DOUBLE_EQ(local_bytes, 2000.0);
+  EXPECT_DOUBLE_EQ(global_bytes, 0.0);
+}
+
+TEST(Netsim, CrossGroupUsesExactlyOneGlobalLink) {
+  const auto topo = small();
+  Network net(topo, routing::Algo::kMinimal, fast_params(), 1);
+  const std::uint32_t per_group =
+      topo.routers_per_group() * topo.terminals_per_router();
+  net.add_message({0, per_group, 4096, 0.0, 0});  // group 0 -> group 1
+  const auto m = net.run();
+  double global_bytes = 0;
+  int used_links = 0;
+  for (const auto& l : m.global_links) {
+    if (l.traffic > 0) {
+      ++used_links;
+      global_bytes += l.traffic;
+    }
+  }
+  EXPECT_EQ(used_links, 1);
+  EXPECT_DOUBLE_EQ(global_bytes, 4096.0);
+}
+
+TEST(Netsim, HotspotCausesEjectionSaturation) {
+  const auto topo = small();
+  Params p = fast_params();
+  p.vc_buffer_packets = 2;
+  Network net(topo, routing::Algo::kMinimal, p, 1);
+  // Many senders to one victim terminal -> its ejection link saturates.
+  const std::uint32_t victim = 1;
+  for (std::uint32_t s = 2; s < 20; ++s) {
+    net.add_message({s, victim, 64 * 1024, 0.0, 0});
+  }
+  const auto m = net.run();
+  EXPECT_GT(m.terminals[victim].sat_time, 0.0)
+      << "receiver terminal link should saturate";
+}
+
+TEST(Netsim, BackpressurePropagatesToLocalLinks) {
+  const auto topo = small();
+  Params p = fast_params();
+  p.vc_buffer_packets = 2;
+  Network net(topo, routing::Algo::kMinimal, p, 1);
+  // Saturate one global link: all of group 0 sends to group 1 through the
+  // single group 0 -> group 1 cable; feeder local links must saturate too.
+  const std::uint32_t per_group =
+      topo.routers_per_group() * topo.terminals_per_router();
+  for (std::uint32_t s = 0; s < per_group; ++s) {
+    net.add_message({s, per_group + s % per_group, 32 * 1024, 0.0, 0});
+  }
+  const auto m = net.run();
+  double gsat = 0;
+  for (const auto& l : m.global_links) gsat += l.sat_time;
+  double lsat = 0;
+  for (const auto& l : m.local_links) lsat += l.sat_time;
+  EXPECT_GT(gsat, 0.0);
+  EXPECT_GT(lsat, 0.0) << "back pressure should reach the local links";
+}
+
+TEST(Netsim, SamplingDeltasSumToTotals) {
+  const auto topo = small();
+  Network net(topo, routing::Algo::kAdaptive, fast_params(), 4);
+  Rng rng(9);
+  for (int i = 0; i < 150; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    auto dst = src;
+    while (dst == src) {
+      dst = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    }
+    net.add_message({src, dst, 4096, rng.next_double() * 20000.0, 0});
+  }
+  net.enable_sampling(500.0);
+  const auto m = net.run();
+  ASSERT_TRUE(m.has_time_series());
+  ASSERT_GT(m.local_traffic_ts.frames(), 2u);
+  // Per-link: sum of sampled deltas equals the final cumulative value.
+  for (std::size_t i = 0; i < m.local_links.size(); ++i) {
+    const double summed = m.local_traffic_ts.range_sum(
+        i, 0, m.local_traffic_ts.frames());
+    EXPECT_NEAR(summed, m.local_links[i].traffic,
+                1e-3 * std::max(1.0, m.local_links[i].traffic));
+    const double sat_summed =
+        m.local_sat_ts.range_sum(i, 0, m.local_sat_ts.frames());
+    EXPECT_NEAR(sat_summed, m.local_links[i].sat_time,
+                1e-3 * std::max(1.0, m.local_links[i].sat_time) + 0.5);
+  }
+  for (std::size_t i = 0; i < m.terminals.size(); ++i) {
+    const double summed =
+        m.term_traffic_ts.range_sum(i, 0, m.term_traffic_ts.frames());
+    EXPECT_NEAR(summed, m.terminals[i].data_size,
+                1e-3 * std::max(1.0, m.terminals[i].data_size));
+  }
+}
+
+TEST(Netsim, JobLabelsPropagate) {
+  const auto topo = small();
+  const auto placement = placement::place_jobs(
+      topo, {{"jobA", 6, placement::Policy::kContiguous},
+             {"jobB", 6, placement::Policy::kRandomRouter}},
+      3);
+  Network net(topo, routing::Algo::kMinimal, fast_params(), 1);
+  net.set_jobs(placement);
+  net.set_labels("test", "hybrid", {"jobA", "jobB"});
+  net.add_message({placement.terminal_of(0, 0), placement.terminal_of(0, 1),
+                   512, 0.0, 0});
+  const auto m = net.run();
+  EXPECT_EQ(m.workload, "test");
+  EXPECT_EQ(m.placement, "hybrid");
+  EXPECT_EQ(m.job_names.size(), 2u);
+  EXPECT_EQ(m.terminals[placement.terminal_of(0, 0)].job, 0);
+  EXPECT_EQ(m.terminals[placement.terminal_of(1, 0)].job, 1);
+  int idle = 0;
+  for (const auto& t : m.terminals) idle += (t.job == -1);
+  EXPECT_EQ(idle, static_cast<int>(topo.num_terminals()) - 12);
+}
+
+TEST(Netsim, RejectsBadMessages) {
+  const auto topo = small();
+  Network net(topo, routing::Algo::kMinimal, fast_params(), 1);
+  EXPECT_THROW(net.add_message({0, 0, 100, 0.0, 0}), Error);      // self
+  EXPECT_THROW(net.add_message({0, 99999, 100, 0.0, 0}), Error);  // range
+  EXPECT_THROW(net.add_message({0, 1, 0, 0.0, 0}), Error);        // empty
+  EXPECT_THROW(net.add_message({0, 1, 10, -1.0, 0}), Error);      // time
+}
+
+TEST(Netsim, RunTwiceThrows) {
+  Network net(small(), routing::Algo::kMinimal, fast_params(), 1);
+  net.add_message({0, 1, 100, 0.0, 0});
+  (void)net.run();
+  EXPECT_THROW(net.run(), Error);
+}
+
+TEST(Netsim, ParamsValidate) {
+  Params p;
+  p.packet_size = 0;
+  EXPECT_THROW(Network(small(), routing::Algo::kMinimal, p, 1), Error);
+  Params q;
+  q.local_bandwidth = -1;
+  EXPECT_THROW(Network(small(), routing::Algo::kMinimal, q, 1), Error);
+}
+
+TEST(Netsim, ValiantDoublesGlobalTraffic) {
+  // Paper (Sec. V-B): routing non-minimally through proxy groups "doubles
+  // bandwidth of the global links". Cross-group uniform traffic takes one
+  // global hop minimally and two via a Valiant proxy.
+  const auto topo = topo::Dragonfly::canonical(3);
+  auto run_with = [&](routing::Algo algo) {
+    Network net(topo, algo, fast_params(), 3);
+    Rng rng(4);
+    for (int i = 0; i < 400; ++i) {
+      const auto src =
+          static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+      auto dst = src;
+      while (dst == src ||
+             topo.terminal_group(dst) == topo.terminal_group(src)) {
+        dst = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+      }
+      net.add_message({src, dst, 2048, rng.next_double() * 50000.0, 0});
+    }
+    return net.run();
+  };
+  const auto mmin = run_with(routing::Algo::kMinimal);
+  const auto mval = run_with(routing::Algo::kNonMinimal);
+  const double gmin = mmin.total_global_traffic();
+  const double gval = mval.total_global_traffic();
+  EXPECT_NEAR(gval / gmin, 2.0, 0.15);
+}
+
+TEST(Netsim, ContentionAtTheLinkItselfCountsAsSaturation) {
+  // Several flows share one local link while every downstream ejection
+  // port is distinct (no downstream blocking): the saturation must come
+  // from the output backlog at the link itself.
+  const auto topo = small();
+  Params p = fast_params();
+  p.vc_buffer_packets = 2;
+  Network net(topo, routing::Algo::kMinimal, p, 1);
+  // All terminals of router 0 flood distinct terminals of router 1.
+  const std::uint32_t per = topo.terminals_per_router();
+  for (std::uint32_t s = 0; s < per; ++s) {
+    net.add_message({s, per + s, 256 * 1024, 0.0, 0});
+  }
+  const auto m = net.run();
+  const std::uint32_t lport = topo.local_port(0, 1) - per;
+  const std::uint32_t lid = topo.local_link_id(0, lport);
+  EXPECT_GT(m.local_links[lid].traffic, 0.0);
+  EXPECT_GT(m.local_links[lid].sat_time, 0.0)
+      << "shared-link contention must register as saturation";
+  // And the saturation is specific to that link.
+  for (std::uint32_t l = 0; l < m.local_links.size(); ++l) {
+    if (l != lid) {
+      EXPECT_DOUBLE_EQ(m.local_links[l].sat_time, 0.0);
+    }
+  }
+}
+
+TEST(Netsim, AdaptiveSpreadsTrafficVsMinimal) {
+  // The paper's central qualitative claim (Figs. 8/9): adaptive routing
+  // raises link usage spread and lowers saturation under adversarial
+  // traffic. Group 0 floods group 1 (worst case for minimal).
+  const auto topo = topo::Dragonfly::canonical(3);
+  const std::uint32_t per_group =
+      topo.routers_per_group() * topo.terminals_per_router();
+  auto flood = [&](routing::Algo algo) {
+    Params p = fast_params();
+    p.vc_buffer_packets = 4;
+    Network net(topo, algo, p, 7);
+    for (std::uint32_t s = 0; s < per_group; ++s) {
+      for (int k = 0; k < 4; ++k) {
+        net.add_message(
+            {s, per_group + (s + 7 * k) % per_group, 8192, k * 100.0, 0});
+      }
+    }
+    return net.run();
+  };
+  const auto mmin = flood(routing::Algo::kMinimal);
+  const auto madp = flood(routing::Algo::kAdaptive);
+
+  int used_min = 0, used_adp = 0;
+  double peak_sat_min = 0, peak_sat_adp = 0;
+  for (const auto& l : mmin.global_links) {
+    used_min += l.traffic > 0;
+    peak_sat_min = std::max(peak_sat_min, l.sat_time);
+  }
+  for (const auto& l : madp.global_links) {
+    used_adp += l.traffic > 0;
+    peak_sat_adp = std::max(peak_sat_adp, l.sat_time);
+  }
+  EXPECT_GT(used_adp, used_min) << "adaptive should use more global links";
+  EXPECT_LT(peak_sat_adp, peak_sat_min)
+      << "adaptive should relieve the congestion hotspot";
+  EXPECT_LT(madp.end_time, mmin.end_time)
+      << "adaptive should finish the adversarial workload sooner";
+}
+
+}  // namespace
+}  // namespace dv::netsim

@@ -1,0 +1,130 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pdes/engine.hpp"
+
+namespace dv::pdes {
+namespace {
+
+/// Records every event it receives.
+class Recorder : public LogicalProcess {
+ public:
+  struct Seen {
+    SimTime time;
+    std::uint32_t kind;
+    std::uint64_t data0;
+  };
+  std::vector<Seen> seen;
+
+  void on_event(Simulator& sim, const Event& ev) override {
+    seen.push_back({sim.now(), ev.kind, ev.data0});
+  }
+};
+
+/// Schedules a chain of follow-up events.
+class Chainer : public LogicalProcess {
+ public:
+  int remaining = 5;
+  std::vector<SimTime> times;
+
+  void on_event(Simulator& sim, const Event& ev) override {
+    times.push_back(sim.now());
+    if (--remaining > 0) sim.schedule_in(2.0, ev.lp, ev.kind);
+  }
+};
+
+TEST(Pdes, EventsDeliverInTimeOrder) {
+  Simulator sim;
+  Recorder rec;
+  const LpId lp = sim.add_lp(&rec);
+  sim.schedule(30.0, lp, 3);
+  sim.schedule(10.0, lp, 1);
+  sim.schedule(20.0, lp, 2);
+  sim.run();
+  ASSERT_EQ(rec.seen.size(), 3u);
+  EXPECT_EQ(rec.seen[0].kind, 1u);
+  EXPECT_EQ(rec.seen[1].kind, 2u);
+  EXPECT_EQ(rec.seen[2].kind, 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Pdes, TiesBreakInScheduleOrder) {
+  Simulator sim;
+  Recorder rec;
+  const LpId lp = sim.add_lp(&rec);
+  for (std::uint64_t i = 0; i < 50; ++i) sim.schedule(5.0, lp, 0, i);
+  sim.run();
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(rec.seen[i].data0, i);
+}
+
+TEST(Pdes, SelfSchedulingChain) {
+  Simulator sim;
+  Chainer c;
+  const LpId lp = sim.add_lp(&c);
+  sim.schedule(1.0, lp, 0);
+  sim.run();
+  ASSERT_EQ(c.times.size(), 5u);
+  EXPECT_DOUBLE_EQ(c.times.back(), 9.0);
+}
+
+TEST(Pdes, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  Recorder rec;
+  const LpId lp = sim.add_lp(&rec);
+  sim.schedule(1.0, lp, 0);
+  sim.schedule(5.0, lp, 0);
+  sim.schedule(9.0, lp, 0);
+  sim.run_until(5.0);
+  EXPECT_EQ(rec.seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(rec.seen.size(), 3u);
+}
+
+TEST(Pdes, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  Recorder rec;
+  const LpId lp = sim.add_lp(&rec);
+  sim.schedule(10.0, lp, 0);
+  sim.run();
+  EXPECT_THROW(sim.schedule(5.0, lp, 0), Error);
+  EXPECT_THROW(sim.schedule_in(-1.0, lp, 0), Error);
+}
+
+TEST(Pdes, UnknownLpThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(0.0, 7, 0), Error);
+}
+
+TEST(Pdes, EventBudgetTrips) {
+  Simulator sim;
+  class Forever : public LogicalProcess {
+   public:
+    void on_event(Simulator& sim, const Event& ev) override {
+      sim.schedule_in(1.0, ev.lp, 0);
+    }
+  } lp;
+  const LpId id = sim.add_lp(&lp);
+  sim.set_event_budget(100);
+  sim.schedule(0.0, id, 0);
+  EXPECT_THROW(sim.run(), Error);
+}
+
+TEST(Pdes, MultipleLpsRouteCorrectly) {
+  Simulator sim;
+  Recorder a, b;
+  const LpId la = sim.add_lp(&a);
+  const LpId lb = sim.add_lp(&b);
+  sim.schedule(1.0, la, 0);
+  sim.schedule(2.0, lb, 0);
+  sim.schedule(3.0, la, 0);
+  sim.run();
+  EXPECT_EQ(a.seen.size(), 2u);
+  EXPECT_EQ(b.seen.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dv::pdes

@@ -1,0 +1,139 @@
+// Conservative parallel engine tests: protocol contracts and sequential
+// equivalence on PHOLD.
+#include <gtest/gtest.h>
+
+#include "pdes/parallel.hpp"
+#include "pdes/phold.hpp"
+
+namespace dv::pdes {
+namespace {
+
+class CountingLp : public ParallelLp {
+ public:
+  std::uint64_t count = 0;
+  void on_event(ParallelContext&, const Event&) override { ++count; }
+};
+
+/// Forwards each event to a fixed peer with a fixed delay.
+class ForwardingLp : public ParallelLp {
+ public:
+  LpId peer = 0;
+  double delay = 0.0;
+  int remaining = 0;
+  std::vector<SimTime> times;
+
+  void on_event(ParallelContext& ctx, const Event& ev) override {
+    times.push_back(ctx.now());
+    if (remaining-- > 0) ctx.schedule(ctx.now() + delay, peer, ev.kind);
+  }
+};
+
+TEST(ParallelPdes, SinglePartitionBehavesSequentially) {
+  ParallelSimulator sim(1, 1.0);
+  CountingLp lp;
+  const LpId id = sim.add_lp(&lp);
+  for (int i = 0; i < 20; ++i) sim.schedule(i * 0.5, id, 0);
+  sim.run_until(100.0);
+  EXPECT_EQ(lp.count, 20u);
+  EXPECT_EQ(sim.events_processed(), 20u);
+}
+
+TEST(ParallelPdes, CrossPartitionPingPong) {
+  ParallelSimulator sim(2, 1.0);
+  ForwardingLp a, b;
+  const LpId ia = sim.add_lp(&a, 0);
+  const LpId ib = sim.add_lp(&b, 1);
+  a.peer = ib;
+  b.peer = ia;
+  a.delay = b.delay = 1.5;  // >= lookahead
+  a.remaining = b.remaining = 10;
+  sim.schedule(0.0, ia, 0);
+  sim.run_until(100.0);
+  // 1 initial event + 10 forwards each way.
+  EXPECT_EQ(a.times.size() + b.times.size(), 21u);
+  // Alternating, strictly increasing timestamps.
+  for (std::size_t i = 1; i < a.times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.times[i] - a.times[i - 1], 3.0);
+  }
+}
+
+TEST(ParallelPdes, LookaheadContractEnforced) {
+  ParallelSimulator sim(2, 2.0);
+  ForwardingLp a, b;
+  const LpId ia = sim.add_lp(&a, 0);
+  const LpId ib = sim.add_lp(&b, 1);
+  a.peer = ib;
+  a.delay = 0.5;  // < lookahead: violates the conservative contract
+  a.remaining = 1;
+  sim.schedule(0.0, ia, 0);
+  EXPECT_THROW(sim.run_until(10.0), Error);
+}
+
+TEST(ParallelPdes, SamePartitionAllowsShortDelays) {
+  ParallelSimulator sim(2, 2.0);
+  ForwardingLp a, b;
+  const LpId ia = sim.add_lp(&a, 0);
+  const LpId ib = sim.add_lp(&b, 0);  // same partition
+  a.peer = ib;
+  b.peer = ia;
+  a.delay = b.delay = 0.1;  // fine within a partition
+  a.remaining = b.remaining = 5;
+  sim.schedule(0.0, ia, 0);
+  EXPECT_NO_THROW(sim.run_until(10.0));
+  EXPECT_EQ(sim.events_processed(), 11u);
+}
+
+TEST(ParallelPdes, RunUntilHonoursHorizonInclusively) {
+  ParallelSimulator sim(2, 1.0);
+  CountingLp lp;
+  const LpId id = sim.add_lp(&lp);
+  sim.schedule(5.0, id, 0);
+  sim.schedule(10.0, id, 0);   // exactly at the horizon: runs
+  sim.schedule(10.001, id, 0); // beyond: does not
+  sim.run_until(10.0);
+  EXPECT_EQ(lp.count, 2u);
+}
+
+TEST(ParallelPdes, InvalidConfigs) {
+  EXPECT_THROW(ParallelSimulator(0, 1.0), Error);
+  EXPECT_THROW(ParallelSimulator(2, 0.0), Error);
+  ParallelSimulator sim(2, 1.0);
+  CountingLp lp;
+  EXPECT_THROW(sim.add_lp(nullptr), Error);
+  EXPECT_THROW(sim.add_lp(&lp, 5), Error);
+  const LpId id = sim.add_lp(&lp);
+  EXPECT_THROW(sim.schedule(-1.0, id, 0), Error);
+  EXPECT_THROW(sim.schedule(0.0, 99, 0), Error);
+}
+
+class PholdEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PholdEquivalence, ParallelMatchesSequential) {
+  PholdConfig cfg;
+  cfg.lps = 24;
+  cfg.population = 3;
+  cfg.lookahead = 1.0;
+  cfg.mean_delay = 4.0;
+  cfg.horizon = 500.0;
+  cfg.seed = 42;
+  const auto seq = run_phold_sequential(cfg);
+  const auto par = run_phold_parallel(cfg, GetParam());
+  EXPECT_GT(seq.events, 1000u);
+  EXPECT_EQ(par.events, seq.events);
+  EXPECT_EQ(par.per_lp, seq.per_lp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PholdEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Phold, DeterministicAcrossRuns) {
+  PholdConfig cfg;
+  cfg.lps = 12;
+  cfg.horizon = 200.0;
+  const auto a = run_phold_parallel(cfg, 3);
+  const auto b = run_phold_parallel(cfg, 3);
+  EXPECT_EQ(a.per_lp, b.per_lp);
+}
+
+}  // namespace
+}  // namespace dv::pdes

@@ -1,0 +1,254 @@
+// Topology invariants: Dragonfly (parameterized over the canonical family,
+// including the paper's three scales), Fat Tree, and Slim Fly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "topology/dragonfly.hpp"
+#include "topology/fattree.hpp"
+#include "topology/slimfly.hpp"
+
+namespace dv::topo {
+namespace {
+
+// ------------------------------------------------------------- Dragonfly
+
+class CanonicalDragonfly : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CanonicalDragonfly, SizesMatchFormulae) {
+  const std::uint32_t p = GetParam();
+  const Dragonfly net = Dragonfly::canonical(p);
+  EXPECT_EQ(net.routers_per_group(), 2 * p);
+  EXPECT_EQ(net.global_per_router(), p);
+  EXPECT_EQ(net.groups(), 2 * p * p + 1);
+  EXPECT_EQ(net.num_terminals(), net.num_routers() * p);
+  EXPECT_EQ(net.num_local_links(), net.num_routers() * (2 * p - 1));
+  EXPECT_EQ(net.num_global_links(), net.num_routers() * p);
+}
+
+TEST_P(CanonicalDragonfly, GlobalWiringIsAnInvolution) {
+  const Dragonfly net = Dragonfly::canonical(GetParam());
+  for (std::uint32_t r = 0; r < net.num_routers(); ++r) {
+    for (std::uint32_t c = 0; c < net.global_per_router(); ++c) {
+      const GlobalEnd peer = net.global_neighbor(r, c);
+      EXPECT_NE(net.router_group(peer.router), net.router_group(r));
+      const GlobalEnd back = net.global_neighbor(peer.router, peer.channel);
+      EXPECT_EQ(back.router, r);
+      EXPECT_EQ(back.channel, c);
+    }
+  }
+}
+
+TEST_P(CanonicalDragonfly, EveryGroupPairHasExactlyOneLink) {
+  const Dragonfly net = Dragonfly::canonical(GetParam());
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> count;
+  for (std::uint32_t r = 0; r < net.num_routers(); ++r) {
+    for (std::uint32_t c = 0; c < net.global_per_router(); ++c) {
+      const GlobalEnd peer = net.global_neighbor(r, c);
+      ++count[{net.router_group(r), net.router_group(peer.router)}];
+    }
+  }
+  for (std::uint32_t g1 = 0; g1 < net.groups(); ++g1) {
+    for (std::uint32_t g2 = 0; g2 < net.groups(); ++g2) {
+      if (g1 == g2) continue;
+      EXPECT_EQ((count[{g1, g2}]), 1) << "groups " << g1 << "->" << g2;
+    }
+  }
+}
+
+TEST_P(CanonicalDragonfly, GroupExitMatchesWiring) {
+  const Dragonfly net = Dragonfly::canonical(GetParam());
+  for (std::uint32_t g1 = 0; g1 < net.groups(); ++g1) {
+    for (std::uint32_t g2 = 0; g2 < net.groups(); ++g2) {
+      if (g1 == g2) continue;
+      const GlobalEnd exit = net.group_exit(g1, g2);
+      EXPECT_EQ(net.router_group(exit.router), g1);
+      const GlobalEnd entry = net.global_neighbor(exit.router, exit.channel);
+      EXPECT_EQ(net.router_group(entry.router), g2);
+    }
+  }
+}
+
+TEST_P(CanonicalDragonfly, LocalPortsAreConsistent) {
+  const Dragonfly net = Dragonfly::canonical(GetParam());
+  const std::uint32_t a = net.routers_per_group();
+  for (std::uint32_t r1 = 0; r1 < a; ++r1) {
+    std::set<std::uint32_t> ports;
+    for (std::uint32_t r2 = 0; r2 < a; ++r2) {
+      if (r1 == r2) continue;
+      const std::uint32_t port = net.local_port(r1, r2);
+      ports.insert(port);
+      EXPECT_EQ(net.local_neighbor(r1, port - net.terminals_per_router()),
+                r2);
+    }
+    EXPECT_EQ(ports.size(), a - 1);  // all distinct
+  }
+}
+
+TEST_P(CanonicalDragonfly, MinimalHopsBounds) {
+  const Dragonfly net = Dragonfly::canonical(GetParam());
+  // Same router.
+  EXPECT_EQ(net.minimal_router_hops(0, 1 % net.terminals_per_router()),
+            net.terminals_per_router() > 1 ? 1u : 1u);
+  // Spot-check a sample of pairs: 1..4 routers on the path.
+  const std::uint32_t n = net.num_terminals();
+  for (std::uint32_t s = 0; s < n; s += std::max(1u, n / 37)) {
+    for (std::uint32_t d = 0; d < n; d += std::max(1u, n / 41)) {
+      if (s == d) continue;
+      const std::uint32_t h = net.minimal_router_hops(s, d);
+      EXPECT_GE(h, 1u);
+      EXPECT_LE(h, 4u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CanonicalFamily, CanonicalDragonfly,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(Dragonfly, PaperScales) {
+  // The paper's three networks are the canonical p = 5, 6, 7 dragonflies.
+  EXPECT_EQ(Dragonfly::canonical(5).num_terminals(), 2550u);
+  EXPECT_EQ(Dragonfly::canonical(6).num_terminals(), 5256u);
+  EXPECT_EQ(Dragonfly::canonical(7).num_terminals(), 9702u);
+  const Dragonfly df6 = Dragonfly::canonical(6);
+  EXPECT_EQ(df6.groups(), 73u);
+  EXPECT_EQ(df6.routers_per_group(), 12u);
+  EXPECT_EQ(df6.terminals_per_router(), 6u);
+}
+
+TEST(Dragonfly, LinkIdRoundTrip) {
+  const Dragonfly net = Dragonfly::canonical(3);
+  for (std::uint32_t lid = 0; lid < net.num_local_links(); ++lid) {
+    const auto [router, lport] = net.local_link_ends(lid);
+    EXPECT_EQ(net.local_link_id(router, lport), lid);
+  }
+  for (std::uint32_t gid = 0; gid < net.num_global_links(); ++gid) {
+    const GlobalEnd src = net.global_link_src(gid);
+    EXPECT_EQ(net.global_link_id(src.router, src.channel), gid);
+  }
+}
+
+TEST(Dragonfly, InvalidConfigsThrow) {
+  EXPECT_THROW(Dragonfly(0, 4, 2, 2), Error);
+  EXPECT_THROW(Dragonfly(5, 1, 2, 2), Error);
+  EXPECT_THROW(Dragonfly(5, 4, 0, 1), Error);
+  EXPECT_THROW(Dragonfly(10, 4, 2, 2), Error);  // a*h != g-1
+  EXPECT_NO_THROW(Dragonfly(9, 4, 2, 2));       // a*h == 8 == g-1
+}
+
+TEST(Dragonfly, OutOfRangeQueriesThrow) {
+  const Dragonfly net = Dragonfly::canonical(2);
+  EXPECT_THROW(net.router_id(net.groups(), 0), Error);
+  EXPECT_THROW(net.local_port(0, 0), Error);
+  EXPECT_THROW(net.group_exit(0, 0), Error);
+  EXPECT_THROW(net.minimal_router_hops(0, net.num_terminals()), Error);
+}
+
+// ------------------------------------------------------------- Fat Tree
+
+class FatTreeParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FatTreeParam, SizesMatchFormulae) {
+  const std::uint32_t k = GetParam();
+  const FatTree ft(k);
+  EXPECT_EQ(ft.num_hosts(), k * k * k / 4);
+  EXPECT_EQ(ft.num_switches(), 5 * k * k / 4);
+  EXPECT_EQ(ft.num_core(), k * k / 4);
+}
+
+TEST_P(FatTreeParam, HopClasses) {
+  const FatTree ft(GetParam());
+  EXPECT_EQ(ft.minimal_switch_hops(0, 1 % ft.hosts_per_edge()), 1u);
+  if (ft.num_hosts() > ft.hosts_per_edge()) {
+    // Same pod, different edge.
+    const std::uint32_t other_edge = ft.hosts_per_edge();
+    if (ft.host_pod(other_edge) == 0) {
+      EXPECT_EQ(ft.minimal_switch_hops(0, other_edge), 3u);
+    }
+    // Across pods.
+    const std::uint32_t other_pod = ft.num_hosts() - 1;
+    EXPECT_EQ(ft.minimal_switch_hops(0, other_pod), 5u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arities, FatTreeParam,
+                         ::testing::Values(2u, 4u, 6u, 8u));
+
+TEST(FatTree, OddArityThrows) { EXPECT_THROW(FatTree(3), Error); }
+
+// ------------------------------------------------------------- Slim Fly
+
+class SlimFlyParam : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SlimFlyParam, DegreeIsUniform) {
+  const SlimFly sf(GetParam());
+  for (std::uint32_t r = 0; r < sf.num_routers(); ++r) {
+    const auto nbrs = sf.neighbors(r);
+    EXPECT_EQ(nbrs.size(), sf.network_degree());
+    std::set<std::uint32_t> uniq(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(uniq.size(), nbrs.size());
+    EXPECT_EQ(uniq.count(r), 0u);  // no self loop
+  }
+}
+
+TEST_P(SlimFlyParam, AdjacencyIsSymmetric) {
+  const SlimFly sf(GetParam());
+  for (std::uint32_t r = 0; r < sf.num_routers(); ++r) {
+    for (std::uint32_t nbr : sf.neighbors(r)) {
+      EXPECT_TRUE(sf.connected(r, nbr));
+      EXPECT_TRUE(sf.connected(nbr, r));
+    }
+  }
+}
+
+TEST_P(SlimFlyParam, DiameterIsTwo) {
+  const SlimFly sf(GetParam());
+  const std::uint32_t n = sf.num_routers();
+  // BFS from a handful of sources; every MMS graph has diameter 2.
+  for (std::uint32_t src = 0; src < n; src += std::max(1u, n / 7)) {
+    std::vector<int> dist(n, -1);
+    std::queue<std::uint32_t> q;
+    dist[src] = 0;
+    q.push(src);
+    int max_d = 0;
+    while (!q.empty()) {
+      const std::uint32_t u = q.front();
+      q.pop();
+      for (std::uint32_t v : sf.neighbors(u)) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          max_d = std::max(max_d, dist[v]);
+          q.push(v);
+        }
+      }
+    }
+    for (std::uint32_t v = 0; v < n; ++v) EXPECT_GE(dist[v], 0);
+    EXPECT_LE(max_d, 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimeFields, SlimFlyParam,
+                         ::testing::Values(5u, 13u, 17u));
+
+TEST(SlimFly, RejectsBadField) {
+  EXPECT_THROW(SlimFly(6), Error);   // not prime
+  EXPECT_THROW(SlimFly(7), Error);   // 3 mod 4
+  EXPECT_THROW(SlimFly(9), Error);   // prime power, not prime
+}
+
+TEST(SlimFly, GeneratorSetsPartitionUnits) {
+  const SlimFly sf(13);
+  EXPECT_EQ(sf.gen_x().size(), 6u);   // (q-1)/2 residues
+  EXPECT_EQ(sf.gen_xp().size(), 6u);
+  for (std::uint32_t v : sf.gen_x()) {
+    // Closed under negation (q = 1 mod 4).
+    const std::uint32_t neg = (13 - v) % 13;
+    EXPECT_NE(std::find(sf.gen_x().begin(), sf.gen_x().end(), neg),
+              sf.gen_x().end());
+  }
+}
+
+}  // namespace
+}  // namespace dv::topo

@@ -1,0 +1,278 @@
+// Unit tests for src/util: rng, stats, strings, colors, csv, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/color.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/str.hpp"
+#include "util/threadpool.hpp"
+
+namespace dv {
+namespace {
+
+// ----------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsDiverge) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng r(3);
+  EXPECT_THROW(r.next_below(0), Error);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(4);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(5);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(r.next_double());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(6);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(r.next_exponential(3.0));
+  EXPECT_NEAR(acc.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, PickFromEmptyThrows) {
+  Rng r(8);
+  std::vector<int> empty;
+  EXPECT_THROW(r.pick(empty), Error);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Rng r(9);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_normal();
+    whole.add(v);
+    (i < 400 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(9.99);
+  h.add(100.0);  // clamps to last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+}
+
+TEST(Percentile, ExactValues) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), Error);
+}
+
+// ----------------------------------------------------------------- strings
+
+TEST(Str, SplitJoinRoundTrip) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Str, HumanBytes) {
+  EXPECT_EQ(human_bytes(1.2e9), "1.12 GB");
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+}
+
+TEST(Str, FmtDoubleTrimsZeros) {
+  EXPECT_EQ(fmt_double(1.5), "1.5");
+  EXPECT_EQ(fmt_double(2.0), "2");
+  EXPECT_EQ(fmt_double(0.375, 2), "0.38");
+  EXPECT_EQ(fmt_double(1.0 / 3.0, 3), "0.333");
+}
+
+// ----------------------------------------------------------------- colors
+
+TEST(Color, ParseHexAndNames) {
+  EXPECT_EQ(parse_color("#ff0000"), (Rgb{255, 0, 0}));
+  EXPECT_EQ(parse_color("#f00"), (Rgb{255, 0, 0}));
+  EXPECT_EQ(parse_color("steelblue"), (Rgb{70, 130, 180}));
+  EXPECT_EQ(parse_color("  White "), (Rgb{255, 255, 255}));
+  EXPECT_THROW(parse_color("notacolor"), Error);
+  EXPECT_THROW(parse_color("#12345"), Error);
+}
+
+TEST(Color, HexRoundTrip) {
+  const Rgb c{70, 130, 180, 255};
+  EXPECT_EQ(parse_color(c.hex()), c);
+}
+
+TEST(Color, LerpEndpointsAndMidpoint) {
+  const Rgb w{255, 255, 255}, b{0, 0, 0};
+  EXPECT_EQ(lerp(w, b, 0.0), w);
+  EXPECT_EQ(lerp(w, b, 1.0), b);
+  const Rgb mid = lerp(w, b, 0.5);
+  EXPECT_NEAR(mid.r, 128, 1);
+}
+
+TEST(ColorRamp, MultiStop) {
+  const auto ramp =
+      ColorRamp::from_names({"white", "purple"});
+  EXPECT_EQ(ramp.at(0.0), parse_color("white"));
+  EXPECT_EQ(ramp.at(1.0), parse_color("purple"));
+  const auto ramp3 = ColorRamp::from_names({"green", "orange", "brown"});
+  EXPECT_EQ(ramp3.at(0.5), parse_color("orange"));
+}
+
+TEST(ColorRamp, SingleStopIsConstant) {
+  const ColorRamp ramp({Rgb{1, 2, 3}});
+  EXPECT_EQ(ramp.at(0.0), ramp.at(0.7));
+}
+
+// ----------------------------------------------------------------- csv
+
+TEST(Csv, RoundTripWithQuoting) {
+  CsvTable t;
+  t.header = {"a", "b"};
+  t.rows = {{"1", "plain"}, {"2", "with,comma"}, {"3", "with\"quote"}};
+  const auto parsed = parse_csv(to_csv_string(t));
+  EXPECT_EQ(parsed.header, t.header);
+  EXPECT_EQ(parsed.rows, t.rows);
+}
+
+TEST(Csv, ColIndexThrowsOnMissing) {
+  CsvTable t;
+  t.header = {"x"};
+  EXPECT_EQ(t.col_index("x"), 0u);
+  EXPECT_THROW(t.col_index("y"), Error);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a,b\n\"oops"), Error);
+}
+
+// ----------------------------------------------------------------- pool
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> n{0};
+  for (int i = 0; i < 500; ++i) pool.submit([&] { n++; });
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 500);
+}
+
+}  // namespace
+}  // namespace dv
