@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fattree.dir/bench_ext_fattree.cpp.o"
+  "CMakeFiles/bench_ext_fattree.dir/bench_ext_fattree.cpp.o.d"
+  "bench_ext_fattree"
+  "bench_ext_fattree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fattree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

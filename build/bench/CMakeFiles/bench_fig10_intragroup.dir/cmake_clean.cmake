@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_intragroup.dir/bench_fig10_intragroup.cpp.o"
+  "CMakeFiles/bench_fig10_intragroup.dir/bench_fig10_intragroup.cpp.o.d"
+  "bench_fig10_intragroup"
+  "bench_fig10_intragroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_intragroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

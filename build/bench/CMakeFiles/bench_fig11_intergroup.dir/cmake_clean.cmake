@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_intergroup.dir/bench_fig11_intergroup.cpp.o"
+  "CMakeFiles/bench_fig11_intergroup.dir/bench_fig11_intergroup.cpp.o.d"
+  "bench_fig11_intergroup"
+  "bench_fig11_intergroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_intergroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

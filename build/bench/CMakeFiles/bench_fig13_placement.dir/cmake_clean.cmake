@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_placement.dir/bench_fig13_placement.cpp.o"
+  "CMakeFiles/bench_fig13_placement.dir/bench_fig13_placement.cpp.o.d"
+  "bench_fig13_placement"
+  "bench_fig13_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_projection.cpp" "bench/CMakeFiles/bench_fig4_projection.dir/bench_fig4_projection.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_projection.dir/bench_fig4_projection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dv_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/dv_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dv_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/dv_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/dv_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dv_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dv_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

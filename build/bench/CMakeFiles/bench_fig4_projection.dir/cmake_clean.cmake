@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_projection.dir/bench_fig4_projection.cpp.o"
+  "CMakeFiles/bench_fig4_projection.dir/bench_fig4_projection.cpp.o.d"
+  "bench_fig4_projection"
+  "bench_fig4_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

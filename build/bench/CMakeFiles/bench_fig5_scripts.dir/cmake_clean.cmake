@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scripts.dir/bench_fig5_scripts.cpp.o"
+  "CMakeFiles/bench_fig5_scripts.dir/bench_fig5_scripts.cpp.o.d"
+  "bench_fig5_scripts"
+  "bench_fig5_scripts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scripts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_linked_views.dir/bench_fig6_linked_views.cpp.o"
+  "CMakeFiles/bench_fig6_linked_views.dir/bench_fig6_linked_views.cpp.o.d"
+  "bench_fig6_linked_views"
+  "bench_fig6_linked_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_linked_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

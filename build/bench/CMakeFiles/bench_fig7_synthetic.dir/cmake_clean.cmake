@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_synthetic.dir/bench_fig7_synthetic.cpp.o"
+  "CMakeFiles/bench_fig7_synthetic.dir/bench_fig7_synthetic.cpp.o.d"
+  "bench_fig7_synthetic"
+  "bench_fig7_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_routing_amg.dir/bench_fig8_routing_amg.cpp.o"
+  "CMakeFiles/bench_fig8_routing_amg.dir/bench_fig8_routing_amg.cpp.o.d"
+  "bench_fig8_routing_amg"
+  "bench_fig8_routing_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_routing_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_routing_ur.dir/bench_fig9_routing_ur.cpp.o"
+  "CMakeFiles/bench_fig9_routing_ur.dir/bench_fig9_routing_ur.cpp.o.d"
+  "bench_fig9_routing_ur"
+  "bench_fig9_routing_ur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_routing_ur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

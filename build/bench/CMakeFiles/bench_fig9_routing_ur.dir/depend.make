@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_routing_ur.
+# This may be replaced when dependencies are built.

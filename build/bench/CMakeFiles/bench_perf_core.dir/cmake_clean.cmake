@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_core.dir/bench_perf_core.cpp.o"
+  "CMakeFiles/bench_perf_core.dir/bench_perf_core.cpp.o.d"
+  "bench_perf_core"
+  "bench_perf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/dv_bench_common.dir/bench_common.cpp.o.d"
+  "libdv_bench_common.a"
+  "libdv_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_study.dir/interference_study.cpp.o"
+  "CMakeFiles/interference_study.dir/interference_study.cpp.o.d"
+  "interference_study"
+  "interference_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

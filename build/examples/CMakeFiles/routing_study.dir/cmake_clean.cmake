@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_study.dir/routing_study.cpp.o"
+  "CMakeFiles/routing_study.dir/routing_study.cpp.o.d"
+  "routing_study"
+  "routing_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

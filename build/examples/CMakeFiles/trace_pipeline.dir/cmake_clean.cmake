@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_pipeline.dir/trace_pipeline.cpp.o"
+  "CMakeFiles/trace_pipeline.dir/trace_pipeline.cpp.o.d"
+  "trace_pipeline"
+  "trace_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

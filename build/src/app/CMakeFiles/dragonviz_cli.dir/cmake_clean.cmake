@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragonviz_cli.dir/main.cpp.o"
+  "CMakeFiles/dragonviz_cli.dir/main.cpp.o.d"
+  "dragonviz"
+  "dragonviz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragonviz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_app.dir/cli.cpp.o"
+  "CMakeFiles/dv_app.dir/cli.cpp.o.d"
+  "CMakeFiles/dv_app.dir/runner.cpp.o"
+  "CMakeFiles/dv_app.dir/runner.cpp.o.d"
+  "libdv_app.a"
+  "libdv_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cpp" "src/core/CMakeFiles/dv_core.dir/aggregation.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/aggregation.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/core/CMakeFiles/dv_core.dir/comparison.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/comparison.cpp.o.d"
+  "/root/repo/src/core/datatable.cpp" "src/core/CMakeFiles/dv_core.dir/datatable.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/datatable.cpp.o.d"
+  "/root/repo/src/core/matrix_view.cpp" "src/core/CMakeFiles/dv_core.dir/matrix_view.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/matrix_view.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/core/CMakeFiles/dv_core.dir/presets.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/presets.cpp.o.d"
+  "/root/repo/src/core/projection.cpp" "src/core/CMakeFiles/dv_core.dir/projection.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/projection.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dv_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scales.cpp" "src/core/CMakeFiles/dv_core.dir/scales.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/scales.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/dv_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/spec.cpp.o.d"
+  "/root/repo/src/core/svg.cpp" "src/core/CMakeFiles/dv_core.dir/svg.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/svg.cpp.o.d"
+  "/root/repo/src/core/views.cpp" "src/core/CMakeFiles/dv_core.dir/views.cpp.o" "gcc" "src/core/CMakeFiles/dv_core.dir/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/dv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dv_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

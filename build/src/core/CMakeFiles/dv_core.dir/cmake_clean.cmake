@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_core.dir/aggregation.cpp.o"
+  "CMakeFiles/dv_core.dir/aggregation.cpp.o.d"
+  "CMakeFiles/dv_core.dir/comparison.cpp.o"
+  "CMakeFiles/dv_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/dv_core.dir/datatable.cpp.o"
+  "CMakeFiles/dv_core.dir/datatable.cpp.o.d"
+  "CMakeFiles/dv_core.dir/matrix_view.cpp.o"
+  "CMakeFiles/dv_core.dir/matrix_view.cpp.o.d"
+  "CMakeFiles/dv_core.dir/presets.cpp.o"
+  "CMakeFiles/dv_core.dir/presets.cpp.o.d"
+  "CMakeFiles/dv_core.dir/projection.cpp.o"
+  "CMakeFiles/dv_core.dir/projection.cpp.o.d"
+  "CMakeFiles/dv_core.dir/report.cpp.o"
+  "CMakeFiles/dv_core.dir/report.cpp.o.d"
+  "CMakeFiles/dv_core.dir/scales.cpp.o"
+  "CMakeFiles/dv_core.dir/scales.cpp.o.d"
+  "CMakeFiles/dv_core.dir/spec.cpp.o"
+  "CMakeFiles/dv_core.dir/spec.cpp.o.d"
+  "CMakeFiles/dv_core.dir/svg.cpp.o"
+  "CMakeFiles/dv_core.dir/svg.cpp.o.d"
+  "CMakeFiles/dv_core.dir/views.cpp.o"
+  "CMakeFiles/dv_core.dir/views.cpp.o.d"
+  "libdv_core.a"
+  "libdv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_json.dir/json.cpp.o"
+  "CMakeFiles/dv_json.dir/json.cpp.o.d"
+  "libdv_json.a"
+  "libdv_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

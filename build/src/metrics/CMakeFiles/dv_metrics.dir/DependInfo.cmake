@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/run_metrics.cpp" "src/metrics/CMakeFiles/dv_metrics.dir/run_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/dv_metrics.dir/run_metrics.cpp.o.d"
+  "/root/repo/src/metrics/run_store.cpp" "src/metrics/CMakeFiles/dv_metrics.dir/run_store.cpp.o" "gcc" "src/metrics/CMakeFiles/dv_metrics.dir/run_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/dv_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

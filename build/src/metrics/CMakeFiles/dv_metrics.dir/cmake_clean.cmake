@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_metrics.dir/run_metrics.cpp.o"
+  "CMakeFiles/dv_metrics.dir/run_metrics.cpp.o.d"
+  "CMakeFiles/dv_metrics.dir/run_store.cpp.o"
+  "CMakeFiles/dv_metrics.dir/run_store.cpp.o.d"
+  "libdv_metrics.a"
+  "libdv_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

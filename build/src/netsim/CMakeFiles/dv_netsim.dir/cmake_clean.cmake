@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_netsim.dir/fattree_network.cpp.o"
+  "CMakeFiles/dv_netsim.dir/fattree_network.cpp.o.d"
+  "CMakeFiles/dv_netsim.dir/network.cpp.o"
+  "CMakeFiles/dv_netsim.dir/network.cpp.o.d"
+  "libdv_netsim.a"
+  "libdv_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

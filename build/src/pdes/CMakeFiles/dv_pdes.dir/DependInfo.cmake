@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdes/engine.cpp" "src/pdes/CMakeFiles/dv_pdes.dir/engine.cpp.o" "gcc" "src/pdes/CMakeFiles/dv_pdes.dir/engine.cpp.o.d"
+  "/root/repo/src/pdes/parallel.cpp" "src/pdes/CMakeFiles/dv_pdes.dir/parallel.cpp.o" "gcc" "src/pdes/CMakeFiles/dv_pdes.dir/parallel.cpp.o.d"
+  "/root/repo/src/pdes/phold.cpp" "src/pdes/CMakeFiles/dv_pdes.dir/phold.cpp.o" "gcc" "src/pdes/CMakeFiles/dv_pdes.dir/phold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_pdes.dir/engine.cpp.o"
+  "CMakeFiles/dv_pdes.dir/engine.cpp.o.d"
+  "CMakeFiles/dv_pdes.dir/parallel.cpp.o"
+  "CMakeFiles/dv_pdes.dir/parallel.cpp.o.d"
+  "CMakeFiles/dv_pdes.dir/phold.cpp.o"
+  "CMakeFiles/dv_pdes.dir/phold.cpp.o.d"
+  "libdv_pdes.a"
+  "libdv_pdes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_pdes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

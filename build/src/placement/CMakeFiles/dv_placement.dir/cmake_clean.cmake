@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_placement.dir/placement.cpp.o"
+  "CMakeFiles/dv_placement.dir/placement.cpp.o.d"
+  "libdv_placement.a"
+  "libdv_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

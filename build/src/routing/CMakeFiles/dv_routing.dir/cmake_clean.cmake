@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_routing.dir/routing.cpp.o"
+  "CMakeFiles/dv_routing.dir/routing.cpp.o.d"
+  "libdv_routing.a"
+  "libdv_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/dragonfly.cpp" "src/topology/CMakeFiles/dv_topology.dir/dragonfly.cpp.o" "gcc" "src/topology/CMakeFiles/dv_topology.dir/dragonfly.cpp.o.d"
+  "/root/repo/src/topology/fattree.cpp" "src/topology/CMakeFiles/dv_topology.dir/fattree.cpp.o" "gcc" "src/topology/CMakeFiles/dv_topology.dir/fattree.cpp.o.d"
+  "/root/repo/src/topology/slimfly.cpp" "src/topology/CMakeFiles/dv_topology.dir/slimfly.cpp.o" "gcc" "src/topology/CMakeFiles/dv_topology.dir/slimfly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

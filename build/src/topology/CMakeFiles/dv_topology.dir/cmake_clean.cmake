@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_topology.dir/dragonfly.cpp.o"
+  "CMakeFiles/dv_topology.dir/dragonfly.cpp.o.d"
+  "CMakeFiles/dv_topology.dir/fattree.cpp.o"
+  "CMakeFiles/dv_topology.dir/fattree.cpp.o.d"
+  "CMakeFiles/dv_topology.dir/slimfly.cpp.o"
+  "CMakeFiles/dv_topology.dir/slimfly.cpp.o.d"
+  "libdv_topology.a"
+  "libdv_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_trace.dir/trace.cpp.o"
+  "CMakeFiles/dv_trace.dir/trace.cpp.o.d"
+  "libdv_trace.a"
+  "libdv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_util.dir/color.cpp.o"
+  "CMakeFiles/dv_util.dir/color.cpp.o.d"
+  "CMakeFiles/dv_util.dir/common.cpp.o"
+  "CMakeFiles/dv_util.dir/common.cpp.o.d"
+  "CMakeFiles/dv_util.dir/csv.cpp.o"
+  "CMakeFiles/dv_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dv_util.dir/rng.cpp.o"
+  "CMakeFiles/dv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dv_util.dir/stats.cpp.o"
+  "CMakeFiles/dv_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dv_util.dir/str.cpp.o"
+  "CMakeFiles/dv_util.dir/str.cpp.o.d"
+  "CMakeFiles/dv_util.dir/threadpool.cpp.o"
+  "CMakeFiles/dv_util.dir/threadpool.cpp.o.d"
+  "libdv_util.a"
+  "libdv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

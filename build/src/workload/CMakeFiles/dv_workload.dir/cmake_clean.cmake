@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_workload.dir/workload.cpp.o"
+  "CMakeFiles/dv_workload.dir/workload.cpp.o.d"
+  "libdv_workload.a"
+  "libdv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

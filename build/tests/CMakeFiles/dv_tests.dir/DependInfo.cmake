@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app.cpp" "tests/CMakeFiles/dv_tests.dir/test_app.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_app.cpp.o.d"
+  "/root/repo/tests/test_core_aggregation.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_aggregation.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_aggregation.cpp.o.d"
+  "/root/repo/tests/test_core_comparison.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_comparison.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_comparison.cpp.o.d"
+  "/root/repo/tests/test_core_data.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_data.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_data.cpp.o.d"
+  "/root/repo/tests/test_core_matrix.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_matrix.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_matrix.cpp.o.d"
+  "/root/repo/tests/test_core_projection.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_projection.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_projection.cpp.o.d"
+  "/root/repo/tests/test_core_report.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_report.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_report.cpp.o.d"
+  "/root/repo/tests/test_core_spec.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_spec.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_spec.cpp.o.d"
+  "/root/repo/tests/test_core_svg_scales.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_svg_scales.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_svg_scales.cpp.o.d"
+  "/root/repo/tests/test_core_views.cpp" "tests/CMakeFiles/dv_tests.dir/test_core_views.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_core_views.cpp.o.d"
+  "/root/repo/tests/test_fattree_network.cpp" "tests/CMakeFiles/dv_tests.dir/test_fattree_network.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_fattree_network.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/dv_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/dv_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_netsim.cpp" "tests/CMakeFiles/dv_tests.dir/test_netsim.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_netsim.cpp.o.d"
+  "/root/repo/tests/test_pdes.cpp" "tests/CMakeFiles/dv_tests.dir/test_pdes.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_pdes.cpp.o.d"
+  "/root/repo/tests/test_pdes_parallel.cpp" "tests/CMakeFiles/dv_tests.dir/test_pdes_parallel.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_pdes_parallel.cpp.o.d"
+  "/root/repo/tests/test_placement.cpp" "tests/CMakeFiles/dv_tests.dir/test_placement.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_placement.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dv_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/dv_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/dv_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/dv_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/dv_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/dv_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/dv_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/dv_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/dv_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdes/CMakeFiles/dv_pdes.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/dv_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/dv_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dv_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dv_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dv_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
