@@ -1,13 +1,32 @@
 #include "bench_common.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
+
+#include "obs/profile.hpp"
 
 namespace dv::bench {
 
 namespace {
 int g_failures = 0;
 int g_checks = 0;
+std::string g_figure_slug;
+
+/// "Figure 8 — minimal vs adaptive..." -> "figure_8" (first two words).
+std::string slugify(const std::string& figure) {
+  std::string s;
+  for (const char c : figure) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!s.empty() && s.back() != '_') {
+      if (s.find('_') != std::string::npos) break;  // keep "figure_8"
+      s += '_';
+    }
+  }
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  return s.empty() ? "bench" : s;
+}
 }  // namespace
 
 LinkClassStats link_stats(const std::vector<metrics::LinkMetrics>& links) {
@@ -43,6 +62,8 @@ void banner(const std::string& figure, const std::string& paper_claim) {
   std::printf("%s\n", figure.c_str());
   std::printf("paper: %s\n", paper_claim.c_str());
   std::printf("================================================================\n");
+  g_figure_slug = slugify(figure);
+  obs::reset();  // profile covers everything the bench runs from here on
 }
 
 void shape_check(bool ok, const std::string& description) {
@@ -57,6 +78,15 @@ int footer() {
   std::printf("----------------------------------------------------------------\n");
   std::printf("shape checks: %d/%d matched the paper\n", g_checks - g_failures,
               g_checks);
+  if (obs::kEnabled && !g_figure_slug.empty()) {
+    const obs::RunProfile profile = obs::capture();
+    const std::string path = out_path(g_figure_slug + ".profile.json");
+    profile.save(path);
+    std::printf("profile: %s (%llu events, %.2fs wall)\n", path.c_str(),
+                static_cast<unsigned long long>(
+                    profile.counter_value("sim.events_processed")),
+                profile.wall_seconds);
+  }
   return 0;
 }
 

@@ -35,7 +35,9 @@ struct TermStats {
 };
 TermStats term_stats(const metrics::RunMetrics& run, std::int32_t job = -2);
 
-/// Prints the bench banner (figure id + what the paper reports there).
+/// Prints the bench banner (figure id + what the paper reports there) and
+/// resets the observability registry so footer() can emit a per-bench
+/// profile named after the figure id.
 void banner(const std::string& figure, const std::string& paper_claim);
 
 /// Records and prints one qualitative shape check.
@@ -45,7 +47,9 @@ void shape_check(bool ok, const std::string& description);
 int shape_failures();
 
 /// Prints the closing summary; returns 0 (benches never fail the run —
-/// mismatches are reported, not fatal).
+/// mismatches are reported, not fatal). In DV_OBS_ENABLED builds it also
+/// writes bench_out/<figure-slug>.profile.json — the observability profile
+/// accumulated across every simulation the bench ran since banner().
 int footer();
 
 /// Ensures ./bench_out exists and returns "bench_out/<name>".

@@ -14,12 +14,14 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "app/runner.hpp"
 #include "core/comparison.hpp"
+#include "obs/profile.hpp"
 #include "core/presets.hpp"
 #include "core/report.hpp"
 #include "core/views.hpp"
@@ -31,9 +33,14 @@ namespace dv::app {
 
 namespace {
 
-/// Minimal option parser: --key value (repeatable keys collect).
+/// Minimal option parser: --key value or --key=value (repeatable keys
+/// collect). Keys in kOptionalValue may appear bare; they collect "".
 struct Args {
   std::map<std::string, std::vector<std::string>> opts;
+
+  static bool optional_value(const std::string& key) {
+    return key == "profile";
+  }
 
   static Args parse(int argc, char** argv, int start) {
     Args a;
@@ -41,6 +48,16 @@ struct Args {
       std::string key = argv[i];
       DV_REQUIRE(starts_with(key, "--"), "expected --option, got: " + key);
       key = key.substr(2);
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        a.opts[key.substr(0, eq)].push_back(key.substr(eq + 1));
+        continue;
+      }
+      if (optional_value(key) &&
+          (i + 1 >= argc || starts_with(argv[i + 1], "--"))) {
+        a.opts[key].push_back("");
+        continue;
+      }
       DV_REQUIRE(i + 1 < argc, "missing value for --" + key);
       a.opts[key].push_back(argv[++i]);
     }
@@ -77,6 +94,31 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
+/// Writes the observability profile when --profile was given. An empty
+/// value (bare --profile) derives the path from `out_path` by replacing a
+/// trailing ".json"/".svg" with ".profile.json".
+void maybe_write_profile(const Args& args, const std::string& out_path) {
+  const auto it = args.opts.find("profile");
+  if (it == args.opts.end()) return;
+  std::string path = it->second.back();
+  if (path.empty()) {
+    std::string base = out_path;
+    const auto dot = base.find_last_of('.');
+    if (dot != std::string::npos && base.find('/', dot) == std::string::npos) {
+      base = base.substr(0, dot);
+    }
+    path = base + ".profile.json";
+  }
+  const obs::RunProfile profile = obs::capture();
+  profile.save(path);
+  std::printf("wrote %s (%zu counters, %zu phases, %.3fs wall)\n",
+              path.c_str(), profile.counters.size(), profile.phases.size(),
+              profile.wall_seconds);
+  if (!obs::kEnabled) {
+    std::printf("note: built with DV_OBS_ENABLED=OFF — profile is empty\n");
+  }
+}
+
 /// --spec accepts either a script file path or "preset:<name>".
 core::ProjectionSpec load_spec(const Args& args) {
   const std::string& ref = args.one("spec");
@@ -85,6 +127,7 @@ core::ProjectionSpec load_spec(const Args& args) {
 }
 
 int cmd_sim(const Args& args) {
+  obs::reset();  // profile this invocation only
   ExperimentConfig cfg;
   cfg.dragonfly_p = static_cast<std::uint32_t>(args.num_or("p", 3));
   cfg.routing = routing::algo_from_string(args.one_or("routing", "adaptive"));
@@ -111,19 +154,26 @@ int cmd_sim(const Args& args) {
   }
   const auto result = run_experiment(cfg);
   const std::string out = args.one("out");
-  result.run.save(out);
+  {
+    obs::ScopedPhase phase("write");
+    result.run.save(out);
+  }
   std::printf("simulated %s on %s: %llu events, %.2fs wall, end=%.0f ns\n",
               result.run.workload.c_str(), result.topo.describe().c_str(),
               static_cast<unsigned long long>(result.events),
               result.wall_seconds, result.run.end_time);
   std::printf("wrote %s\n", out.c_str());
+  maybe_write_profile(args, out);
   return 0;
 }
 
 int cmd_render(const Args& args) {
+  obs::reset();
+  auto load_phase = std::make_unique<obs::ScopedPhase>("load");
   const auto run = metrics::RunMetrics::load(args.one("run"));
   auto spec = load_spec(args);
   const core::DataSet data(run);
+  load_phase.reset();
   // --focus ring:item applies the paper's click-to-focus drill-down
   // before rendering (may be repeated for nested drill-down).
   for (const auto& f : args.many("focus")) {
@@ -132,12 +182,18 @@ int cmd_render(const Args& args) {
     const core::ProjectionView overview(data, spec);
     spec = overview.drill_down(std::stoul(parts[0]), std::stoul(parts[1]));
   }
+  auto build_phase = std::make_unique<obs::ScopedPhase>("build");
   const core::ProjectionView view(data, spec);
+  build_phase.reset();
   const std::string out = args.one("out");
-  view.save_svg(out, args.num_or("size", 800),
-                args.one_or("title", run.workload + " / " + run.routing));
+  {
+    obs::ScopedPhase phase("render");
+    view.save_svg(out, args.num_or("size", 800),
+                  args.one_or("title", run.workload + " / " + run.routing));
+  }
   std::printf("wrote %s (%zu rings, %zu ribbons)\n", out.c_str(),
               view.rings().size(), view.ribbons().size());
+  maybe_write_profile(args, out);
   return 0;
 }
 
@@ -292,6 +348,7 @@ int cmd_trace_info(const Args& args) {
 }
 
 int cmd_trace_replay(const Args& args) {
+  obs::reset();
   const auto t = trace::load_binary(args.one("trace"));
   const auto p = static_cast<std::uint32_t>(args.num_or("p", 3));
   const auto topo = topo::Dragonfly::canonical(p);
@@ -316,6 +373,7 @@ int cmd_trace_replay(const Args& args) {
               static_cast<unsigned long long>(run.total_packets_finished()),
               run.end_time);
   std::printf("wrote %s\n", out.c_str());
+  maybe_write_profile(args, out);
   return 0;
 }
 
@@ -349,8 +407,10 @@ void print_help() {
       "  sim      --p N --job workload[:ranks[:policy]] ... --out run.json\n"
       "           [--routing minimal|nonminimal|adaptive|par]\n"
       "           [--scale F] [--window NS] [--sample-dt NS] [--seed N]\n"
+      "           [--profile[=prof.json]]  (counters + phase breakdown)\n"
       "  render   --run run.json --spec spec.json --out view.svg [--size PX]\n"
       "           [--focus ring:item]   (click-to-focus drill-down)\n"
+      "           [--profile[=prof.json]]\n"
       "  store    --dir runs/ [--action list|add|remove]\n"
       "           [--run run.json] [--name NAME]\n"
       "  session  --run run.json --spec spec.json --out ui.svg\n"

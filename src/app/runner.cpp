@@ -1,6 +1,7 @@
 #include "app/runner.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "workload/workload.hpp"
 
@@ -34,6 +35,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   DV_REQUIRE(cfg.traffic_scale > 0, "traffic scale must be positive");
 
   ExperimentResult out;
+  // Phases: "setup" covers placement, network construction and workload
+  // generation here; Network::run adds the top-level "sim" and "collect"
+  // phases, so a profile's top-level phases cover the whole experiment.
+  auto setup_phase = std::make_unique<obs::ScopedPhase>("setup");
   out.topo = topo::Dragonfly::canonical(cfg.dragonfly_p);
 
   // Resolve job sizes and volumes.
@@ -85,12 +90,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   if (cfg.sample_dt > 0) net.enable_sampling(cfg.sample_dt);
+  setup_phase.reset();
 
   const auto t0 = std::chrono::steady_clock::now();
   out.run = net.run();
   const auto t1 = std::chrono::steady_clock::now();
   out.events = net.events_processed();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.profile = obs::capture();
   return out;
 }
 

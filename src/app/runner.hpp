@@ -8,6 +8,7 @@
 
 #include "metrics/run_metrics.hpp"
 #include "netsim/network.hpp"
+#include "obs/profile.hpp"
 #include "placement/placement.hpp"
 #include "routing/routing.hpp"
 #include "topology/dragonfly.hpp"
@@ -47,6 +48,12 @@ struct ExperimentResult {
   metrics::RunMetrics run;
   std::uint64_t events = 0;
   double wall_seconds = 0.0;
+  /// Observability snapshot taken when the experiment finished: counters,
+  /// gauges and phase times accumulated since the last obs::reset() (call
+  /// obs::reset() before run_experiment for a per-experiment profile).
+  /// Empty in DV_OBS_ENABLED=OFF builds. Never feeds back into the
+  /// simulation, so RunMetrics stay bit-identical with or without it.
+  obs::RunProfile profile;
 };
 
 /// Places the jobs, generates every workload, simulates, collects metrics.

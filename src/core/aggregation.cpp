@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "util/str.hpp"
 
 namespace dv::core {
@@ -39,6 +40,8 @@ void Aggregation::build() {
     }
     if (keep) filtered_rows_.push_back(r);
   }
+  DV_OBS_COUNT("core.agg.rows_in", t.rows());
+  DV_OBS_COUNT("core.agg.rows_kept", filtered_rows_.size());
 
   // 2. Group by the key tuple (or one group per row when no keys).
   groups_.clear();
@@ -47,6 +50,7 @@ void Aggregation::build() {
     for (std::uint32_t r : filtered_rows_) {
       groups_.push_back(AggregateGroup{{static_cast<double>(r)}, {r}});
     }
+    DV_OBS_COUNT("core.agg.groups", groups_.size());
     return;
   }
 
@@ -87,12 +91,14 @@ void Aggregation::build() {
       dst.insert(dst.end(), rows.begin(), rows.end());
     }
     buckets = std::move(rebinned);
+    DV_OBS_COUNT("core.agg.rebinned", 1);
   }
 
   groups_.reserve(buckets.size());
   for (auto& [key, rows] : buckets) {
     groups_.push_back(AggregateGroup{key, std::move(rows)});
   }
+  DV_OBS_COUNT("core.agg.groups", groups_.size());
 }
 
 std::vector<double> Aggregation::reduce(const std::string& attr,

@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "util/str.hpp"
 
 namespace dv::core {
@@ -122,6 +123,8 @@ void ProjectionView::build_ring(const DataSet& data, const LevelSpec& lvl,
     it.a0 = kTau * static_cast<double>(j) / static_cast<double>(std::max<std::size_t>(1, n));
     it.a1 = kTau * static_cast<double>(j + 1) / static_cast<double>(std::max<std::size_t>(1, n));
   }
+  DV_OBS_COUNT("core.proj.rings", 1);
+  DV_OBS_COUNT("core.proj.items", n);
   rings_.push_back(std::move(ring));
 }
 
@@ -253,6 +256,8 @@ void ProjectionView::build_ribbons(const DataSet& data) {
       cursor += w;
     }
   }
+  DV_OBS_COUNT("core.proj.ribbons", ribbons_.size());
+  DV_OBS_COUNT("core.proj.ribbon_arcs", n_arcs);
 }
 
 void ProjectionView::apply_scales() {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace dv::netsim {
 
 // ----------------------------------------------------------------- Params
@@ -130,6 +132,15 @@ Network::Network(const topo::Dragonfly& topo, routing::Algo algo,
 
   sim_.add_lp(this);  // single-LP dispatch; kind selects the handler
   if (params_.event_budget) sim_.set_event_budget(params_.event_budget);
+  if constexpr (obs::kEnabled) {
+    sim_.set_kind_label(kEvMsgStart, "msg_start");
+    sim_.set_kind_label(kEvInjectorFree, "injector_free");
+    sim_.set_kind_label(kEvPktAtRouter, "pkt_at_router");
+    sim_.set_kind_label(kEvPktAtTerminal, "pkt_at_terminal");
+    sim_.set_kind_label(kEvPortFree, "port_free");
+    sim_.set_kind_label(kEvCredit, "credit");
+    sim_.set_kind_label(kEvSample, "sample");
+  }
 }
 
 void Network::add_message(const Message& m) {
@@ -528,7 +539,10 @@ metrics::RunMetrics Network::run() {
   }
   if (sample_dt_ > 0.0) sim_.schedule(sample_dt_, 0, kEvSample);
 
-  sim_.run();
+  {
+    obs::ScopedPhase phase("sim");
+    sim_.run();
+  }
 
   DV_CHECK(packets_in_flight_ == 0 && msgs_unfinished_ == 0,
            "simulation drained with work outstanding");
@@ -536,7 +550,28 @@ metrics::RunMetrics Network::run() {
            "flow conservation violated: injected != delivered bytes");
 
   metrics::RunMetrics out;
-  flush_and_collect(out);
+  {
+    obs::ScopedPhase phase("collect");
+    flush_and_collect(out);
+  }
+  if constexpr (obs::kEnabled) {
+    obs::counter("net.messages").add(messages_.size());
+    obs::counter("net.packets_injected").add(packets_injected_);
+    obs::counter("net.packets_delivered").add(packets_delivered_);
+    obs::counter("net.bytes_injected").add(bytes_injected_);
+    obs::counter("net.bytes_delivered").add(bytes_delivered_);
+    double hops = 0.0;
+    for (const auto& t : out.terminals) hops += t.sum_hops;
+    obs::counter("net.router_hops").add(static_cast<std::uint64_t>(hops));
+    const routing::RouteStats& rs = planner_.stats();
+    obs::counter("net.route.minimal").add(rs.minimal);
+    obs::counter("net.route.nonminimal").add(rs.nonminimal);
+    obs::counter("net.route.par_diverts").add(rs.par_diverts);
+    obs::counter("net.route.steps").add(rs.steps);
+    if (sample_dt_ > 0.0) {
+      obs::counter("net.sample_frames").add(out.local_traffic_ts.frames());
+    }
+  }
   return out;
 }
 

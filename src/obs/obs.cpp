@@ -1,0 +1,110 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace dv::obs {
+
+namespace {
+
+/// Process-global registry. Counters and gauges are heap-allocated once and
+/// never freed, so handles cached in static locals survive reset().
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::pair<double, std::uint64_t>> phases;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives static destructors
+  return *r;
+}
+
+thread_local std::string t_phase_path;  // "outer/inner" for the live stack
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& slot = r.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c->value_.store(0);
+  for (auto& [name, g] : r.gauges) g->value_.store(0.0);
+  r.phases.clear();
+  r.epoch = std::chrono::steady_clock::now();
+}
+
+Snapshot snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot s;
+  s.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - r.epoch)
+                       .count();
+  s.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    if (const std::uint64_t v = c->value()) s.counters.push_back({name, v});
+  }
+  s.gauges.reserve(r.gauges.size());
+  for (const auto& [name, g] : r.gauges) {
+    if (const double v = g->value(); v != 0.0) s.gauges.push_back({name, v});
+  }
+  std::sort(s.counters.begin(), s.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(s.gauges.begin(), s.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  s.phases.reserve(r.phases.size());
+  for (const auto& [path, acc] : r.phases) {
+    s.phases.push_back({path, acc.first, acc.second});
+  }
+  return s;
+}
+
+namespace detail {
+
+void phase_enter(const char* name, std::string& path_out) {
+  if (t_phase_path.empty()) {
+    t_phase_path = name;
+  } else {
+    t_phase_path += '/';
+    t_phase_path += name;
+  }
+  path_out = t_phase_path;
+}
+
+void phase_exit(const std::string& path, double seconds) {
+  // Restore the enclosing path (strip the last component).
+  const auto cut = t_phase_path.find_last_of('/');
+  t_phase_path = cut == std::string::npos ? std::string()
+                                          : t_phase_path.substr(0, cut);
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto& acc = r.phases[path];
+  acc.first += seconds;
+  ++acc.second;
+}
+
+}  // namespace detail
+
+}  // namespace dv::obs

@@ -1,0 +1,170 @@
+// Observability primitives: named counters, gauges, and RAII phase timers.
+//
+// The simulation and aggregation layers publish *where work goes* through a
+// process-global registry: monotonic counters (events dispatched, packets
+// delivered, rows aggregated), gauges (event rates, queue high-water marks,
+// barrier wait time), and nested wall-clock phase timers. A RunProfile
+// snapshot (profile.hpp) serializes the whole registry as JSON so perf
+// baselines are data, not log lines — the same spirit as the declarative
+// projection scripts of the VA layer.
+//
+// Cost model: everything here compiles away when the CMake option
+// DV_OBS_ENABLED is OFF (the macros expand to nothing and the inline
+// methods are empty), so the hot paths pay nothing in stripped builds.
+// When ON, counters are relaxed atomics and phase enter/exit is two clock
+// reads plus one mutex-guarded map update per scope exit — cheap enough to
+// leave on by default.
+//
+// Registry lifetime: reset() zeroes every counter/gauge and clears the
+// phase table but never invalidates handles, so instrumentation sites may
+// cache `Counter&` references in static locals (the DV_OBS_* macros do).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dv::obs {
+
+#ifdef DV_OBS_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// Monotonic counter. Handles are registry-owned and stable forever.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void reset();
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time measurement. `set` overwrites, `add` accumulates and
+/// `record_max` keeps a high-water mark; pick one discipline per gauge.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void record_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void reset();
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated wall time of one phase path ("sim", "sim/collect", ...).
+struct PhaseStat {
+  std::string path;
+  double seconds = 0.0;
+  std::uint64_t count = 0;  ///< times the phase was entered
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Point-in-time copy of the whole registry (see Registry::sample_*).
+struct Snapshot {
+  double wall_seconds = 0.0;  ///< since the last reset()
+  std::vector<CounterSample> counters;  ///< nonzero counters, sorted by name
+  std::vector<GaugeSample> gauges;      ///< nonzero gauges, sorted by name
+  std::vector<PhaseStat> phases;        ///< sorted by path
+};
+
+/// Looks up (creating on first use) the named counter / gauge. Thread-safe;
+/// the returned reference stays valid for the process lifetime.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+
+/// Zeroes all counters and gauges, clears phase accumulation, and restarts
+/// the wall clock that Snapshot::wall_seconds reports against.
+void reset();
+
+/// Copies the current registry contents (cheap; safe while counting).
+Snapshot snapshot();
+
+namespace detail {
+void phase_enter(const char* name, std::string& path_out);
+void phase_exit(const std::string& path, double seconds);
+}  // namespace detail
+
+/// RAII wall-clock timer for one phase. Phases nest: a ScopedPhase created
+/// while another is alive on the same thread records under the path
+/// "outer/inner", and the outer phase's time includes the inner's. The
+/// per-thread phase stack means concurrent phases on different threads do
+/// not interleave paths.
+class ScopedPhase {
+ public:
+#ifdef DV_OBS_ENABLED
+  explicit ScopedPhase(const char* name)
+      : start_(std::chrono::steady_clock::now()) {
+    detail::phase_enter(name, path_);
+  }
+  ~ScopedPhase() {
+    const auto end = std::chrono::steady_clock::now();
+    detail::phase_exit(path_,
+                       std::chrono::duration<double>(end - start_).count());
+  }
+#else
+  explicit ScopedPhase(const char*) {}
+#endif
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+#ifdef DV_OBS_ENABLED
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+// Instrumentation-site macros: compile to nothing when observability is
+// off; cache the registry handle in a static local when on.
+#ifdef DV_OBS_ENABLED
+#define DV_OBS_CONCAT2(a, b) a##b
+#define DV_OBS_CONCAT(a, b) DV_OBS_CONCAT2(a, b)
+#define DV_OBS_COUNT(name, n)                                   \
+  do {                                                          \
+    static ::dv::obs::Counter& DV_OBS_CONCAT(dv_obs_c_, __LINE__) = \
+        ::dv::obs::counter(name);                               \
+    DV_OBS_CONCAT(dv_obs_c_, __LINE__).add(n);                  \
+  } while (0)
+#define DV_OBS_PHASE(name) ::dv::obs::ScopedPhase DV_OBS_CONCAT(dv_obs_p_, __LINE__)(name)
+#else
+#define DV_OBS_COUNT(name, n) \
+  do {                        \
+  } while (0)
+#define DV_OBS_PHASE(name) \
+  do {                     \
+  } while (0)
+#endif
+
+}  // namespace dv::obs

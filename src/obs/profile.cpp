@@ -1,0 +1,106 @@
+#include "obs/profile.hpp"
+
+#include <fstream>
+
+namespace dv::obs {
+
+std::uint64_t RunProfile::counter_value(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+double RunProfile::gauge_value(const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0.0;
+}
+
+double RunProfile::top_level_phase_seconds() const {
+  double s = 0.0;
+  for (const auto& p : phases) {
+    if (p.path.find('/') == std::string::npos) s += p.seconds;
+  }
+  return s;
+}
+
+json::Value RunProfile::to_json() const {
+  json::Object o;
+  o["schema"] = "dragonviz.profile/1";
+  o["wall_seconds"] = wall_seconds;
+  json::Object cs;
+  for (const auto& c : counters) {
+    cs[c.name] = static_cast<double>(c.value);
+  }
+  o["counters"] = std::move(cs);
+  json::Object gs;
+  for (const auto& g : gauges) gs[g.name] = g.value;
+  o["gauges"] = std::move(gs);
+  json::Array ps;
+  for (const auto& p : phases) {
+    json::Object po;
+    po["path"] = p.path;
+    po["seconds"] = p.seconds;
+    po["count"] = p.count;
+    ps.push_back(std::move(po));
+  }
+  o["phases"] = std::move(ps);
+  return o;
+}
+
+RunProfile RunProfile::from_json(const json::Value& v) {
+  DV_REQUIRE(v.get_string("schema", "") == "dragonviz.profile/1",
+             "not a dragonviz profile (schema mismatch)");
+  RunProfile p;
+  p.wall_seconds = v.get_number("wall_seconds", 0.0);
+  if (const json::Value* cs = v.find("counters")) {
+    for (const auto& [name, val] : cs->as_object()) {
+      p.counters.push_back(
+          {name, static_cast<std::uint64_t>(val.as_number())});
+    }
+  }
+  if (const json::Value* gs = v.find("gauges")) {
+    for (const auto& [name, val] : gs->as_object()) {
+      p.gauges.push_back({name, val.as_number()});
+    }
+  }
+  if (const json::Value* ps = v.find("phases")) {
+    for (const auto& pv : ps->as_array()) {
+      p.phases.push_back({pv.at("path").as_string(),
+                          pv.get_number("seconds", 0.0),
+                          static_cast<std::uint64_t>(
+                              pv.get_number("count", 0.0))});
+    }
+  }
+  return p;
+}
+
+void RunProfile::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  DV_REQUIRE(os.good(), "cannot open: " + path);
+  os << json::dump(to_json(), 2) << "\n";
+  DV_REQUIRE(os.good(), "write failed: " + path);
+}
+
+RunProfile RunProfile::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DV_REQUIRE(is.good(), "cannot open: " + path);
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  return from_json(json::parse(text));
+}
+
+RunProfile capture() {
+  RunProfile p;
+  if constexpr (!kEnabled) return p;
+  Snapshot s = snapshot();
+  p.wall_seconds = s.wall_seconds;
+  p.counters = std::move(s.counters);
+  p.gauges = std::move(s.gauges);
+  p.phases = std::move(s.phases);
+  return p;
+}
+
+}  // namespace dv::obs

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "util/common.hpp"
@@ -77,6 +78,13 @@ class Simulator {
   /// Safety valve against runaway models; 0 disables. Exceeding it throws.
   void set_event_budget(std::uint64_t max_events) { budget_ = max_events; }
 
+  /// Names an event kind for observability output ("sim.events.<label>"
+  /// instead of "sim.events.kind<N>"). No effect on simulation behaviour.
+  void set_kind_label(std::uint32_t kind, std::string label);
+
+  /// Largest queue size observed so far (0 in DV_OBS_ENABLED=OFF builds).
+  std::size_t queue_high_water() const { return queue_high_water_; }
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -86,6 +94,9 @@ class Simulator {
   };
 
   void dispatch(const Event& ev);
+  /// Publishes events/sec, per-kind counts and queue high-water to the
+  /// observability registry (deltas since the previous publish).
+  void publish_obs(double loop_seconds);
 
   std::vector<LogicalProcess*> lps_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
@@ -93,6 +104,14 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t budget_ = 0;
+
+  // Observability (updated only in DV_OBS_ENABLED builds; publish_obs
+  // flushes deltas so repeated run()/run_until() calls accumulate).
+  std::size_t queue_high_water_ = 0;
+  std::vector<std::uint64_t> kind_counts_;
+  std::vector<std::uint64_t> kind_published_;
+  std::vector<std::string> kind_labels_;
+  std::uint64_t events_published_ = 0;
 };
 
 }  // namespace dv::pdes

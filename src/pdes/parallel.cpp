@@ -1,8 +1,11 @@
 #include "pdes/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+
+#include "obs/obs.hpp"
 
 namespace dv::pdes {
 
@@ -72,6 +75,9 @@ void ParallelContext::schedule(SimTime t, LpId lp, std::uint32_t kind,
 void ParallelSimulator::process_window(std::uint32_t p,
                                        SimTime window_end) {
   Partition& part = *parts_[p];
+#ifdef DV_OBS_ENABLED
+  const auto t0 = std::chrono::steady_clock::now();
+#endif
   while (!part.queue.empty() && part.queue.top().time < window_end) {
     const Event ev = part.queue.top();
     part.queue.pop();
@@ -79,10 +85,47 @@ void ParallelSimulator::process_window(std::uint32_t p,
     ParallelContext ctx(this, p, ev.time);
     lps_[ev.lp]->on_event(ctx, ev);
   }
+#ifdef DV_OBS_ENABLED
+  part.busy_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+#endif
+}
+
+void ParallelSimulator::publish_obs(double loop_seconds,
+                                    std::uint64_t windows) {
+#ifdef DV_OBS_ENABLED
+  std::uint64_t total = 0;
+  double busy = 0.0;
+  for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+    Partition& part = *parts_[p];
+    const std::uint64_t ev_delta = part.processed - part.published;
+    const double busy_delta = part.busy_seconds - part.busy_published;
+    part.published = part.processed;
+    part.busy_published = part.busy_seconds;
+    total += ev_delta;
+    busy += busy_delta;
+    obs::counter("par.worker" + std::to_string(p) + ".events").add(ev_delta);
+    obs::gauge("par.worker" + std::to_string(p) + ".busy_seconds")
+        .add(busy_delta);
+  }
+  obs::counter("par.events_processed").add(total);
+  obs::counter("par.windows").add(windows);
+  obs::gauge("par.run_seconds").add(loop_seconds);
+  // Barrier wait: the span the whole run spends not executing events,
+  // summed over workers (idle time at window barriers + window overheads).
+  const double wait = loop_seconds * static_cast<double>(parts_.size()) - busy;
+  if (wait > 0.0) obs::gauge("par.barrier_wait_seconds").add(wait);
+#else
+  (void)loop_seconds;
+  (void)windows;
+#endif
 }
 
 void ParallelSimulator::run_until(SimTime t_end) {
   running_ = true;
+  const auto loop_t0 = std::chrono::steady_clock::now();
+  std::uint64_t windows = 0;
   for (;;) {
     // Global lower bound on the next event.
     SimTime gvt = std::numeric_limits<SimTime>::infinity();
@@ -92,6 +135,7 @@ void ParallelSimulator::run_until(SimTime t_end) {
       }
     }
     if (gvt > t_end || !std::isfinite(gvt)) break;
+    ++windows;
     // Match Simulator::run_until semantics: events with time <= t_end run.
     const SimTime window_end = std::min(
         gvt + lookahead_,
@@ -138,6 +182,10 @@ void ParallelSimulator::run_until(SimTime t_end) {
     }
   }
   running_ = false;
+  publish_obs(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            loop_t0)
+                  .count(),
+              windows);
 }
 
 std::uint64_t ParallelSimulator::events_processed() const {

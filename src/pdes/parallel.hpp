@@ -95,10 +95,16 @@ class ParallelSimulator {
     std::mutex mailbox_mu;
     std::uint64_t next_seq = 0;
     std::uint64_t processed = 0;
+    double busy_seconds = 0.0;   // wall time inside process_window (obs)
+    std::uint64_t published = 0;  // processed count already flushed to obs
+    double busy_published = 0.0;
   };
 
   void enqueue_cross(std::uint32_t target_partition, const Event& ev);
   void process_window(std::uint32_t p, SimTime window_end);
+  /// Publishes per-worker event counts, busy time and barrier wait to the
+  /// observability registry (deltas flushed once per run_until call).
+  void publish_obs(double loop_seconds, std::uint64_t windows);
 
   std::vector<std::unique_ptr<Partition>> parts_;
   std::vector<ParallelLp*> lps_;

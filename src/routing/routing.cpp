@@ -110,6 +110,7 @@ void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
 
   if (sr == dr) {
     state.decided = true;  // same router: nothing to decide
+    ++stats_.minimal;
     return;
   }
 
@@ -166,10 +167,18 @@ void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
       state.decided = (dg == sg);
       break;
   }
+  if (state.decided) {
+    if (state.proxy_group >= 0 || state.proxy_router >= 0) {
+      ++stats_.nonminimal;
+    } else {
+      ++stats_.minimal;
+    }
+  }
 }
 
 Decision RoutePlanner::route(PacketRoute& state, std::uint32_t router,
                              const QueueProbe& probe) {
+  ++stats_.steps;
   const std::uint32_t dr = net_.terminal_router(state.dst_terminal);
   if (router == dr) {
     return {Decision::Kind::kTerminal,
@@ -214,12 +223,16 @@ Decision RoutePlanner::route(PacketRoute& state, std::uint32_t router,
         if (probe.depth(router, non_port) < q_min) {
           state.proxy_group = proxy;
           state.decided = true;
+          ++stats_.nonminimal;
+          ++stats_.par_diverts;
         }
       }
     }
   }
-  if (cur_group != static_cast<std::uint32_t>(state.src_group)) {
+  if (cur_group != static_cast<std::uint32_t>(state.src_group) &&
+      !state.decided) {
     state.decided = true;  // PAR window closes once the packet leaves home
+    ++stats_.minimal;
   }
 
   const std::int32_t target_group =

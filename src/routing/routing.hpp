@@ -67,12 +67,24 @@ struct AdaptiveParams {
   double par_divert_depth = 4.0;
 };
 
+/// Tally of route decisions taken (adaptive-vs-minimal split etc.). The
+/// planner only counts; the simulator publishes these to the observability
+/// registry at the end of a run.
+struct RouteStats {
+  std::uint64_t minimal = 0;       ///< packets committed to the minimal path
+  std::uint64_t nonminimal = 0;    ///< packets sent via a Valiant proxy
+  std::uint64_t par_diverts = 0;   ///< in-flight PAR diversions (subset of
+                                   ///< nonminimal)
+  std::uint64_t steps = 0;         ///< route() calls (forwarding decisions)
+};
+
 class RoutePlanner {
  public:
   RoutePlanner(const topo::Dragonfly& net, Algo algo,
                AdaptiveParams params = {}, std::uint64_t seed = 1);
 
   Algo algo() const { return algo_; }
+  const RouteStats& stats() const { return stats_; }
 
   /// Called when a packet is injected (state.dst_terminal must be set);
   /// fixes src_group and, for Valiant, the proxy group.
@@ -103,6 +115,7 @@ class RoutePlanner {
   Algo algo_;
   AdaptiveParams params_;
   Rng rng_;
+  RouteStats stats_;
 };
 
 }  // namespace dv::routing
