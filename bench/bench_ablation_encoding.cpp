@@ -29,8 +29,9 @@ dv::metrics::RunMetrics quick_run(std::uint32_t p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dv;
+  bench::parse_args(argc, argv);
   bench::banner(
       "Ablation — aggregated radial views vs matrix views",
       "direct visualization of the topology does not scale; hierarchical "

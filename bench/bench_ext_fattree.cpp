@@ -39,8 +39,9 @@ double cv(const std::vector<dv::metrics::LinkMetrics>& links) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dv;
+  bench::parse_args(argc, argv);
   bench::banner(
       "Extension — Fat Tree via the dragonviz VA layer (128 hosts, k=8)",
       "future work of Sec. VI: other topologies through the same entity "

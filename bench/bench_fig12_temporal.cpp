@@ -28,8 +28,9 @@ int count_bursts(const std::vector<double>& series, double factor) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dv;
+  bench::parse_args(argc, argv);
   bench::banner(
       "Figure 12 — temporal characteristics of AMG / AMR Boxlib / MiniFE",
       "AMG: three bursts; AMR Boxlib: irregular phases; MiniFE: periodic "

@@ -55,8 +55,9 @@ const char* kScriptB = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dv;
+  bench::parse_args(argc, argv);
   bench::banner("Figure 5 — script-specified projection views",
                 "73 groups aggregated to 9 partitions (maxBins: 8); detail "
                 "view of the first 9 groups (filter)");

@@ -7,8 +7,9 @@
 #include "bench_common.hpp"
 #include "util/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dv;
+  bench::parse_args(argc, argv);
   bench::banner(
       "Figure 6 — linked projection/detail/timeline views (AMG, 2550 nodes)",
       "time-range selection updates the projection; selecting high-latency "

@@ -4,6 +4,14 @@
 // *interactive* exploration of large networks.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "core/projection.hpp"
 #include "core/views.hpp"
 #include "netsim/network.hpp"
@@ -54,27 +62,38 @@ core::ProjectionSpec default_spec() {
       .build();
 }
 
-void BM_SimulatorEventRate(benchmark::State& state) {
+/// One medium uniform-random netsim run; workers = 0 picks the sequential
+/// engine, N > 1 the partitioned parallel one. Returns events processed.
+std::uint64_t run_netsim_once(std::uint32_t workers) {
   const auto topo = topo::Dragonfly::canonical(3);
+  netsim::Network net(topo, routing::Algo::kAdaptive, {}, 3);
+  workload::Config cfg;
+  cfg.ranks = topo.num_terminals();
+  cfg.total_bytes = 8u << 20;
+  cfg.window = 5.0e4;
+  cfg.seed = 3;
+  const auto placement = placement::place_jobs(
+      topo, {{"ur", topo.num_terminals(), placement::Policy::kContiguous}}, 3);
+  net.add_messages(workload::map_to_terminals(
+      workload::generate_uniform_random(cfg), placement, 0));
+  if (workers) net.set_parallel(workers);
+  benchmark::DoNotOptimize(net.run());
+  return net.events_processed();
+}
+
+void BM_SimulatorEventRate(benchmark::State& state) {
   std::uint64_t events = 0;
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
-    netsim::Network net(topo, routing::Algo::kAdaptive, {}, 3);
-    workload::Config cfg;
-    cfg.ranks = topo.num_terminals();
-    cfg.total_bytes = 8u << 20;
-    cfg.window = 5.0e4;
-    const auto placement = placement::place_jobs(
-        topo, {{"ur", topo.num_terminals(), placement::Policy::kContiguous}},
-        3);
-    net.add_messages(workload::map_to_terminals(
-        workload::generate_uniform_random(cfg), placement, 0));
-    benchmark::DoNotOptimize(net.run());
-    events += net.events_processed();
+    events += run_netsim_once(workers);
   }
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulatorEventRate)->Unit(benchmark::kMillisecond);
+// Arg 0 = sequential engine; 1/2/4 = conservative parallel partitions.
+BENCHMARK(BM_SimulatorEventRate)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DataSetBuild(benchmark::State& state) {
   const auto& run = cached_run();
@@ -167,6 +186,65 @@ void BM_PholdEngine(benchmark::State& state) {
 // Arg 0 = sequential engine; 1/2/4 = conservative parallel partitions.
 BENCHMARK(BM_PholdEngine)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// Direct timed comparison of the two simulation engines, written as
+/// machine-readable JSON so CI and EXPERIMENTS.md can track the event-rate
+/// speedup across hardware. Rates are events/second over `reps` identical
+/// runs (first run per config is a warm-up and is not timed).
+void write_perf_json(const std::string& path) {
+  struct Row {
+    std::uint32_t workers;  // 0 = sequential reference
+    std::uint64_t events;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  const int reps = 3;
+  for (const std::uint32_t workers : {0u, 1u, 2u, 4u}) {
+    run_netsim_once(workers);  // warm-up
+    Row row{workers, 0, 0.0};
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) row.events += run_netsim_once(workers);
+    const auto t1 = std::chrono::steady_clock::now();
+    row.seconds = std::chrono::duration<double>(t1 - t0).count();
+    rows.push_back(row);
+    std::printf("perf: %-28s %10.0f events/s\n",
+                workers == 0 ? "sequential"
+                             : ("parallel workers=" +
+                                std::to_string(workers)).c_str(),
+                static_cast<double>(row.events) / row.seconds);
+  }
+  const double seq_rate =
+      static_cast<double>(rows[0].events) / rows[0].seconds;
+
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  std::ofstream os(path, std::ios::binary);
+  os << "{\n  \"benchmark\": \"netsim_event_rate\",\n"
+     << "  \"topology\": \"dragonfly canonical(3)\",\n"
+     << "  \"workload\": \"uniform_random 8 MiB\",\n"
+     << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n  \"configs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double rate = static_cast<double>(rows[i].events) / rows[i].seconds;
+    os << "    {\"engine\": \""
+       << (rows[i].workers == 0 ? "sequential" : "parallel")
+       << "\", \"workers\": " << rows[i].workers
+       << ", \"events\": " << rows[i].events
+       << ", \"seconds\": " << rows[i].seconds
+       << ", \"events_per_second\": " << rate
+       << ", \"speedup_vs_sequential\": " << rate / seq_rate << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_perf_json("bench_out/BENCH_perf.json");
+  return 0;
+}

@@ -13,8 +13,9 @@
 #include "util/str.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dv;
+  bench::parse_args(argc, argv);
   bench::banner("Table I — Summary of Applications",
                 "AMG 1728 ranks / 1.2 GB / 3D nearest neighbor; "
                 "AMR Boxlib 1728 / 2.2 GB / irregular and sparse; "

@@ -135,6 +135,7 @@ int cmd_sim(const Args& args) {
   cfg.window = args.num_or("window", 2.0e6);
   cfg.sample_dt = args.num_or("sample-dt", 0.0);
   cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
+  cfg.parallel = static_cast<std::uint32_t>(args.num_or("parallel", 0));
   const auto jobs = args.many("job");
   DV_REQUIRE(!jobs.empty(),
              "at least one --job workload[:ranks[:policy]] required");
@@ -158,10 +159,12 @@ int cmd_sim(const Args& args) {
     obs::ScopedPhase phase("write");
     result.run.save(out);
   }
-  std::printf("simulated %s on %s: %llu events, %.2fs wall, end=%.0f ns\n",
-              result.run.workload.c_str(), result.topo.describe().c_str(),
-              static_cast<unsigned long long>(result.events),
-              result.wall_seconds, result.run.end_time);
+  std::printf(
+      "simulated %s on %s: %llu events, %.2fs wall, end=%.0f ns (%u %s)\n",
+      result.run.workload.c_str(), result.topo.describe().c_str(),
+      static_cast<unsigned long long>(result.events), result.wall_seconds,
+      result.run.end_time, result.partitions,
+      result.partitions > 1 ? "partitions" : "partition, sequential");
   std::printf("wrote %s\n", out.c_str());
   maybe_write_profile(args, out);
   return 0;
@@ -365,6 +368,7 @@ int cmd_trace_replay(const Args& args) {
   net.add_messages(workload::map_to_terminals(t.messages, placement, 0));
   const double dt = args.num_or("sample-dt", 0.0);
   if (dt > 0) net.enable_sampling(dt);
+  net.set_parallel(static_cast<std::uint32_t>(args.num_or("parallel", 1)));
   const auto run = net.run();
   const std::string out = args.one("out");
   run.save(out);
@@ -407,6 +411,9 @@ void print_help() {
       "  sim      --p N --job workload[:ranks[:policy]] ... --out run.json\n"
       "           [--routing minimal|nonminimal|adaptive|par]\n"
       "           [--scale F] [--window NS] [--sample-dt NS] [--seed N]\n"
+      "           [--parallel N]  (N>1: conservative parallel engine with\n"
+      "           N group-partitions; same seed => identical metrics for\n"
+      "           minimal/nonminimal routing; env DV_PARALLEL as default)\n"
       "           [--profile[=prof.json]]  (counters + phase breakdown)\n"
       "  render   --run run.json --spec spec.json --out view.svg [--size PX]\n"
       "           [--focus ring:item]   (click-to-focus drill-down)\n"
@@ -424,7 +431,8 @@ void print_help() {
       "  trace-record --workload amg --ranks N --bytes B --out t.dvtr\n"
       "  trace-info   --trace t.dvtr\n"
       "  trace-replay --trace t.dvtr --p N --out run.json\n"
-      "           [--placement P] [--routing R] [--sample-dt NS]\n\n"
+      "           [--placement P] [--routing R] [--sample-dt NS]"
+      " [--parallel N]\n\n"
       "workloads: uniform_random nearest_neighbor all_to_all permutation\n"
       "           bisection amg amr_boxlib minife\n"
       "policies:  contiguous random_group random_router random_node\n");

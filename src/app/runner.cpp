@@ -1,6 +1,7 @@
 #include "app/runner.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 
 #include "workload/workload.hpp"
@@ -11,6 +12,15 @@ namespace {
 
 bool is_application(const std::string& name) {
   return name == "amg" || name == "amr_boxlib" || name == "minife";
+}
+
+std::uint32_t resolve_parallel(std::uint32_t requested) {
+  if (requested) return requested;
+  if (const char* env = std::getenv("DV_PARALLEL")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 1) return static_cast<std::uint32_t>(v);
+  }
+  return 1;
 }
 
 }  // namespace
@@ -90,11 +100,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   if (cfg.sample_dt > 0) net.enable_sampling(cfg.sample_dt);
+  net.set_parallel(resolve_parallel(cfg.parallel));
   setup_phase.reset();
 
   const auto t0 = std::chrono::steady_clock::now();
   out.run = net.run();
   const auto t1 = std::chrono::steady_clock::now();
+  out.partitions = net.partitions_used();
   out.events = net.events_processed();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   out.profile = obs::capture();

@@ -35,6 +35,10 @@ struct ExperimentConfig {
   /// nearest_neighbor stride (see workload::Config::neighbor_stride);
   /// 0 = auto (terminals per router, the congestion-forming variant).
   std::uint32_t nn_stride = 0;
+  /// Simulation engine: 0 = take the DV_PARALLEL environment variable
+  /// (defaulting to 1), 1 = sequential reference, N > 1 = conservative
+  /// parallel engine with N partitions (clamped to the group count).
+  std::uint32_t parallel = 0;
   netsim::Params params;
 
   /// Human-readable placement label ("contiguous", "random_router",
@@ -48,6 +52,8 @@ struct ExperimentResult {
   metrics::RunMetrics run;
   std::uint64_t events = 0;
   double wall_seconds = 0.0;
+  /// Partition count the simulation actually used (1 = sequential engine).
+  std::uint32_t partitions = 1;
   /// Observability snapshot taken when the experiment finished: counters,
   /// gauges and phase times accumulated since the last obs::reset() (call
   /// obs::reset() before run_experiment for a per-experiment profile).

@@ -6,16 +6,26 @@
 
 namespace dv::netsim {
 
+namespace {
+// Partition executing the current parallel event on this thread, -1 when
+// running sequentially. Lets depth() assert the conservative contract:
+// adaptive routing may only probe queues its own partition owns.
+thread_local std::int32_t t_active_partition = -1;
+}  // namespace
+
 // ----------------------------------------------------------------- Params
 
 void Params::validate() const {
   DV_REQUIRE(terminal_bandwidth > 0 && local_bandwidth > 0 &&
                  global_bandwidth > 0,
              "bandwidths must be positive");
-  DV_REQUIRE(terminal_latency >= 0 && local_latency >= 0 &&
-                 global_latency >= 0 && router_delay >= 0 &&
-                 credit_latency >= 0,
-             "latencies must be non-negative");
+  DV_REQUIRE(terminal_latency > 0 && local_latency > 0 && global_latency > 0,
+             "link latencies must be positive (zero latencies break both "
+             "saturation accounting and the parallel lookahead)");
+  DV_REQUIRE(router_delay >= 0, "router delay must be non-negative");
+  DV_REQUIRE(credit_latency > 0,
+             "credit latency must be positive (it bounds the conservative "
+             "lookahead window)");
   DV_REQUIRE(packet_size > 0, "packet size must be positive");
   DV_REQUIRE(vc_buffer_packets > 0, "vc buffer must hold at least one packet");
 }
@@ -109,8 +119,7 @@ std::uint32_t Network::link_vc(std::uint64_t enc) {
 Network::Network(const topo::Dragonfly& topo, routing::Algo algo,
                  Params params, std::uint64_t seed)
     : topo_(topo), params_(params),
-      planner_(topo_, algo, params.adaptive, seed),
-      rng_(seed, 0x5e7f10ULL), seed_(seed) {
+      planner_(topo_, algo, params.adaptive, seed), seed_(seed) {
   params_.validate();
   ports_per_router_ = topo_.ports_per_router();
   ports_.resize(static_cast<std::size_t>(topo_.num_routers()) *
@@ -130,7 +139,26 @@ Network::Network(const topo::Dragonfly& topo, routing::Algo algo,
   injection_.init(topo_.num_terminals(), 1, buf);
   ejection_.init(topo_.num_terminals(), 1, buf);
 
-  sim_.add_lp(this);  // single-LP dispatch; kind selects the handler
+  // Entity random streams: Valiant/UGAL draws happen at injection from the
+  // terminal's stream, PAR diverts from the router's stream — so route
+  // randomness is a function of (seed, entity, per-entity order), never of
+  // engine interleaving.
+  term_rng_.reserve(topo_.num_terminals());
+  for (std::uint32_t t = 0; t < topo_.num_terminals(); ++t) {
+    term_rng_.emplace_back(seed, (1ULL << 32) + t);
+  }
+  router_rng_.reserve(topo_.num_routers());
+  for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
+    router_rng_.emplace_back(seed, (2ULL << 32) + r);
+  }
+  term_pkt_seq_.assign(topo_.num_terminals(), 0);
+  router_partition_.assign(topo_.num_routers(), 0);
+
+  // One LP per router on the sequential engine too, so event streams carry
+  // the same LP ids as the parallel decomposition.
+  for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
+    sim_.add_lp(this);
+  }
   if (params_.event_budget) sim_.set_event_budget(params_.event_budget);
   if constexpr (obs::kEnabled) {
     sim_.set_kind_label(kEvMsgStart, "msg_start");
@@ -139,7 +167,6 @@ Network::Network(const topo::Dragonfly& topo, routing::Algo algo,
     sim_.set_kind_label(kEvPktAtTerminal, "pkt_at_terminal");
     sim_.set_kind_label(kEvPortFree, "port_free");
     sim_.set_kind_label(kEvCredit, "credit");
-    sim_.set_kind_label(kEvSample, "sample");
   }
 }
 
@@ -190,26 +217,101 @@ void Network::enable_sampling(double dt) {
   prev_term_sat_.assign(topo_.num_terminals(), 0.0);
 }
 
-// ----------------------------------------------------------------- arena
-
-std::uint32_t Network::alloc_packet() {
-  if (!free_packets_.empty()) {
-    const std::uint32_t id = free_packets_.back();
-    free_packets_.pop_back();
-    packets_[id] = Packet{};
-    return id;
-  }
-  packets_.emplace_back();
-  return static_cast<std::uint32_t>(packets_.size() - 1);
+void Network::set_parallel(std::uint32_t workers) {
+  DV_REQUIRE(!ran_, "set_parallel after run()");
+  parallel_ = workers == 0 ? 1 : workers;
 }
 
-void Network::free_packet(std::uint32_t id) { free_packets_.push_back(id); }
+double Network::lookahead() const {
+  return std::min(params_.credit_latency,
+                  std::min(params_.local_latency, params_.global_latency));
+}
+
+std::uint32_t Network::resolve_partitions() const {
+  // One partition must own whole groups (the LP map is group-contiguous)
+  // and the packet-id encoding carries 6 shard bits.
+  return std::min({parallel_, topo_.groups(), 64u});
+}
+
+// ----------------------------------------------------------------- arena
+
+void Network::init_shards(std::uint32_t count) {
+  // Every in-flight packet holds exactly one buffer credit, so the live
+  // packet count is bounded by the total credit pool. Reserving the chunk
+  // table to that bound means it never reallocates mid-run — which is what
+  // makes cross-partition packet(pid) lookups safe without a lock.
+  const std::uint64_t slots =
+      static_cast<std::uint64_t>(local_links_.credits.size() +
+                                 global_links_.credits.size() +
+                                 injection_.credits.size() +
+                                 ejection_.credits.size()) *
+      params_.vc_buffer_packets;
+  const std::size_t max_chunks =
+      static_cast<std::size_t>(slots >> kChunkShift) + 2;
+  shards_.clear();
+  shards_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->chunks.reserve(max_chunks);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+std::uint32_t Network::alloc_packet(std::uint32_t shard_id) {
+  Shard& sh = *shards_[shard_id];
+  if (sh.free_list.empty()) {
+    // Reclaim ids freed by other partitions (lock-free MPSC stack: they
+    // push with CAS, only we pop, and we take the whole chain at once).
+    std::uint32_t head =
+        sh.remote_free.exchange(kNilIndex, std::memory_order_acquire);
+    while (head != kNilIndex) {
+      sh.free_list.push_back(head);
+      head = sh.chunks[head >> kChunkShift][head & (kChunkSize - 1)].next_free;
+    }
+  }
+  std::uint32_t idx;
+  if (!sh.free_list.empty()) {
+    idx = sh.free_list.back();
+    sh.free_list.pop_back();
+  } else {
+    idx = sh.allocated++;
+    DV_CHECK(idx <= kIndexMask, "packet arena exhausted");
+    if ((idx >> kChunkShift) >= sh.chunks.size()) {
+      DV_CHECK(sh.chunks.size() < sh.chunks.capacity(),
+               "packet arena exceeded the in-flight credit bound");
+      sh.chunks.push_back(std::make_unique<Packet[]>(kChunkSize));
+    }
+  }
+  Packet& pkt = sh.chunks[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  pkt = Packet{};
+  return (shard_id << kShardShift) | idx;
+}
+
+void Network::free_packet(std::uint32_t current_shard, std::uint32_t pid) {
+  const std::uint32_t owner = pid >> kShardShift;
+  const std::uint32_t idx = pid & kIndexMask;
+  Shard& sh = *shards_[owner];
+  if (owner == current_shard) {
+    sh.free_list.push_back(idx);
+    return;
+  }
+  Packet& pkt = sh.chunks[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  std::uint32_t head = sh.remote_free.load(std::memory_order_relaxed);
+  do {
+    pkt.next_free = head;
+  } while (!sh.remote_free.compare_exchange_weak(
+      head, idx, std::memory_order_release, std::memory_order_relaxed));
+}
 
 Network::OutPort& Network::port(std::uint32_t router, std::uint32_t p) {
   return ports_[static_cast<std::size_t>(router) * ports_per_router_ + p];
 }
 
 double Network::depth(std::uint32_t router, std::uint32_t p) const {
+  DV_CHECK(t_active_partition < 0 ||
+               router_partition_[router] ==
+                   static_cast<std::uint32_t>(t_active_partition),
+           "adaptive probe read a queue outside its own partition");
   const auto& op =
       ports_[static_cast<std::size_t>(router) * ports_per_router_ + p];
   return static_cast<double>(op.queue.size()) + (op.busy ? 1.0 : 0.0);
@@ -256,18 +358,19 @@ Network::Hop Network::hop_for_port(std::uint32_t router,
 
 // ----------------------------------------------------------------- injection
 
-void Network::try_inject(std::uint32_t term) {
+void Network::try_inject(Ctx& ctx, std::uint32_t term) {
   TerminalState& ts = terminals_[term];
   if (ts.injector_busy || ts.pending.empty()) return;
   if (!injection_.has_credit(term, 0)) return;  // retried on credit return
 
-  const SimTime now = sim_.now();
+  const SimTime now = ctx.now;
+  Shard& sh = *shards_[ctx.shard];
   MsgProgress& msg = ts.pending.front();
   const std::uint32_t size = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(params_.packet_size, msg.remaining));
 
-  const std::uint32_t pid = alloc_packet();
-  Packet& pkt = packets_[pid];
+  const std::uint32_t pid = alloc_packet(ctx.shard);
+  Packet& pkt = packet(pid);
   pkt.src = term;
   pkt.dst = msg.dst;
   pkt.size = size;
@@ -277,28 +380,33 @@ void Network::try_inject(std::uint32_t term) {
   // what makes per-job "application performance" comparable across
   // placements as in Fig. 13d.
   pkt.inject_time = msg.issue_time;
+  // Injections at a terminal are totally ordered, so this uid is the same
+  // on both engines — it keys every event the packet generates.
+  pkt.uid = (static_cast<std::uint64_t>(term) << 32) | term_pkt_seq_[term]++;
   pkt.route.dst_terminal = msg.dst;
-  planner_.on_inject(pkt.route, term, *this);
+  planner_.on_inject(pkt.route, term, *this, term_rng_[term], sh.route_stats);
   pkt.in_link = encode_link(LinkClass::kInjection, term, 0);
 
   injection_.take_credit(term, 0, now);
   injection_.traffic[term] += size;
-  ++packets_injected_;
-  bytes_injected_ += size;
+  ++sh.packets_injected;
+  sh.bytes_injected += size;
 
   msg.remaining -= size;
   if (msg.remaining == 0) {
     ts.pending.pop_front();
-    DV_CHECK(msgs_unfinished_ > 0, "message bookkeeping underflow");
-    --msgs_unfinished_;
+    ++sh.msgs_finished;
   }
-  ++packets_in_flight_;
+  ++sh.in_flight;
 
   const double ser = static_cast<double>(size) / params_.terminal_bandwidth;
   ts.injector_busy = true;
-  sim_.schedule_in(ser, 0, kEvInjectorFree, term);
-  sim_.schedule_in(ser + params_.terminal_latency + params_.router_delay, 0,
-                   kEvPktAtRouter, pid, topo_.terminal_router(term));
+  const pdes::LpId lp = lp_of_terminal(term);
+  ctx.schedule_in(ser, lp, kEvInjectorFree, term, 0,
+                  pri_key(kEvInjectorFree, term));
+  ctx.schedule_in(ser + params_.terminal_latency + params_.router_delay, lp,
+                  kEvPktAtRouter, pid, topo_.terminal_router(term),
+                  pri_key(kEvPktAtRouter, pkt.uid));
 }
 
 // ----------------------------------------------------------------- transit
@@ -313,15 +421,15 @@ Network::LinkArray& Network::link_array_for(LinkClass cls) {
   throw Error("no link array for this link class");
 }
 
-void Network::update_backlog(std::uint32_t router, std::uint32_t p) {
+void Network::update_backlog(Ctx& ctx, std::uint32_t router, std::uint32_t p) {
   const Hop hop = hop_for_port(router, p);
   LinkArray& la = link_array_for(hop.cls);
   la.set_backlog(hop.id,
                  port(router, p).queue.size() >= params_.vc_buffer_packets,
-                 sim_.now());
+                 ctx.now);
 }
 
-void Network::try_transmit(std::uint32_t router, std::uint32_t p) {
+void Network::try_transmit(Ctx& ctx, std::uint32_t router, std::uint32_t p) {
   OutPort& op = port(router, p);
   if (op.busy || op.queue.empty()) return;
 
@@ -332,7 +440,7 @@ void Network::try_transmit(std::uint32_t router, std::uint32_t p) {
   std::size_t pick = op.queue.size();
   std::uint32_t vc = 0;
   for (std::size_t i = 0; i < op.queue.size(); ++i) {
-    const Packet& cand = packets_[op.queue[i]];
+    const Packet& cand = packet(op.queue[i]);
     const std::uint32_t cvc =
         hop.cls == LinkClass::kEjection ? 0u : cand.link_hops;
     if (la.has_credit(hop.id, cvc)) {
@@ -344,15 +452,15 @@ void Network::try_transmit(std::uint32_t router, std::uint32_t p) {
   if (pick == op.queue.size()) return;  // all VCs full; retried on credit
 
   const std::uint32_t pid = op.queue[pick];
-  op.queue.erase(op.queue.begin() + static_cast<std::ptrdiff_t>(pick));
+  op.queue.erase_at(pick);
   la.set_backlog(hop.id, op.queue.size() >= params_.vc_buffer_packets,
-                 sim_.now());
-  Packet& pkt = packets_[pid];
-  const SimTime now = sim_.now();
+                 ctx.now);
+  Packet& pkt = packet(pid);
+  const SimTime now = ctx.now;
 
   la.take_credit(hop.id, vc, now);
   la.traffic[hop.id] += pkt.size;
-  return_credit(pkt.in_link);  // upstream buffer slot frees as we depart
+  return_credit(ctx, pkt.in_link);  // upstream buffer slot frees as we depart
   pkt.in_link = encode_link(hop.cls, hop.id, vc);
   if (hop.cls != LinkClass::kEjection) {
     ++pkt.link_hops;
@@ -361,57 +469,87 @@ void Network::try_transmit(std::uint32_t router, std::uint32_t p) {
 
   const double ser = static_cast<double>(pkt.size) / hop.bandwidth;
   op.busy = true;
-  sim_.schedule_in(ser, 0, kEvPortFree, router, p);
+  ctx.schedule_in(
+      ser, router, kEvPortFree, router, p,
+      pri_key(kEvPortFree,
+              static_cast<std::uint64_t>(router) * ports_per_router_ + p));
   if (hop.cls == LinkClass::kEjection) {
-    sim_.schedule_in(ser + hop.latency, 0, kEvPktAtTerminal, pid,
-                     hop.dst_terminal);
+    // The destination terminal hangs off this router: same LP.
+    ctx.schedule_in(ser + hop.latency, router, kEvPktAtTerminal, pid,
+                    hop.dst_terminal, pri_key(kEvPktAtTerminal, pkt.uid));
   } else {
-    sim_.schedule_in(ser + hop.latency + params_.router_delay, 0,
-                     kEvPktAtRouter, pid, hop.dst_router);
+    // Cross-router (possibly cross-partition): the link latency keeps the
+    // delay at or above the conservative lookahead.
+    ctx.schedule_in(ser + hop.latency + params_.router_delay, hop.dst_router,
+                    kEvPktAtRouter, pid, hop.dst_router,
+                    pri_key(kEvPktAtRouter, pkt.uid));
   }
 }
 
-void Network::return_credit(std::uint64_t enc_link) {
-  if (link_class(enc_link) == LinkClass::kNone) return;
-  sim_.schedule_in(params_.credit_latency, 0, kEvCredit, enc_link);
+void Network::return_credit(Ctx& ctx, std::uint64_t enc_link) {
+  const LinkClass cls = link_class(enc_link);
+  if (cls == LinkClass::kNone) return;
+  // Credits go to the LP owning the link's upstream (source) port; for
+  // local/global links that can be another partition, and credit_latency
+  // >= lookahead keeps the conservative contract.
+  pdes::LpId lp = 0;
+  switch (cls) {
+    case LinkClass::kInjection:
+    case LinkClass::kEjection:
+      lp = topo_.terminal_router(link_id(enc_link));
+      break;
+    case LinkClass::kLocal:
+      lp = topo_.local_link_ends(link_id(enc_link)).first;
+      break;
+    case LinkClass::kGlobal:
+      lp = topo_.global_link_src(link_id(enc_link)).router;
+      break;
+    case LinkClass::kNone:
+      break;
+  }
+  ctx.schedule_in(params_.credit_latency, lp, kEvCredit, enc_link, 0,
+                  pri_key(kEvCredit, enc_link));
 }
 
-void Network::handle_packet_at_router(std::uint32_t pid,
+void Network::handle_packet_at_router(Ctx& ctx, std::uint32_t pid,
                                       std::uint32_t router) {
-  Packet& pkt = packets_[pid];
+  Packet& pkt = packet(pid);
   ++pkt.router_hops;
-  const routing::Decision d = planner_.route(pkt.route, router, *this);
+  Shard& sh = *shards_[ctx.shard];
+  const routing::Decision d = planner_.route(pkt.route, router, *this,
+                                             router_rng_[router],
+                                             sh.route_stats);
   port(router, d.port).queue.push_back(pid);
-  update_backlog(router, d.port);
-  try_transmit(router, d.port);
+  update_backlog(ctx, router, d.port);
+  try_transmit(ctx, router, d.port);
 }
 
-void Network::handle_packet_at_terminal(std::uint32_t pid,
+void Network::handle_packet_at_terminal(Ctx& ctx, std::uint32_t pid,
                                         std::uint32_t term) {
-  Packet& pkt = packets_[pid];
+  Packet& pkt = packet(pid);
   DV_CHECK(pkt.dst == term, "packet delivered to the wrong terminal");
   metrics::TerminalMetrics& tm = term_stats_[term];
   ++tm.packets_finished;
-  tm.sum_latency += sim_.now() - pkt.inject_time;
+  tm.sum_latency += ctx.now - pkt.inject_time;
   tm.sum_hops += pkt.router_hops;
-  ++packets_delivered_;
-  bytes_delivered_ += pkt.size;
-  DV_CHECK(packets_in_flight_ > 0, "packet bookkeeping underflow");
-  --packets_in_flight_;
+  Shard& sh = *shards_[ctx.shard];
+  ++sh.packets_delivered;
+  sh.bytes_delivered += pkt.size;
+  --sh.in_flight;
 
   // The ejection buffer slot frees once the NIC has drained the packet.
   DV_CHECK(link_class(pkt.in_link) == LinkClass::kEjection,
            "terminal received a packet not via its ejection link");
   const double drain =
       static_cast<double>(pkt.size) / params_.terminal_bandwidth;
-  sim_.schedule_in(drain, 0, kEvCredit, pkt.in_link);
-  free_packet(pid);
+  ctx.schedule_in(drain, lp_of_terminal(term), kEvCredit, pkt.in_link, 0,
+                  pri_key(kEvCredit, pkt.in_link));
+  free_packet(ctx.shard, pid);
 }
 
 // ----------------------------------------------------------------- sampling
 
-void Network::take_sample() {
-  const SimTime now = sim_.now();
+void Network::take_sample(SimTime now) {
   auto capture = [now](const LinkArray& la, std::vector<double>& prev_traffic,
                        std::vector<double>& prev_sat,
                        metrics::SampledSeries& traffic_ts,
@@ -454,34 +592,34 @@ void Network::take_sample() {
 
 // ----------------------------------------------------------------- dispatch
 
-void Network::on_event(pdes::Simulator& sim, const pdes::Event& ev) {
+void Network::dispatch(Ctx& ctx, const pdes::Event& ev) {
   switch (ev.kind) {
     case kEvMsgStart: {
       const Message& m = messages_[ev.data0];
       terminals_[m.src_terminal].pending.push_back(
-          MsgProgress{m.dst_terminal, m.bytes, m.job, sim.now()});
-      try_inject(m.src_terminal);
+          MsgProgress{m.dst_terminal, m.bytes, m.job, ctx.now});
+      try_inject(ctx, m.src_terminal);
       break;
     }
     case kEvInjectorFree: {
       const auto term = static_cast<std::uint32_t>(ev.data0);
       terminals_[term].injector_busy = false;
-      try_inject(term);
+      try_inject(ctx, term);
       break;
     }
     case kEvPktAtRouter:
-      handle_packet_at_router(static_cast<std::uint32_t>(ev.data0),
+      handle_packet_at_router(ctx, static_cast<std::uint32_t>(ev.data0),
                               static_cast<std::uint32_t>(ev.data1));
       break;
     case kEvPktAtTerminal:
-      handle_packet_at_terminal(static_cast<std::uint32_t>(ev.data0),
+      handle_packet_at_terminal(ctx, static_cast<std::uint32_t>(ev.data0),
                                 static_cast<std::uint32_t>(ev.data1));
       break;
     case kEvPortFree: {
       const auto router = static_cast<std::uint32_t>(ev.data0);
       const auto p = static_cast<std::uint32_t>(ev.data1);
       port(router, p).busy = false;
-      try_transmit(router, p);
+      try_transmit(ctx, router, p);
       break;
     }
     case kEvCredit: {
@@ -490,25 +628,25 @@ void Network::on_event(pdes::Simulator& sim, const pdes::Event& ev) {
       const std::uint32_t vc = link_vc(enc);
       switch (link_class(enc)) {
         case LinkClass::kInjection:
-          injection_.give_credit(id, vc, sim.now());
-          try_inject(id);
+          injection_.give_credit(id, vc, ctx.now);
+          try_inject(ctx, id);
           break;
         case LinkClass::kEjection: {
-          ejection_.give_credit(id, vc, sim.now());
+          ejection_.give_credit(id, vc, ctx.now);
           const std::uint32_t router = topo_.terminal_router(id);
-          try_transmit(router, topo_.terminal_slot(id));
+          try_transmit(ctx, router, topo_.terminal_slot(id));
           break;
         }
         case LinkClass::kLocal: {
-          local_links_.give_credit(id, vc, sim.now());
+          local_links_.give_credit(id, vc, ctx.now);
           const auto [router, lport] = topo_.local_link_ends(id);
-          try_transmit(router, topo_.terminals_per_router() + lport);
+          try_transmit(ctx, router, topo_.terminals_per_router() + lport);
           break;
         }
         case LinkClass::kGlobal: {
-          global_links_.give_credit(id, vc, sim.now());
+          global_links_.give_credit(id, vc, ctx.now);
           const topo::GlobalEnd src = topo_.global_link_src(id);
-          try_transmit(src.router, topo_.global_port(src.channel));
+          try_transmit(ctx, src.router, topo_.global_port(src.channel));
           break;
         }
         case LinkClass::kNone:
@@ -516,15 +654,20 @@ void Network::on_event(pdes::Simulator& sim, const pdes::Event& ev) {
       }
       break;
     }
-    case kEvSample:
-      take_sample();
-      if (packets_in_flight_ > 0 || msgs_unfinished_ > 0) {
-        sim.schedule_in(sample_dt_, 0, kEvSample);
-      }
-      break;
     default:
       DV_CHECK(false, "unknown event kind");
   }
+}
+
+void Network::on_event(pdes::Simulator& sim, const pdes::Event& ev) {
+  Ctx ctx{&sim, nullptr, sim.now(), 0};
+  dispatch(ctx, ev);
+}
+
+void Network::on_event(pdes::ParallelContext& pctx, const pdes::Event& ev) {
+  t_active_partition = static_cast<std::int32_t>(pctx.partition());
+  Ctx ctx{nullptr, &pctx, pctx.now(), pctx.partition()};
+  dispatch(ctx, ev);
 }
 
 // ----------------------------------------------------------------- run
@@ -533,50 +676,131 @@ metrics::RunMetrics Network::run() {
   DV_REQUIRE(!ran_, "a Network can only run once");
   ran_ = true;
 
-  msgs_unfinished_ = messages_.size();
-  for (std::size_t i = 0; i < messages_.size(); ++i) {
-    sim_.schedule(messages_[i].time, 0, kEvMsgStart, i);
+  partitions_used_ = resolve_partitions();
+  const std::uint32_t nparts = partitions_used_;
+  init_shards(nparts);
+  for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
+    // Contiguous group blocks: group g goes to partition g*nparts/groups.
+    router_partition_[r] = topo_.router_group(r) * nparts / topo_.groups();
   }
-  if (sample_dt_ > 0.0) sim_.schedule(sample_dt_, 0, kEvSample);
 
+  if (nparts > 1) {
+    par_ = std::make_unique<pdes::ParallelSimulator>(nparts, lookahead());
+    for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
+      par_->add_lp(static_cast<pdes::ParallelLp*>(this), router_partition_[r]);
+    }
+    if (params_.event_budget) par_->set_event_budget(params_.event_budget);
+  }
+
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    const pdes::LpId lp = lp_of_terminal(messages_[i].src_terminal);
+    const std::uint64_t pri = pri_key(kEvMsgStart, i);
+    if (par_) {
+      par_->schedule(messages_[i].time, lp, kEvMsgStart, i, 0, pri);
+    } else {
+      sim_.schedule(messages_[i].time, lp, kEvMsgStart, i, 0, pri);
+    }
+  }
+
+  // Sampling is orchestrated from here (not via self-rescheduling events):
+  // both engines run window-by-window to each tick, and the sampler reads
+  // link state between windows when no worker is active.
+  SimTime end = 0.0;
   {
     obs::ScopedPhase phase("sim");
-    sim_.run();
+    if (sample_dt_ > 0.0) {
+      SimTime tick = 0.0;
+      if (par_) {
+        while (par_->has_events()) {
+          tick += sample_dt_;
+          par_->run_until(tick);
+          take_sample(tick);
+        }
+      } else {
+        while (!sim_.queue_empty()) {
+          tick += sample_dt_;
+          sim_.run_until(tick);
+          take_sample(tick);
+        }
+      }
+      end = tick;
+    } else if (par_) {
+      par_->run_until(std::numeric_limits<SimTime>::max());
+      end = par_->last_event_time();
+    } else {
+      sim_.run();
+      end = sim_.now();
+    }
   }
 
-  DV_CHECK(packets_in_flight_ == 0 && msgs_unfinished_ == 0,
+  std::int64_t in_flight = 0;
+  std::uint64_t msgs_finished = 0, bytes_in = 0, bytes_out = 0;
+  for (const auto& sh : shards_) {
+    in_flight += sh->in_flight;
+    msgs_finished += sh->msgs_finished;
+    bytes_in += sh->bytes_injected;
+    bytes_out += sh->bytes_delivered;
+  }
+  DV_CHECK(in_flight == 0 && msgs_finished == messages_.size(),
            "simulation drained with work outstanding");
-  DV_CHECK(bytes_injected_ == bytes_delivered_,
+  DV_CHECK(bytes_in == bytes_out,
            "flow conservation violated: injected != delivered bytes");
 
   metrics::RunMetrics out;
   {
     obs::ScopedPhase phase("collect");
-    flush_and_collect(out);
+    flush_and_collect(out, end);
   }
-  if constexpr (obs::kEnabled) {
-    obs::counter("net.messages").add(messages_.size());
-    obs::counter("net.packets_injected").add(packets_injected_);
-    obs::counter("net.packets_delivered").add(packets_delivered_);
-    obs::counter("net.bytes_injected").add(bytes_injected_);
-    obs::counter("net.bytes_delivered").add(bytes_delivered_);
-    double hops = 0.0;
-    for (const auto& t : out.terminals) hops += t.sum_hops;
-    obs::counter("net.router_hops").add(static_cast<std::uint64_t>(hops));
-    const routing::RouteStats& rs = planner_.stats();
-    obs::counter("net.route.minimal").add(rs.minimal);
-    obs::counter("net.route.nonminimal").add(rs.nonminimal);
-    obs::counter("net.route.par_diverts").add(rs.par_diverts);
-    obs::counter("net.route.steps").add(rs.steps);
-    if (sample_dt_ > 0.0) {
-      obs::counter("net.sample_frames").add(out.local_traffic_ts.frames());
-    }
-  }
+  publish_run_obs(out);
   return out;
 }
 
-void Network::flush_and_collect(metrics::RunMetrics& out) {
-  const SimTime end = sim_.now();
+std::uint64_t Network::packets_injected() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->packets_injected;
+  return n;
+}
+
+std::uint64_t Network::packets_delivered() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->packets_delivered;
+  return n;
+}
+
+void Network::publish_run_obs(const metrics::RunMetrics& out) {
+#ifdef DV_OBS_ENABLED
+  std::uint64_t bytes_in = 0, bytes_out = 0;
+  routing::RouteStats rs;
+  for (const auto& sh : shards_) {
+    bytes_in += sh->bytes_injected;
+    bytes_out += sh->bytes_delivered;
+    rs.minimal += sh->route_stats.minimal;
+    rs.nonminimal += sh->route_stats.nonminimal;
+    rs.par_diverts += sh->route_stats.par_diverts;
+    rs.steps += sh->route_stats.steps;
+  }
+  obs::counter("net.messages").add(messages_.size());
+  obs::counter("net.packets_injected").add(packets_injected());
+  obs::counter("net.packets_delivered").add(packets_delivered());
+  obs::counter("net.bytes_injected").add(bytes_in);
+  obs::counter("net.bytes_delivered").add(bytes_out);
+  double hops = 0.0;
+  for (const auto& t : out.terminals) hops += t.sum_hops;
+  obs::counter("net.router_hops").add(static_cast<std::uint64_t>(hops));
+  obs::counter("net.route.minimal").add(rs.minimal);
+  obs::counter("net.route.nonminimal").add(rs.nonminimal);
+  obs::counter("net.route.par_diverts").add(rs.par_diverts);
+  obs::counter("net.route.steps").add(rs.steps);
+  obs::gauge("net.partitions").set(static_cast<double>(partitions_used_));
+  if (sample_dt_ > 0.0) {
+    obs::counter("net.sample_frames").add(out.local_traffic_ts.frames());
+  }
+#else
+  (void)out;
+#endif
+}
+
+void Network::flush_and_collect(metrics::RunMetrics& out, SimTime end) {
   out.groups = topo_.groups();
   out.routers_per_group = topo_.routers_per_group();
   out.terminals_per_router = topo_.terminals_per_router();
@@ -621,7 +845,8 @@ void Network::flush_and_collect(metrics::RunMetrics& out) {
   }
 
   if (sample_dt_ > 0.0) {
-    take_sample();  // final partial frame
+    // The orchestrated run already sampled through `end`; just hand the
+    // series over.
     out.sample_dt = sample_dt_;
     out.local_traffic_ts = std::move(local_traffic_ts_);
     out.local_sat_ts = std::move(local_sat_ts_);

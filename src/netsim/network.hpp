@@ -13,22 +13,33 @@
 // packet's link-hop index, which increases monotonically along every path
 // allowed by the RoutePlanner, so the channel dependency graph is acyclic.
 //
-// The simulator runs on the dv::pdes engine as a single logical process
-// dispatching on event kind; determinism comes from the engine's
-// (time, sequence) ordering and the planner's seeded RNG.
+// Engines: one model core serves two engines behind a tiny scheduling
+// shim. The sequential dv::pdes::Simulator is the reference; the
+// conservative pdes::ParallelSimulator runs the same model decomposed into
+// one logical process per router (plus its terminals), partitioned by
+// Dragonfly group. Every event carries an engine-independent priority key
+// (kind + entity id), every terminal/router has its own random stream, and
+// all mutable state is owned by exactly one router's partition — so for
+// execution-order-independent routing (minimal, Valiant) the parallel
+// engine reproduces the sequential RunMetrics bit for bit at any partition
+// count. Lookahead is the minimum physical delay that can cross a
+// partition boundary: min(credit_latency, local_latency, global_latency).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "metrics/run_metrics.hpp"
 #include "pdes/engine.hpp"
+#include "pdes/parallel.hpp"
 #include "placement/placement.hpp"
 #include "routing/routing.hpp"
 #include "topology/dragonfly.hpp"
+#include "util/ring_queue.hpp"
 #include "util/rng.hpp"
 
 namespace dv::netsim {
@@ -63,7 +74,9 @@ struct Message {
 };
 
 /// A complete simulation: construct, add messages, run once.
-class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
+class Network final : public pdes::LogicalProcess,
+                      public pdes::ParallelLp,
+                      public routing::QueueProbe {
  public:
   Network(const topo::Dragonfly& topo, routing::Algo algo, Params params = {},
           std::uint64_t seed = 1);
@@ -87,6 +100,18 @@ class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
   /// Enables fixed-rate time-series sampling (dt in ns).
   void enable_sampling(double dt);
 
+  /// Selects the engine: 0 or 1 = sequential reference, N > 1 = the
+  /// conservative parallel engine with N partitions (clamped to the number
+  /// of groups and to 64). Must be called before run().
+  void set_parallel(std::uint32_t workers);
+
+  /// Partition count the run actually used (valid after run()).
+  std::uint32_t partitions_used() const { return partitions_used_; }
+
+  /// Conservative window width: the smallest delay that can cross a
+  /// router-partition boundary.
+  double lookahead() const;
+
   /// Runs the simulation to completion and returns the collected metrics.
   /// May be called once.
   metrics::RunMetrics run();
@@ -94,12 +119,16 @@ class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
   // routing::QueueProbe: output queue depth (packets, incl. in service).
   double depth(std::uint32_t router, std::uint32_t port) const override;
 
-  // pdes::LogicalProcess.
+  // pdes::LogicalProcess (sequential engine).
   void on_event(pdes::Simulator& sim, const pdes::Event& ev) override;
+  // pdes::ParallelLp (parallel engine).
+  void on_event(pdes::ParallelContext& ctx, const pdes::Event& ev) override;
 
-  std::uint64_t events_processed() const { return sim_.events_processed(); }
-  std::uint64_t packets_injected() const { return packets_injected_; }
-  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t events_processed() const {
+    return par_ ? par_->events_processed() : sim_.events_processed();
+  }
+  std::uint64_t packets_injected() const;
+  std::uint64_t packets_delivered() const;
 
  private:
   // ---- link identity: class + id ------------------------------------
@@ -140,14 +169,17 @@ class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
     std::uint32_t size = 0;
     std::int32_t job = -1;
     SimTime inject_time = 0.0;
+    std::uint64_t uid = 0;          // (src << 32) | per-terminal counter —
+                                    // engine-independent event priority key
     std::uint32_t router_hops = 0;  // routers visited
     std::uint32_t link_hops = 0;    // router-router links crossed (== VC)
+    std::uint32_t next_free = 0;    // remote free-list chain (arena)
     std::uint64_t in_link = 0;      // where to return the buffer credit
     routing::PacketRoute route;
   };
 
   struct OutPort {
-    std::deque<std::uint32_t> queue;
+    RingQueue<std::uint32_t> queue;
     bool busy = false;
   };
 
@@ -159,8 +191,58 @@ class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
   };
 
   struct TerminalState {
-    std::deque<MsgProgress> pending;
+    RingQueue<MsgProgress> pending;
     bool injector_busy = false;
+  };
+
+  // ---- packet arena ---------------------------------------------------
+  // One arena per partition ("shard"). A packet id is shard << 26 | index;
+  // storage is fixed 1024-slot chunks, and the chunk table's capacity is
+  // pre-reserved to the in-flight bound (total buffer credits), so the
+  // table never reallocates while other partitions hold packet ids into
+  // it. Packets delivered on a foreign partition are recycled through a
+  // lock-free multi-producer stack drained by the owner at allocation.
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kShardShift = 26;
+  static constexpr std::uint32_t kIndexMask = (1u << kShardShift) - 1;
+  static constexpr std::uint32_t kNilIndex =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Per-partition state: packet arena, scalar counters, routing stats.
+  /// Only the owning partition's worker mutates a shard during a window
+  /// (except remote_free, which is the lock-free return stack).
+  struct alignas(64) Shard {
+    std::vector<std::unique_ptr<Packet[]>> chunks;
+    std::vector<std::uint32_t> free_list;
+    std::uint32_t allocated = 0;
+    std::atomic<std::uint32_t> remote_free{kNilIndex};
+
+    std::uint64_t packets_injected = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t bytes_injected = 0;
+    std::uint64_t bytes_delivered = 0;
+    std::int64_t in_flight = 0;      // per-shard delta; only the sum is >= 0
+    std::uint64_t msgs_finished = 0;
+    routing::RouteStats route_stats;
+  };
+
+  /// Engine-dispatch shim: handlers schedule through this so one model
+  /// core serves both engines.
+  struct Ctx {
+    pdes::Simulator* seq = nullptr;
+    pdes::ParallelContext* par = nullptr;
+    SimTime now = 0.0;
+    std::uint32_t shard = 0;
+    void schedule_in(SimTime delay, pdes::LpId lp, std::uint32_t kind,
+                     std::uint64_t data0, std::uint64_t data1,
+                     std::uint64_t pri) {
+      if (seq) {
+        seq->schedule_in(delay, lp, kind, data0, data1, pri);
+      } else {
+        par->schedule(now + delay, lp, kind, data0, data1, pri);
+      }
+    }
   };
 
   // ---- event kinds ---------------------------------------------------
@@ -171,23 +253,46 @@ class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
     kEvPktAtTerminal, // data0 = packet, data1 = terminal
     kEvPortFree,      // data0 = router, data1 = port
     kEvCredit,        // data0 = encoded link+vc
-    kEvSample,        // periodic sampling tick
   };
 
+  /// Engine-independent ordering key for simultaneous events: kind in the
+  /// top byte, the owning entity (packet uid, terminal, port, link) below.
+  /// Events sharing a key are interchangeable (e.g. two credit returns
+  /// for the same link+VC), so any (time, pri)-respecting order yields
+  /// identical results on both engines.
+  static constexpr std::uint64_t pri_key(std::uint32_t kind,
+                                         std::uint64_t entity) {
+    return (static_cast<std::uint64_t>(kind) << 56) | entity;
+  }
+
   // ---- helpers ---------------------------------------------------
-  std::uint32_t alloc_packet();
-  void free_packet(std::uint32_t id);
+  std::uint32_t alloc_packet(std::uint32_t shard_id);
+  void free_packet(std::uint32_t shard_id, std::uint32_t pid);
+  Packet& packet(std::uint32_t pid) {
+    Shard& sh = *shards_[pid >> kShardShift];
+    const std::uint32_t idx = pid & kIndexMask;
+    return sh.chunks[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
   OutPort& port(std::uint32_t router, std::uint32_t p);
   LinkArray& link_array_for(LinkClass cls);
-  void update_backlog(std::uint32_t router, std::uint32_t p);
+  void update_backlog(Ctx& ctx, std::uint32_t router, std::uint32_t p);
+  pdes::LpId lp_of_terminal(std::uint32_t term) const {
+    return topo_.terminal_router(term);
+  }
 
-  void try_inject(std::uint32_t term);
-  void try_transmit(std::uint32_t router, std::uint32_t p);
-  void handle_packet_at_router(std::uint32_t pkt_id, std::uint32_t router);
-  void handle_packet_at_terminal(std::uint32_t pkt_id, std::uint32_t term);
-  void return_credit(std::uint64_t enc_link);
-  void take_sample();
-  void flush_and_collect(metrics::RunMetrics& out);
+  void dispatch(Ctx& ctx, const pdes::Event& ev);
+  void try_inject(Ctx& ctx, std::uint32_t term);
+  void try_transmit(Ctx& ctx, std::uint32_t router, std::uint32_t p);
+  void handle_packet_at_router(Ctx& ctx, std::uint32_t pkt_id,
+                               std::uint32_t router);
+  void handle_packet_at_terminal(Ctx& ctx, std::uint32_t pkt_id,
+                                 std::uint32_t term);
+  void return_credit(Ctx& ctx, std::uint64_t enc_link);
+  void take_sample(SimTime now);
+  void flush_and_collect(metrics::RunMetrics& out, SimTime end);
+  std::uint32_t resolve_partitions() const;
+  void init_shards(std::uint32_t count);
+  void publish_run_obs(const metrics::RunMetrics& out);
 
   /// (link class, link id, downstream arrival delay, serialization rate)
   struct Hop {
@@ -206,7 +311,7 @@ class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
   Params params_;
   routing::RoutePlanner planner_;
   pdes::Simulator sim_;
-  Rng rng_;
+  std::unique_ptr<pdes::ParallelSimulator> par_;
 
   std::vector<Message> messages_;
   std::vector<TerminalState> terminals_;
@@ -216,8 +321,11 @@ class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
 
   LinkArray local_links_, global_links_, injection_, ejection_;
 
-  std::vector<Packet> packets_;
-  std::vector<std::uint32_t> free_packets_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Rng> term_rng_;               // injection-time routing draws
+  std::vector<Rng> router_rng_;             // in-flight (PAR) routing draws
+  std::vector<std::uint32_t> term_pkt_seq_; // per-terminal packet counter
+  std::vector<std::uint32_t> router_partition_;
 
   // Terminal delivery stats.
   std::vector<metrics::TerminalMetrics> term_stats_;
@@ -237,12 +345,8 @@ class Network final : public pdes::LogicalProcess, public routing::QueueProbe {
   std::vector<std::int32_t> term_job_;
 
   std::uint64_t seed_ = 1;
-  std::size_t msgs_unfinished_ = 0;
-  std::size_t packets_in_flight_ = 0;
-  std::uint64_t packets_injected_ = 0;
-  std::uint64_t packets_delivered_ = 0;
-  std::uint64_t bytes_injected_ = 0;
-  std::uint64_t bytes_delivered_ = 0;
+  std::uint32_t parallel_ = 1;
+  std::uint32_t partitions_used_ = 1;
   bool ran_ = false;
 };
 

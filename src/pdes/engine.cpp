@@ -18,19 +18,21 @@ void Simulator::set_kind_label(std::uint32_t kind, std::string label) {
 }
 
 void Simulator::schedule(SimTime t, LpId lp, std::uint32_t kind,
-                         std::uint64_t data0, std::uint64_t data1) {
+                         std::uint64_t data0, std::uint64_t data1,
+                         std::uint64_t pri) {
   DV_REQUIRE(lp < lps_.size(), "schedule to unknown LP");
   DV_REQUIRE(t >= now_, "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, lp, kind, data0, data1});
+  queue_.push(Event{t, next_seq_++, lp, kind, data0, data1, pri});
 #ifdef DV_OBS_ENABLED
   if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
 #endif
 }
 
 void Simulator::schedule_in(SimTime delay, LpId lp, std::uint32_t kind,
-                            std::uint64_t data0, std::uint64_t data1) {
+                            std::uint64_t data0, std::uint64_t data1,
+                            std::uint64_t pri) {
   DV_REQUIRE(delay >= 0.0, "negative delay");
-  schedule(now_ + delay, lp, kind, data0, data1);
+  schedule(now_ + delay, lp, kind, data0, data1, pri);
 }
 
 void Simulator::dispatch(const Event& ev) {
@@ -78,9 +80,7 @@ void Simulator::publish_obs(double loop_seconds) {
 void Simulator::run() {
   const auto t0 = std::chrono::steady_clock::now();
   while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+    dispatch(queue_.pop());
   }
   publish_obs(std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             t0)
@@ -91,9 +91,7 @@ void Simulator::run_until(SimTime t_end) {
   DV_REQUIRE(t_end >= now_, "run_until into the past");
   const auto t0 = std::chrono::steady_clock::now();
   while (!queue_.empty() && queue_.top().time <= t_end) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+    dispatch(queue_.pop());
   }
   now_ = t_end;
   publish_obs(std::chrono::duration<double>(std::chrono::steady_clock::now() -

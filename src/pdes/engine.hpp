@@ -2,8 +2,11 @@
 //
 // This is the substrate standing in for ROSS in the paper's toolchain: a
 // deterministic event engine over logical processes (LPs). Events are
-// ordered by (timestamp, sequence number), so simultaneous events execute
-// in schedule order and every run is bit-reproducible for a given seed.
+// ordered by (timestamp, priority key, sequence number). The priority key
+// is model-assigned and engine-independent, so models that key every event
+// can produce bit-identical results on the sequential and the partitioned
+// parallel engine; `seq` (schedule order) breaks the remaining ties, so
+// every run is bit-reproducible for a given seed either way.
 //
 // The model layer (netsim) keeps its own payload arenas; an event carries
 // the destination LP, a model-defined kind, and two 64-bit payload words,
@@ -11,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "pdes/event_heap.hpp"
 #include "util/common.hpp"
 
 namespace dv::pdes {
@@ -25,11 +28,16 @@ using LpId = std::uint32_t;
 /// logical process.
 struct Event {
   SimTime time = 0.0;
-  std::uint64_t seq = 0;  // global schedule order; breaks timestamp ties
+  std::uint64_t seq = 0;  // per-engine schedule order; last tie-breaker
   LpId lp = 0;
   std::uint32_t kind = 0;
   std::uint64_t data0 = 0;
   std::uint64_t data1 = 0;
+  // Model-assigned ordering key for simultaneous events. Unlike `seq` it
+  // must not depend on schedule order; models wanting cross-engine
+  // determinism give every event class a unique key (netsim encodes
+  // kind + entity id). 0 (the default) preserves pure schedule order.
+  std::uint64_t pri = 0;
 };
 
 class Simulator;
@@ -59,11 +67,12 @@ class Simulator {
 
   /// Schedules an event at absolute time `t` (must be >= now()).
   void schedule(SimTime t, LpId lp, std::uint32_t kind, std::uint64_t data0 = 0,
-                std::uint64_t data1 = 0);
+                std::uint64_t data1 = 0, std::uint64_t pri = 0);
 
   /// Schedules an event `delay` after now().
   void schedule_in(SimTime delay, LpId lp, std::uint32_t kind,
-                   std::uint64_t data0 = 0, std::uint64_t data1 = 0);
+                   std::uint64_t data0 = 0, std::uint64_t data1 = 0,
+                   std::uint64_t pri = 0);
 
   /// Runs until the event queue is empty (or the event budget is hit).
   void run();
@@ -86,20 +95,13 @@ class Simulator {
   std::size_t queue_high_water() const { return queue_high_water_; }
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   void dispatch(const Event& ev);
   /// Publishes events/sec, per-kind counts and queue high-water to the
   /// observability registry (deltas since the previous publish).
   void publish_obs(double loop_seconds);
 
   std::vector<LogicalProcess*> lps_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventHeap<Event> queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;

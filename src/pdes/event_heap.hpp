@@ -1,0 +1,109 @@
+// Indexed d-ary event heap — the engines' pending-event set.
+//
+// std::priority_queue<Event> moves whole 48-byte Event values through the
+// heap on every push/pop (and pop() alone costs a top() copy plus a full
+// sift-down of the last element). This container keeps events in a stable
+// slab with a free list and heapifies 32-bit slot indices instead, so a
+// sift moves 4 bytes per level; arity 4 halves the tree depth relative to
+// a binary heap and keeps the child scan inside one cache line.
+//
+// Ordering is (time, pri, seq): `pri` is a model-assigned priority key that
+// makes simultaneous-event order engine-independent (see engine.hpp), and
+// `seq` breaks the remaining ties by schedule order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dv::pdes {
+
+template <typename EventT>
+class EventHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    slab_.reserve(n);
+  }
+
+  const EventT& top() const {
+    DV_CHECK(!heap_.empty(), "top() on an empty event heap");
+    return slab_[heap_[0]];
+  }
+
+  void push(const EventT& ev) {
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.push_back(ev);
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+      slab_[slot] = ev;
+    }
+    heap_.push_back(slot);
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Removes and returns the minimum event; its slab slot is recycled.
+  EventT pop() {
+    DV_CHECK(!heap_.empty(), "pop() on an empty event heap");
+    const std::uint32_t slot = heap_[0];
+    const EventT out = slab_[slot];
+    free_.push_back(slot);
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const EventT& ea = slab_[a];
+    const EventT& eb = slab_[b];
+    if (ea.time != eb.time) return ea.time < eb.time;
+    if (ea.pri != eb.pri) return ea.pri < eb.pri;
+    return ea.seq < eb.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    const std::uint32_t slot = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(slot, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = slot;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    const std::uint32_t slot = heap_[i];
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + kArity, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], slot)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = slot;
+  }
+
+  std::vector<EventT> slab_;           // stable event storage
+  std::vector<std::uint32_t> free_;    // recycled slab slots
+  std::vector<std::uint32_t> heap_;    // d-ary heap of slab indices
+};
+
+}  // namespace dv::pdes

@@ -1,6 +1,7 @@
 #include "pdes/parallel.hpp"
 
 #include <algorithm>
+#include <barrier>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -17,6 +18,7 @@ ParallelSimulator::ParallelSimulator(std::size_t partitions,
   parts_.reserve(partitions);
   for (std::size_t i = 0; i < partitions; ++i) {
     parts_.push_back(std::make_unique<Partition>());
+    parts_.back()->outbox.resize(partitions);
   }
 }
 
@@ -39,51 +41,52 @@ std::uint32_t ParallelSimulator::partition_of(LpId lp) const {
 }
 
 void ParallelSimulator::schedule(SimTime t, LpId lp, std::uint32_t kind,
-                                 std::uint64_t data0, std::uint64_t data1) {
+                                 std::uint64_t data0, std::uint64_t data1,
+                                 std::uint64_t pri) {
   DV_REQUIRE(!running_, "use ParallelContext::schedule during the run");
   DV_REQUIRE(lp < lps_.size(), "schedule to unknown LP");
   DV_REQUIRE(t >= 0.0, "negative timestamp");
   Partition& part = *parts_[lp_partition_[lp]];
-  part.queue.push(Event{t, part.next_seq++, lp, kind, data0, data1});
-}
-
-void ParallelSimulator::enqueue_cross(std::uint32_t target,
-                                      const Event& ev) {
-  Partition& part = *parts_[target];
-  std::lock_guard<std::mutex> lock(part.mailbox_mu);
-  part.mailbox.push_back(ev);
+  part.queue.push(Event{t, part.next_seq++, lp, kind, data0, data1, pri});
 }
 
 void ParallelContext::schedule(SimTime t, LpId lp, std::uint32_t kind,
-                               std::uint64_t data0, std::uint64_t data1) {
+                               std::uint64_t data0, std::uint64_t data1,
+                               std::uint64_t pri) {
   DV_REQUIRE(lp < sim_->lps_.size(), "schedule to unknown LP");
   DV_REQUIRE(t >= now_, "cannot schedule into the past");
   const std::uint32_t target = sim_->lp_partition_[lp];
+  ParallelSimulator::Partition& mine = *sim_->parts_[partition_];
   if (target == partition_) {
-    auto& part = *sim_->parts_[partition_];
-    part.queue.push(Event{t, part.next_seq++, lp, kind, data0, data1});
+    mine.queue.push(Event{t, mine.next_seq++, lp, kind, data0, data1, pri});
     return;
   }
   // Conservative contract: cross-partition events must clear the window.
   DV_REQUIRE(t >= now_ + sim_->lookahead_,
              "cross-partition event violates the lookahead contract");
-  // seq is assigned when the mailbox is drained (deterministic order is
-  // established by sorting on (time, source order) there).
-  sim_->enqueue_cross(target, Event{t, 0, lp, kind, data0, data1});
+  // seq is assigned when the outboxes are drained at the barrier; the
+  // outbox cell is owned by this partition's worker, so no lock.
+  mine.outbox[target].push_back(Event{t, 0, lp, kind, data0, data1, pri});
 }
 
-void ParallelSimulator::process_window(std::uint32_t p,
-                                       SimTime window_end) {
+void ParallelSimulator::process_window(std::uint32_t p) {
   Partition& part = *parts_[p];
 #ifdef DV_OBS_ENABLED
   const auto t0 = std::chrono::steady_clock::now();
 #endif
-  while (!part.queue.empty() && part.queue.top().time < window_end) {
-    const Event ev = part.queue.top();
-    part.queue.pop();
-    ++part.processed;
-    ParallelContext ctx(this, p, ev.time);
-    lps_[ev.lp]->on_event(ctx, ev);
+  try {
+    while (!part.queue.empty() && part.queue.top().time < window_end_) {
+      const Event ev = part.queue.pop();
+      ++part.processed;
+      if (budget_ != 0 && part.processed > budget_) {
+        throw Error("simulation event budget exceeded");
+      }
+      part.last_time = ev.time;
+      ParallelContext ctx(this, p, ev.time);
+      lps_[ev.lp]->on_event(ctx, ev);
+    }
+  } catch (...) {
+    part.error = std::current_exception();
   }
 #ifdef DV_OBS_ENABLED
   part.busy_seconds += std::chrono::duration<double>(
@@ -92,8 +95,66 @@ void ParallelSimulator::process_window(std::uint32_t p,
 #endif
 }
 
-void ParallelSimulator::publish_obs(double loop_seconds,
-                                    std::uint64_t windows) {
+void ParallelSimulator::drain_outboxes() {
+  const std::size_t n = parts_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    drain_buf_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      auto& box = parts_[src]->outbox[dst];
+      drain_buf_.insert(drain_buf_.end(), box.begin(), box.end());
+      box.clear();
+    }
+    if (drain_buf_.empty()) continue;
+    // (time, pri) with source order breaking exact ties: thread-timing
+    // independent, and partition-count independent when pris are unique.
+    std::stable_sort(drain_buf_.begin(), drain_buf_.end(),
+                     [](const Event& a, const Event& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.pri < b.pri;
+                     });
+    Partition& part = *parts_[dst];
+    for (Event ev : drain_buf_) {
+      ev.seq = part.next_seq++;
+      part.queue.push(ev);
+    }
+  }
+}
+
+void ParallelSimulator::advance_window() noexcept {
+  try {
+    for (const auto& part : parts_) {
+      if (part->error) {
+        done_ = true;
+        return;
+      }
+    }
+    drain_outboxes();
+    if (budget_ != 0 && events_processed() > budget_) {
+      budget_exceeded_ = true;
+      done_ = true;
+      return;
+    }
+    // Global lower bound on the next event.
+    SimTime gvt = std::numeric_limits<SimTime>::infinity();
+    for (const auto& part : parts_) {
+      if (!part->queue.empty()) gvt = std::min(gvt, part->queue.top().time);
+    }
+    if (!std::isfinite(gvt) || gvt > t_end_) {
+      done_ = true;
+      return;
+    }
+    ++windows_;
+    // Match Simulator::run_until semantics: events with time <= t_end run.
+    window_end_ = std::min(
+        gvt + lookahead_,
+        std::nextafter(t_end_, std::numeric_limits<SimTime>::infinity()));
+  } catch (...) {
+    if (!parts_[0]->error) parts_[0]->error = std::current_exception();
+    done_ = true;
+  }
+}
+
+void ParallelSimulator::publish_obs(double loop_seconds) {
 #ifdef DV_OBS_ENABLED
   std::uint64_t total = 0;
   double busy = 0.0;
@@ -110,7 +171,7 @@ void ParallelSimulator::publish_obs(double loop_seconds,
         .add(busy_delta);
   }
   obs::counter("par.events_processed").add(total);
-  obs::counter("par.windows").add(windows);
+  obs::counter("par.windows").add(windows_);
   obs::gauge("par.run_seconds").add(loop_seconds);
   // Barrier wait: the span the whole run spends not executing events,
   // summed over workers (idle time at window barriers + window overheads).
@@ -118,80 +179,73 @@ void ParallelSimulator::publish_obs(double loop_seconds,
   if (wait > 0.0) obs::gauge("par.barrier_wait_seconds").add(wait);
 #else
   (void)loop_seconds;
-  (void)windows;
 #endif
 }
 
 void ParallelSimulator::run_until(SimTime t_end) {
   running_ = true;
   const auto loop_t0 = std::chrono::steady_clock::now();
-  std::uint64_t windows = 0;
-  for (;;) {
-    // Global lower bound on the next event.
-    SimTime gvt = std::numeric_limits<SimTime>::infinity();
-    for (const auto& part : parts_) {
-      if (!part->queue.empty()) {
-        gvt = std::min(gvt, part->queue.top().time);
-      }
-    }
-    if (gvt > t_end || !std::isfinite(gvt)) break;
-    ++windows;
-    // Match Simulator::run_until semantics: events with time <= t_end run.
-    const SimTime window_end = std::min(
-        gvt + lookahead_,
-        std::nextafter(t_end, std::numeric_limits<SimTime>::infinity()));
+  t_end_ = t_end;
+  done_ = false;
+  budget_exceeded_ = false;
+  windows_ = 0;
+  for (auto& part : parts_) part->error = nullptr;
+  advance_window();  // establishes the first window (or flags done)
 
+  if (!done_) {
     if (parts_.size() == 1) {
-      process_window(0, window_end);
+      while (!done_) {
+        process_window(0);
+        advance_window();
+      }
     } else {
-      // Worker exceptions (e.g. lookahead-contract violations) must reach
-      // the caller, not std::terminate a pool thread.
-      std::exception_ptr first_error;
-      std::mutex error_mu;
+      // Long-lived workers: one per partition, looping process-window /
+      // barrier. The completion step runs advance_window with every
+      // worker parked, which is what makes the unlocked outbox/queue
+      // accesses there safe; the barrier also publishes window_end_ and
+      // done_ to the workers.
+      std::barrier bar(static_cast<std::ptrdiff_t>(parts_.size()),
+                       [this]() noexcept { advance_window(); });
       for (std::uint32_t p = 0; p < parts_.size(); ++p) {
-        pool_.submit([this, p, window_end, &first_error, &error_mu] {
-          try {
-            process_window(p, window_end);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (!first_error) first_error = std::current_exception();
+        pool_.submit([this, p, &bar] {
+          for (;;) {
+            process_window(p);
+            bar.arrive_and_wait();
+            if (done_) break;
           }
         });
       }
       pool_.wait_idle();
-      if (first_error) {
-        running_ = false;
-        std::rethrow_exception(first_error);
-      }
-    }
-
-    // Barrier passed: drain mailboxes in deterministic order.
-    for (auto& part : parts_) {
-      std::lock_guard<std::mutex> lock(part->mailbox_mu);
-      std::stable_sort(part->mailbox.begin(), part->mailbox.end(),
-                       [](const Event& a, const Event& b) {
-                         if (a.time != b.time) return a.time < b.time;
-                         if (a.lp != b.lp) return a.lp < b.lp;
-                         return a.kind < b.kind;
-                       });
-      for (Event ev : part->mailbox) {
-        ev.seq = part->next_seq++;
-        part->queue.push(ev);
-      }
-      part->mailbox.clear();
     }
   }
+
   running_ = false;
+  for (const auto& part : parts_) {
+    if (part->error) std::rethrow_exception(part->error);
+  }
+  if (budget_exceeded_) throw Error("simulation event budget exceeded");
   publish_obs(std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             loop_t0)
-                  .count(),
-              windows);
+                  .count());
 }
 
 std::uint64_t ParallelSimulator::events_processed() const {
   std::uint64_t total = 0;
   for (const auto& part : parts_) total += part->processed;
   return total;
+}
+
+bool ParallelSimulator::has_events() const {
+  for (const auto& part : parts_) {
+    if (!part->queue.empty()) return true;
+  }
+  return false;
+}
+
+SimTime ParallelSimulator::last_event_time() const {
+  SimTime t = 0.0;
+  for (const auto& part : parts_) t = std::max(t, part->last_time);
+  return t;
 }
 
 }  // namespace dv::pdes

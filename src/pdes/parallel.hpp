@@ -10,14 +10,27 @@
 // another partition. Same-partition events may use any non-negative delay
 // and are processed in local timestamp order.
 //
+// Execution model: one long-lived worker per partition runs
+// process-window / arrive-at-barrier in a loop; the barrier's completion
+// step (single-threaded, all workers parked) drains the outbox matrix,
+// computes the next window and decides termination. Cross-partition
+// events go through a per-(source, target) outbox — each cell written by
+// exactly one thread — so the hot path takes no locks at all.
+//
+// Determinism: outboxes are drained in (time, pri) order with source
+// partition order breaking exact ties, so a model that assigns unique
+// priority keys (netsim does) gets an event order independent of both
+// thread timing *and* partition count — bit-identical to the sequential
+// engine. Models that leave pri = 0 (PHOLD) are still deterministic per
+// (seed, partition count).
+//
 // The classic PHOLD benchmark model is included (phold.hpp/cpp) and the
 // equivalence of the parallel and sequential engines is tested on it.
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
-#include <mutex>
-#include <queue>
 #include <vector>
 
 #include "pdes/engine.hpp"
@@ -31,11 +44,13 @@ class ParallelSimulator;
 class ParallelContext {
  public:
   SimTime now() const { return now_; }
+  std::uint32_t partition() const { return partition_; }
   /// Schedules an event. Same-partition targets accept any t >= now();
   /// cross-partition targets require t >= now() + lookahead (throws
   /// otherwise — that is the conservative contract).
   void schedule(SimTime t, LpId lp, std::uint32_t kind,
-                std::uint64_t data0 = 0, std::uint64_t data1 = 0);
+                std::uint64_t data0 = 0, std::uint64_t data1 = 0,
+                std::uint64_t pri = 0);
 
  private:
   friend class ParallelSimulator;
@@ -73,38 +88,49 @@ class ParallelSimulator {
 
   /// Pre-run scheduling (any time >= 0).
   void schedule(SimTime t, LpId lp, std::uint32_t kind,
-                std::uint64_t data0 = 0, std::uint64_t data1 = 0);
+                std::uint64_t data0 = 0, std::uint64_t data1 = 0,
+                std::uint64_t pri = 0);
 
   /// Runs until no events remain with time <= t_end.
   void run_until(SimTime t_end);
 
   std::uint64_t events_processed() const;
+  /// True while any partition still holds pending events.
+  bool has_events() const;
+  /// Timestamp of the latest event processed so far (0 before any).
+  SimTime last_event_time() const;
+
+  /// Safety valve against runaway models; 0 disables. The budget is
+  /// checked at window boundaries (and per partition inside a window), so
+  /// overshoot by up to one window is possible; exceeding it throws.
+  void set_event_budget(std::uint64_t max_events) { budget_ = max_events; }
 
  private:
   friend class ParallelContext;
 
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  struct Partition {
-    std::priority_queue<Event, std::vector<Event>, Later> queue;
-    std::vector<Event> mailbox;  // cross-partition deliveries
-    std::mutex mailbox_mu;
+  struct alignas(64) Partition {
+    EventHeap<Event> queue;
+    // outbox[target]: cross-partition events produced by *this* partition
+    // during the current window. Single-writer (this partition's worker),
+    // read only in the barrier completion step — no lock needed.
+    std::vector<std::vector<Event>> outbox;
     std::uint64_t next_seq = 0;
     std::uint64_t processed = 0;
-    double busy_seconds = 0.0;   // wall time inside process_window (obs)
-    std::uint64_t published = 0;  // processed count already flushed to obs
+    SimTime last_time = 0.0;       // time of the last processed event
+    std::exception_ptr error;      // worker exception, surfaced after join
+    double busy_seconds = 0.0;     // wall time inside process_window (obs)
+    std::uint64_t published = 0;   // processed count already flushed to obs
     double busy_published = 0.0;
   };
 
-  void enqueue_cross(std::uint32_t target_partition, const Event& ev);
-  void process_window(std::uint32_t p, SimTime window_end);
+  void process_window(std::uint32_t p);
+  /// Barrier completion step: single-threaded while every worker is
+  /// parked. Drains outboxes, advances the window or flags termination.
+  void advance_window() noexcept;
+  void drain_outboxes();
   /// Publishes per-worker event counts, busy time and barrier wait to the
   /// observability registry (deltas flushed once per run_until call).
-  void publish_obs(double loop_seconds, std::uint64_t windows);
+  void publish_obs(double loop_seconds);
 
   std::vector<std::unique_ptr<Partition>> parts_;
   std::vector<ParallelLp*> lps_;
@@ -112,6 +138,16 @@ class ParallelSimulator {
   double lookahead_;
   ThreadPool pool_;
   bool running_ = false;
+  std::uint64_t budget_ = 0;
+
+  // Window state: written in advance_window() (or before workers start),
+  // read by workers after the barrier — the barrier orders both.
+  SimTime window_end_ = 0.0;
+  SimTime t_end_ = 0.0;
+  bool done_ = false;
+  bool budget_exceeded_ = false;
+  std::uint64_t windows_ = 0;
+  std::vector<Event> drain_buf_;  // completion-step scratch
 };
 
 }  // namespace dv::pdes

@@ -41,22 +41,24 @@ std::uint32_t RoutePlanner::max_link_hops() const {
 
 std::int32_t RoutePlanner::pick_intermediate_router(std::uint32_t group,
                                                     std::uint32_t src_router,
-                                                    std::uint32_t dst_router) {
+                                                    std::uint32_t dst_router,
+                                                    Rng& rng) const {
   if (net_.routers_per_group() <= 2) return -1;
   for (;;) {
     const auto rank = static_cast<std::uint32_t>(
-        rng_.next_below(net_.routers_per_group()));
+        rng.next_below(net_.routers_per_group()));
     const std::uint32_t r = net_.router_id(group, rank);
     if (r != src_router && r != dst_router) return static_cast<std::int32_t>(r);
   }
 }
 
 std::int32_t RoutePlanner::pick_proxy(std::uint32_t src_group,
-                                      std::uint32_t dst_group) {
+                                      std::uint32_t dst_group,
+                                      Rng& rng) const {
   if (net_.groups() <= 2) return -1;
   for (;;) {
     const auto g =
-        static_cast<std::uint32_t>(rng_.next_below(net_.groups()));
+        static_cast<std::uint32_t>(rng.next_below(net_.groups()));
     if (g != src_group && g != dst_group) return static_cast<std::int32_t>(g);
   }
 }
@@ -101,7 +103,8 @@ Decision RoutePlanner::minimal_step(std::uint32_t router,
 }
 
 void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
-                             const QueueProbe& probe) {
+                             const QueueProbe& probe, Rng& rng,
+                             RouteStats& stats) const {
   const std::uint32_t sr = net_.terminal_router(src_terminal);
   const std::uint32_t sg = net_.router_group(sr);
   const std::uint32_t dr = net_.terminal_router(state.dst_terminal);
@@ -110,7 +113,7 @@ void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
 
   if (sr == dr) {
     state.decided = true;  // same router: nothing to decide
-    ++stats_.minimal;
+    ++stats.minimal;
     return;
   }
 
@@ -121,9 +124,9 @@ void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
 
     case Algo::kNonMinimal:
       if (dg != sg) {
-        state.proxy_group = pick_proxy(sg, dg);
+        state.proxy_group = pick_proxy(sg, dg, rng);
       } else {
-        state.proxy_router = pick_intermediate_router(sg, sr, dr);
+        state.proxy_router = pick_intermediate_router(sg, sr, dr, rng);
       }
       state.decided = true;
       break;
@@ -141,7 +144,7 @@ void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
         state.decided = true;
         break;
       }
-      const std::int32_t proxy = pick_proxy(sg, dg);
+      const std::int32_t proxy = pick_proxy(sg, dg, rng);
       if (proxy < 0) {
         state.decided = true;
         break;
@@ -169,16 +172,17 @@ void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
   }
   if (state.decided) {
     if (state.proxy_group >= 0 || state.proxy_router >= 0) {
-      ++stats_.nonminimal;
+      ++stats.nonminimal;
     } else {
-      ++stats_.minimal;
+      ++stats.minimal;
     }
   }
 }
 
 Decision RoutePlanner::route(PacketRoute& state, std::uint32_t router,
-                             const QueueProbe& probe) {
-  ++stats_.steps;
+                             const QueueProbe& probe, Rng& rng,
+                             RouteStats& stats) const {
+  ++stats.steps;
   const std::uint32_t dr = net_.terminal_router(state.dst_terminal);
   if (router == dr) {
     return {Decision::Kind::kTerminal,
@@ -216,15 +220,15 @@ Decision RoutePlanner::route(PacketRoute& state, std::uint32_t router,
         first_hop_port(router, dg, state.dst_terminal);
     const double q_min = probe.depth(router, min_port);
     if (q_min > params_.par_divert_depth) {
-      const std::int32_t proxy = pick_proxy(cur_group, dg);
+      const std::int32_t proxy = pick_proxy(cur_group, dg, rng);
       if (proxy >= 0) {
         const std::uint32_t non_port = first_hop_port(
             router, static_cast<std::uint32_t>(proxy), state.dst_terminal);
         if (probe.depth(router, non_port) < q_min) {
           state.proxy_group = proxy;
           state.decided = true;
-          ++stats_.nonminimal;
-          ++stats_.par_diverts;
+          ++stats.nonminimal;
+          ++stats.par_diverts;
         }
       }
     }
@@ -232,7 +236,7 @@ Decision RoutePlanner::route(PacketRoute& state, std::uint32_t router,
   if (cur_group != static_cast<std::uint32_t>(state.src_group) &&
       !state.decided) {
     state.decided = true;  // PAR window closes once the packet leaves home
-    ++stats_.minimal;
+    ++stats.minimal;
   }
 
   const std::int32_t target_group =

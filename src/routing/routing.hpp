@@ -87,14 +87,27 @@ class RoutePlanner {
   const RouteStats& stats() const { return stats_; }
 
   /// Called when a packet is injected (state.dst_terminal must be set);
-  /// fixes src_group and, for Valiant, the proxy group.
+  /// fixes src_group and, for Valiant, the proxy group. This overload is
+  /// const and takes the random stream and stats tally from the caller, so
+  /// one planner can serve many threads (each supplies its own Rng/stats).
   void on_inject(PacketRoute& state, std::uint32_t src_terminal,
-                 const QueueProbe& probe);
+                 const QueueProbe& probe, Rng& rng, RouteStats& stats) const;
 
   /// Next hop for a packet sitting in `router`. Mutates state (proxy
-  /// progress, adaptive commitment).
+  /// progress, adaptive commitment). Const/thread-shareable as above.
   Decision route(PacketRoute& state, std::uint32_t router,
-                 const QueueProbe& probe);
+                 const QueueProbe& probe, Rng& rng, RouteStats& stats) const;
+
+  /// Convenience overloads using the planner's own RNG stream and stats
+  /// (single-threaded callers and the routing unit tests).
+  void on_inject(PacketRoute& state, std::uint32_t src_terminal,
+                 const QueueProbe& probe) {
+    on_inject(state, src_terminal, probe, rng_, stats_);
+  }
+  Decision route(PacketRoute& state, std::uint32_t router,
+                 const QueueProbe& probe) {
+    return route(state, router, probe, rng_, stats_);
+  }
 
   /// Upper bound on router-to-router link hops any packet can take; the
   /// simulator sizes its VC count from this (VC index = hop index gives an
@@ -104,10 +117,12 @@ class RoutePlanner {
  private:
   Decision minimal_step(std::uint32_t router, std::uint32_t dst_terminal,
                         std::int32_t target_group) const;
-  std::int32_t pick_proxy(std::uint32_t src_group, std::uint32_t dst_group);
+  std::int32_t pick_proxy(std::uint32_t src_group, std::uint32_t dst_group,
+                          Rng& rng) const;
   std::int32_t pick_intermediate_router(std::uint32_t group,
                                         std::uint32_t src_router,
-                                        std::uint32_t dst_router);
+                                        std::uint32_t dst_router,
+                                        Rng& rng) const;
   std::uint32_t first_hop_port(std::uint32_t router, std::uint32_t target_group,
                                std::uint32_t dst_terminal) const;
 

@@ -1,0 +1,95 @@
+// Ring-buffer index queue.
+//
+// netsim's per-port VC queues and per-terminal message lists are FIFO
+// almost everywhere but occasionally erase from the middle (VC
+// arbitration picks the first sendable packet). std::deque pays a heap
+// allocation roughly every 64 entries for that; this ring buffer keeps a
+// power-of-two storage block, grows geometrically, and supports indexed
+// access plus middle erasure by shifting toward whichever end is nearer.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dv {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(const T& v) {
+    if (size_ == buf_.size()) grow();
+    buf_[wrap(head_ + size_)] = v;
+    ++size_;
+  }
+
+  T& front() {
+    DV_CHECK(size_ != 0, "front() on an empty ring queue");
+    return buf_[head_];
+  }
+  const T& front() const {
+    DV_CHECK(size_ != 0, "front() on an empty ring queue");
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    DV_CHECK(size_ != 0, "pop_front() on an empty ring queue");
+    head_ = wrap(head_ + 1);
+    --size_;
+  }
+
+  T& operator[](std::size_t i) {
+    DV_CHECK(i < size_, "ring queue index out of range");
+    return buf_[wrap(head_ + i)];
+  }
+  const T& operator[](std::size_t i) const {
+    DV_CHECK(i < size_, "ring queue index out of range");
+    return buf_[wrap(head_ + i)];
+  }
+
+  /// Removes the element at logical index `i`, preserving the relative
+  /// order of the rest. Shifts whichever side of `i` is shorter.
+  void erase_at(std::size_t i) {
+    DV_CHECK(i < size_, "ring queue erase out of range");
+    if (i < size_ - i - 1) {
+      for (std::size_t k = i; k > 0; --k) {
+        buf_[wrap(head_ + k)] = std::move(buf_[wrap(head_ + k - 1)]);
+      }
+      head_ = wrap(head_ + 1);
+    } else {
+      for (std::size_t k = i; k + 1 < size_; ++k) {
+        buf_[wrap(head_ + k)] = std::move(buf_[wrap(head_ + k + 1)]);
+      }
+    }
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
+
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[wrap(head_ + i)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dv

@@ -257,6 +257,20 @@ TEST(Netsim, ParamsValidate) {
   Params q;
   q.local_bandwidth = -1;
   EXPECT_THROW(Network(small(), routing::Algo::kMinimal, q, 1), Error);
+  // Zero latencies are rejected: they break saturation accounting and
+  // would collapse the parallel engine's lookahead window to nothing.
+  Params r;
+  r.credit_latency = 0.0;
+  EXPECT_THROW(Network(small(), routing::Algo::kMinimal, r, 1), Error);
+  Params s;
+  s.local_latency = 0.0;
+  EXPECT_THROW(Network(small(), routing::Algo::kMinimal, s, 1), Error);
+  Params t;
+  t.global_latency = -5.0;
+  EXPECT_THROW(Network(small(), routing::Algo::kMinimal, t, 1), Error);
+  Params u;
+  u.router_delay = -1.0;
+  EXPECT_THROW(Network(small(), routing::Algo::kMinimal, u, 1), Error);
 }
 
 TEST(Netsim, ValiantDoublesGlobalTraffic) {

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <set>
 
+#include <deque>
+
 #include "util/color.hpp"
 #include "util/csv.hpp"
+#include "util/ring_queue.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/str.hpp"
@@ -272,6 +275,89 @@ TEST(ThreadPool, ManySmallTasks) {
   for (int i = 0; i < 500; ++i) pool.submit([&] { n++; });
   pool.wait_idle();
   EXPECT_EQ(n.load(), 500);
+}
+
+// ----------------------------------------------------------------- RingQueue
+
+TEST(RingQueue, FifoBasics) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 20; ++i) q.push_back(i);
+  EXPECT_EQ(q.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, WrapsAroundSteadyState) {
+  // Keep the size constant so head circles the storage block many times
+  // without triggering growth.
+  RingQueue<int> q;
+  std::deque<int> ref;
+  for (int i = 0; i < 6; ++i) {
+    q.push_back(i);
+    ref.push_back(i);
+  }
+  for (int i = 6; i < 1000; ++i) {
+    q.push_back(i);
+    ref.push_back(i);
+    ASSERT_EQ(q.front(), ref.front());
+    q.pop_front();
+    ref.pop_front();
+    ASSERT_EQ(q.size(), ref.size());
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(q[i], ref[i]);
+}
+
+TEST(RingQueue, IndexedAccessMatchesInsertionOrder) {
+  RingQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  q.pop_front();
+  q.pop_front();
+  q.push_back(5);
+  q.push_back(6);  // storage now wraps
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q[i], static_cast<int>(i) + 2);
+  }
+}
+
+TEST(RingQueue, EraseAtMatchesDeque) {
+  // Randomized differential test against std::deque, covering both the
+  // shift-front and shift-back paths of erase_at.
+  Rng rng(123);
+  RingQueue<int> q;
+  std::deque<int> ref;
+  for (int step = 0; step < 5000; ++step) {
+    const auto op = rng.next_below(4);
+    if (op < 2 || ref.empty()) {
+      const int v = static_cast<int>(rng.next_below(100000));
+      q.push_back(v);
+      ref.push_back(v);
+    } else if (op == 2) {
+      q.pop_front();
+      ref.pop_front();
+    } else {
+      const auto i = static_cast<std::size_t>(rng.next_below(ref.size()));
+      q.erase_at(i);
+      ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(q.front(), ref.front());
+    }
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(q[i], ref[i]);
+}
+
+TEST(RingQueue, ClearResets) {
+  RingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push_back(i);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back(7);
+  EXPECT_EQ(q.front(), 7);
 }
 
 }  // namespace
