@@ -39,7 +39,7 @@ struct Args {
   std::map<std::string, std::vector<std::string>> opts;
 
   static bool optional_value(const std::string& key) {
-    return key == "profile";
+    return key == "profile" || key == "cache-stats";
   }
 
   static Args parse(int argc, char** argv, int start) {
@@ -126,6 +126,38 @@ core::ProjectionSpec load_spec(const Args& args) {
   return core::ProjectionSpec::parse(read_file(ref));
 }
 
+/// Parses "--window t0:t1" (ns, half-open) into a spec time window. Note
+/// this is the analysis-side window; `sim --window` is the injection
+/// window and is unrelated.
+core::TimeWindow parse_time_window(const std::string& s) {
+  const auto parts = split(s, ':');
+  DV_REQUIRE(parts.size() == 2, "--window must be t0:t1 (ns)");
+  core::TimeWindow w;
+  w.t0 = std::stod(parts[0]);
+  w.t1 = std::stod(parts[1]);
+  DV_REQUIRE(w.active(), "--window needs t0 < t1");
+  return w;
+}
+
+/// Applies --window to the projection spec when given.
+void maybe_apply_window(const Args& args, core::ProjectionSpec& spec) {
+  const std::string w = args.one_or("window", "");
+  if (!w.empty()) spec.window = parse_time_window(w);
+}
+
+/// Prints the query-engine cache summary when --cache-stats was given.
+void maybe_print_cache_stats(const Args& args, const core::QueryStats& s) {
+  if (args.opts.find("cache-stats") == args.opts.end()) return;
+  std::printf("query cache: %llu hits / %llu misses, %llu evictions, "
+              "%llu live entries; group slabs: %llu built, %llu reductions\n",
+              static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.evictions),
+              static_cast<unsigned long long>(s.entries),
+              static_cast<unsigned long long>(s.slab_builds),
+              static_cast<unsigned long long>(s.slab_reduces));
+}
+
 int cmd_sim(const Args& args) {
   obs::reset();  // profile this invocation only
   ExperimentConfig cfg;
@@ -172,30 +204,31 @@ int cmd_sim(const Args& args) {
 
 int cmd_render(const Args& args) {
   obs::reset();
-  auto load_phase = std::make_unique<obs::ScopedPhase>("load");
-  const auto run = metrics::RunMetrics::load(args.one("run"));
+  const core::DataSet data = load_run_dataset(args.one("run"));
   auto spec = load_spec(args);
-  const core::DataSet data(run);
-  load_phase.reset();
+  maybe_apply_window(args, spec);
+  core::QueryEngine engine(data);
   // --focus ring:item applies the paper's click-to-focus drill-down
   // before rendering (may be repeated for nested drill-down).
   for (const auto& f : args.many("focus")) {
     const auto parts = split(f, ':');
     DV_REQUIRE(parts.size() == 2, "--focus must be ring:item");
-    const core::ProjectionView overview(data, spec);
+    const core::ProjectionView overview(data, spec, nullptr, &engine);
     spec = overview.drill_down(std::stoul(parts[0]), std::stoul(parts[1]));
   }
   auto build_phase = std::make_unique<obs::ScopedPhase>("build");
-  const core::ProjectionView view(data, spec);
+  const core::ProjectionView view(data, spec, nullptr, &engine);
   build_phase.reset();
   const std::string out = args.one("out");
   {
     obs::ScopedPhase phase("render");
     view.save_svg(out, args.num_or("size", 800),
-                  args.one_or("title", run.workload + " / " + run.routing));
+                  args.one_or("title", data.run().workload + " / " +
+                                           data.run().routing));
   }
   std::printf("wrote %s (%zu rings, %zu ribbons)\n", out.c_str(),
               view.rings().size(), view.ribbons().size());
+  maybe_print_cache_stats(args, engine.stats());
   maybe_write_profile(args, out);
   return 0;
 }
@@ -227,11 +260,16 @@ int cmd_store(const Args& args) {
 }
 
 int cmd_session(const Args& args) {
-  const auto run = metrics::RunMetrics::load(args.one("run"));
   const auto spec = load_spec(args);
-  core::AnalysisSession session{core::DataSet(run), spec};
+  core::AnalysisSession session{load_run_dataset(args.one("run")), spec};
   const double t0 = args.num_or("t0", -1), t1 = args.num_or("t1", -1);
   if (t0 >= 0 && t1 > t0) session.select_time_range(t0, t1);
+  // --window t0:t1 is shorthand for --t0/--t1.
+  const std::string w = args.one_or("window", "");
+  if (!w.empty()) {
+    const auto win = parse_time_window(w);
+    session.select_time_range(win.t0, win.t1);
+  }
   for (const auto& b : args.many("brush")) {
     const auto parts = split(b, ':');
     DV_REQUIRE(parts.size() == 3, "--brush must be axis:lo:hi");
@@ -241,18 +279,16 @@ int cmd_session(const Args& args) {
   session.save_svg(out, args.num_or("width", 1400),
                    args.num_or("height", 900));
   std::printf("wrote %s\n", out.c_str());
+  maybe_print_cache_stats(args, session.query_stats());
   return 0;
 }
 
 int cmd_compare(const Args& args) {
   const auto paths = args.many("run");
   DV_REQUIRE(paths.size() >= 2, "compare needs at least two --run files");
-  std::vector<metrics::RunMetrics> runs;
   std::vector<core::DataSet> datasets;
-  runs.reserve(paths.size());
-  for (const auto& p : paths) runs.push_back(metrics::RunMetrics::load(p));
-  datasets.reserve(runs.size());
-  for (const auto& r : runs) datasets.emplace_back(r);
+  datasets.reserve(paths.size());
+  for (const auto& p : paths) datasets.push_back(load_run_dataset(p));
   std::vector<const core::DataSet*> ptrs;
   for (const auto& d : datasets) ptrs.push_back(&d);
   const auto spec = load_spec(args);
@@ -287,21 +323,25 @@ int cmd_export(const Args& args) {
 int cmd_report(const Args& args) {
   const auto paths = args.many("run");
   DV_REQUIRE(!paths.empty(), "at least one --run required");
-  const auto spec = load_spec(args);
-  std::vector<metrics::RunMetrics> runs;
-  runs.reserve(paths.size());
-  for (const auto& p : paths) runs.push_back(metrics::RunMetrics::load(p));
+  auto spec = load_spec(args);
+  maybe_apply_window(args, spec);
   std::vector<core::DataSet> datasets;
-  datasets.reserve(runs.size());
-  for (const auto& r : runs) datasets.emplace_back(r);
+  datasets.reserve(paths.size());
+  for (const auto& p : paths) datasets.push_back(load_run_dataset(p));
 
   core::ReportBuilder report(
       args.one_or("title", "dragonviz analysis report"));
   if (datasets.size() == 1) {
+    const metrics::RunMetrics& run = datasets[0].run();
     report.run_summary(datasets[0]);
-    const core::ProjectionView view(datasets[0], spec);
-    report.projection(view, runs[0].workload + " / " + runs[0].routing +
-                                " / " + runs[0].placement);
+    core::QueryEngine engine(datasets[0]);
+    const core::ProjectionView view(datasets[0], spec, nullptr, &engine);
+    report.projection(view, run.workload + " / " + run.routing + " / " +
+                                run.placement);
+    if (args.opts.find("cache-stats") != args.opts.end()) {
+      report.query_stats(engine.stats());
+    }
+    maybe_print_cache_stats(args, engine.stats());
   } else {
     std::vector<const core::DataSet*> ptrs;
     for (const auto& d : datasets) ptrs.push_back(&d);
@@ -417,17 +457,20 @@ void print_help() {
       "           [--profile[=prof.json]]  (counters + phase breakdown)\n"
       "  render   --run run.json --spec spec.json --out view.svg [--size PX]\n"
       "           [--focus ring:item]   (click-to-focus drill-down)\n"
-      "           [--profile[=prof.json]]\n"
+      "           [--window T0:T1]      (time-window the aggregation, ns)\n"
+      "           [--cache-stats] [--profile[=prof.json]]\n"
       "  store    --dir runs/ [--action list|add|remove]\n"
       "           [--run run.json] [--name NAME]\n"
       "  session  --run run.json --spec spec.json --out ui.svg\n"
-      "           [--t0 NS --t1 NS] [--brush axis:lo:hi]\n"
+      "           [--t0 NS --t1 NS | --window T0:T1] [--brush axis:lo:hi]\n"
+      "           [--cache-stats]\n"
       "  compare  --run a.json --run b.json ... --spec spec.json --out c.svg\n"
       "  export   --run run.json --entity terminals|routers|local_links|"
       "global_links --out t.csv\n"
       "  info     --run run.json\n"
       "  report   --run run.json [--run more.json ...] --spec spec.json\n"
-      "           --out report.html [--title T]\n"
+      "           --out report.html [--title T] [--window T0:T1]"
+      " [--cache-stats]\n"
       "  trace-record --workload amg --ranks N --bytes B --out t.dvtr\n"
       "  trace-info   --trace t.dvtr\n"
       "  trace-replay --trace t.dvtr --p N --out run.json\n"

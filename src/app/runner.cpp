@@ -40,6 +40,16 @@ std::string ExperimentConfig::placement_label() const {
   return label + ")";
 }
 
+core::DataSet load_run_dataset(const std::string& path) {
+  std::unique_ptr<metrics::RunMetrics> run;
+  {
+    obs::ScopedPhase phase("load");
+    run = std::make_unique<metrics::RunMetrics>(metrics::RunMetrics::load(path));
+  }
+  obs::ScopedPhase phase("dataset");
+  return core::DataSet(*run);
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   DV_REQUIRE(!cfg.jobs.empty(), "experiment has no jobs");
   DV_REQUIRE(cfg.traffic_scale > 0, "traffic scale must be positive");

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/datatable.hpp"
 #include "metrics/run_metrics.hpp"
 #include "netsim/network.hpp"
 #include "obs/profile.hpp"
@@ -64,5 +65,10 @@ struct ExperimentResult {
 
 /// Places the jobs, generates every workload, simulates, collects metrics.
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Loads a saved RunMetrics and builds the VA substrate in one step, under
+/// the "load" and "dataset" obs phases. Shared by the CLI view commands so
+/// every one of them profiles ingest identically.
+core::DataSet load_run_dataset(const std::string& path);
 
 }  // namespace dv::app

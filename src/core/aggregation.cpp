@@ -103,7 +103,14 @@ void Aggregation::build() {
 
 std::vector<double> Aggregation::reduce(const std::string& attr,
                                         Reducer r) const {
-  const DataTable& t = *table_;
+  return reduce_over(*table_, attr, r);
+}
+
+std::vector<double> Aggregation::reduce_over(const DataTable& t,
+                                             const std::string& attr,
+                                             Reducer r) const {
+  DV_REQUIRE(t.rows() == table_->rows(),
+             "reduce_over table must share row indexing");
   const auto& col = t.column(attr);
   const std::vector<double>* weights = nullptr;
   if (r == Reducer::kMean && t.has_column("packets_finished") &&

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -25,17 +26,36 @@ enum class Reducer { kSum, kMean, kMax, kMin, kCount };
 /// sum for most metrics; mean for "avg_*" attributes (paper Sec. IV-A).
 Reducer default_reducer(const std::string& attr);
 
-/// Inclusive value range filter on one attribute.
+/// Inclusive value range filter on one attribute. The default range is
+/// unbounded, so a spec that names an attribute without a range keeps every
+/// row instead of silently filtering everything out.
 struct AttrFilter {
   std::string attr;
-  double lo = 0.0;
-  double hi = 0.0;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  bool bounded_lo() const {
+    return lo > -std::numeric_limits<double>::infinity();
+  }
+  bool bounded_hi() const {
+    return hi < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Half-open time range [t0, t1) for windowed aggregation (the brushed
+/// range of the paper's interactive loop). Inactive when t0 >= t1.
+struct TimeWindow {
+  double t0 = 0.0;
+  double t1 = 0.0;
+
+  bool active() const { return t0 < t1; }
 };
 
 struct AggregationSpec {
   std::vector<std::string> keys;     ///< group-by attributes, outermost first
   std::size_t max_bins = 0;          ///< 0 = unlimited
   std::vector<AttrFilter> filters;   ///< applied before grouping
+  TimeWindow window;                 ///< restrict sampled metrics to [t0,t1)
 };
 
 /// One aggregate item (a visual item in a projection ring).
@@ -65,6 +85,13 @@ class Aggregation {
   /// "packets_finished" column is weighted by it.
   std::vector<double> reduce(const std::string& attr, Reducer r) const;
   std::vector<double> reduce(const std::string& attr) const;
+
+  /// Like reduce, but reads attribute values (and mean weights) from
+  /// `values` instead of the grouped table. `values` must share the grouped
+  /// table's row indexing — e.g. a time-windowed copy of it. This is how
+  /// the query engine reuses a window-independent grouping across brushes.
+  std::vector<double> reduce_over(const DataTable& values,
+                                  const std::string& attr, Reducer r) const;
 
  private:
   void build();

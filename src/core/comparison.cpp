@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <fstream>
+#include <functional>
+#include <optional>
 
 namespace dv::core {
 
@@ -46,14 +48,31 @@ ComparisonView::ComparisonView(std::vector<const DataSet*> runs,
     const auto& r = runs_[labels_.size()]->run();
     labels_.push_back(r.workload + "/" + r.routing + "/" + r.placement);
   }
+  // Each run's panel is an independent pipeline — both passes fan out on
+  // the VA pool, with deterministic merge/collection in run order.
   // Pass 1: union of every channel domain across runs.
-  for (const DataSet* d : runs_) {
-    shared_.merge(ProjectionView::compute_scales(*d, spec_));
+  {
+    std::vector<ScaleSet> per_run(runs_.size());
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      tasks.push_back([this, &per_run, i] {
+        per_run[i] = ProjectionView::compute_scales(*runs_[i], spec_);
+      });
+    }
+    run_parallel(std::move(tasks));
+    for (const auto& s : per_run) shared_.merge(s);
   }
   // Pass 2: rebuild every view against the shared scales.
-  views_.reserve(runs_.size());
-  for (const DataSet* d : runs_) {
-    views_.emplace_back(*d, spec_, &shared_);
+  {
+    std::vector<std::optional<ProjectionView>> staged(runs_.size());
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      tasks.push_back(
+          [this, &staged, i] { staged[i].emplace(*runs_[i], spec_, &shared_); });
+    }
+    run_parallel(std::move(tasks));
+    views_.reserve(runs_.size());
+    for (auto& v : staged) views_.push_back(std::move(*v));
   }
 }
 

@@ -21,6 +21,22 @@ void DataTable::add_column(const std::string& name,
              "column length mismatch for '" + name + "'");
   names_.push_back(name);
   columns_.push_back(std::move(values));
+  ++version_;
+}
+
+void DataTable::set_column(const std::string& name,
+                           std::vector<double> values) {
+  DV_REQUIRE(values.size() == rows_,
+             "column length mismatch for '" + name + "'");
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      columns_[i] = std::move(values);
+      ++version_;
+      return;
+    }
+  }
+  throw Error("no such column: '" + name + "' (available: " +
+              join(names_, ", ") + ")");
 }
 
 bool DataTable::has_column(const std::string& name) const {
@@ -214,6 +230,17 @@ void DataSet::build() {
     terminals_.add_column("avg_hops", std::move(hops));
     terminals_.add_column("workload", std::move(job));
   }
+
+  if (run.has_time_series()) {
+    auto slabs = std::make_shared<TimeSlabs>();
+    slabs->local_traffic = metrics::PrefixSeries(run.local_traffic_ts);
+    slabs->local_sat = metrics::PrefixSeries(run.local_sat_ts);
+    slabs->global_traffic = metrics::PrefixSeries(run.global_traffic_ts);
+    slabs->global_sat = metrics::PrefixSeries(run.global_sat_ts);
+    slabs->term_traffic = metrics::PrefixSeries(run.term_traffic_ts);
+    slabs->term_sat = metrics::PrefixSeries(run.term_sat_ts);
+    slabs_ = std::move(slabs);
+  }
 }
 
 const DataTable& DataSet::table(Entity e) const {
@@ -230,38 +257,152 @@ DataSet DataSet::slice_time(double t0, double t1) const {
   DV_REQUIRE(run_->has_time_series(),
              "time-range selection requires a sampled run");
   DV_REQUIRE(t0 < t1, "empty time range");
-  const double dt = run_->sample_dt;
-  // Half-open frame quantization: frame f covers [f*dt, (f+1)*dt), so
-  // adjacent time slices partition the frames exactly (no double counting).
-  auto frame_range = [&](const metrics::SampledSeries& s) {
-    const std::size_t f0 = static_cast<std::size_t>(std::max(0.0, t0 / dt));
-    std::size_t f1 = t1 >= static_cast<double>(s.frames()) * dt
-                         ? s.frames()
-                         : static_cast<std::size_t>(std::max(0.0, t1 / dt));
-    f1 = std::min(f1, s.frames());
-    return std::pair<std::size_t, std::size_t>{std::min(f0, f1), f1};
-  };
+  // Windowed values go through the same PrefixSeries deltas as
+  // windowed_table, so from-scratch slicing and incremental re-windowing
+  // are bit-exact with each other.
+  const TimeSlabs& sl = slabs();
   metrics::RunMetrics sliced = *run_;
   auto apply = [&](std::vector<metrics::LinkMetrics>& links,
-                   const metrics::SampledSeries& traffic_ts,
-                   const metrics::SampledSeries& sat_ts) {
-    const auto [f0, f1] = frame_range(traffic_ts);
+                   const metrics::PrefixSeries& traffic_ps,
+                   const metrics::PrefixSeries& sat_ps) {
+    const auto [f0, f1] = traffic_ps.frame_range(t0, t1);
     for (std::size_t i = 0; i < links.size(); ++i) {
-      links[i].traffic = traffic_ts.range_sum(i, f0, f1);
-      links[i].sat_time = sat_ts.range_sum(i, f0, f1);
+      links[i].traffic = traffic_ps.range_sum(i, f0, f1);
+      links[i].sat_time = sat_ps.range_sum(i, f0, f1);
     }
   };
-  apply(sliced.local_links, run_->local_traffic_ts, run_->local_sat_ts);
-  apply(sliced.global_links, run_->global_traffic_ts, run_->global_sat_ts);
+  apply(sliced.local_links, sl.local_traffic, sl.local_sat);
+  apply(sliced.global_links, sl.global_traffic, sl.global_sat);
   {
-    const auto [f0, f1] = frame_range(run_->term_traffic_ts);
+    const auto [f0, f1] = sl.term_traffic.frame_range(t0, t1);
     for (std::size_t i = 0; i < sliced.terminals.size(); ++i) {
-      sliced.terminals[i].data_size =
-          run_->term_traffic_ts.range_sum(i, f0, f1);
-      sliced.terminals[i].sat_time = run_->term_sat_ts.range_sum(i, f0, f1);
+      sliced.terminals[i].data_size = sl.term_traffic.range_sum(i, f0, f1);
+      sliced.terminals[i].sat_time = sl.term_sat.range_sum(i, f0, f1);
     }
   }
   return DataSet(sliced);
+}
+
+const TimeSlabs& DataSet::slabs() const {
+  DV_REQUIRE(slabs_ != nullptr,
+             "time-range selection requires a sampled run");
+  return *slabs_;
+}
+
+bool DataSet::windowable(Entity e, const std::string& attr) {
+  switch (e) {
+    case Entity::kRouter:
+      return attr == "global_traffic" || attr == "global_sat_time" ||
+             attr == "local_traffic" || attr == "local_sat_time";
+    case Entity::kLocalLink:
+    case Entity::kGlobalLink:
+      return attr == "traffic" || attr == "sat_time";
+    case Entity::kTerminal:
+      return attr == "data_size" || attr == "sat_time";
+  }
+  return false;
+}
+
+const metrics::PrefixSeries& DataSet::prefix_for(
+    Entity e, const std::string& attr) const {
+  const TimeSlabs& sl = slabs();
+  switch (e) {
+    case Entity::kLocalLink:
+      if (attr == "traffic") return sl.local_traffic;
+      if (attr == "sat_time") return sl.local_sat;
+      break;
+    case Entity::kGlobalLink:
+      if (attr == "traffic") return sl.global_traffic;
+      if (attr == "sat_time") return sl.global_sat;
+      break;
+    case Entity::kTerminal:
+      if (attr == "data_size") return sl.term_traffic;
+      if (attr == "sat_time") return sl.term_sat;
+      break;
+    case Entity::kRouter:
+      break;  // router attrs are link sums; no per-row slab
+  }
+  throw Error("no time-series slab for " + to_string(e) + "." + attr);
+}
+
+DataTable DataSet::windowed_table(Entity e, double t0, double t1) const {
+  DV_REQUIRE(t0 < t1, "empty time range");
+  const TimeSlabs& sl = slabs();
+  auto windowed = [&](const metrics::PrefixSeries& ps) {
+    const auto [f0, f1] = ps.frame_range(t0, t1);
+    std::vector<double> out(ps.entities());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = ps.range_sum(i, f0, f1);
+    }
+    return out;
+  };
+  DataTable t = table(e);
+  switch (e) {
+    case Entity::kLocalLink:
+      t.set_column("traffic", windowed(sl.local_traffic));
+      t.set_column("sat_time", windowed(sl.local_sat));
+      break;
+    case Entity::kGlobalLink:
+      t.set_column("traffic", windowed(sl.global_traffic));
+      t.set_column("sat_time", windowed(sl.global_sat));
+      break;
+    case Entity::kTerminal:
+      t.set_column("data_size", windowed(sl.term_traffic));
+      t.set_column("sat_time", windowed(sl.term_sat));
+      break;
+    case Entity::kRouter: {
+      // Re-accumulate per-router sums from the windowed links in the exact
+      // order of RunMetrics::derive_routers, for bit-exactness with
+      // slice_time().table(kRouter).
+      const std::size_t n = t.rows();
+      std::vector<double> lt(n, 0.0), ls(n, 0.0), gt(n, 0.0), gs(n, 0.0);
+      auto accumulate = [&](const std::vector<metrics::LinkMetrics>& links,
+                            const metrics::PrefixSeries& traffic_ps,
+                            const metrics::PrefixSeries& sat_ps,
+                            std::vector<double>& traffic,
+                            std::vector<double>& sat) {
+        const auto [f0, f1] = traffic_ps.frame_range(t0, t1);
+        for (std::size_t i = 0; i < links.size(); ++i) {
+          traffic[links[i].src_router] += traffic_ps.range_sum(i, f0, f1);
+          sat[links[i].src_router] += sat_ps.range_sum(i, f0, f1);
+        }
+      };
+      accumulate(run_->local_links, sl.local_traffic, sl.local_sat, lt, ls);
+      accumulate(run_->global_links, sl.global_traffic, sl.global_sat, gt,
+                 gs);
+      t.set_column("local_traffic", std::move(lt));
+      t.set_column("local_sat_time", std::move(ls));
+      t.set_column("global_traffic", std::move(gt));
+      t.set_column("global_sat_time", std::move(gs));
+      break;
+    }
+  }
+  return t;
+}
+
+std::uint64_t DataSet::version() const {
+  return routers_.version() + local_links_.version() +
+         global_links_.version() + terminals_.version();
+}
+
+DataTable& DataSet::table_mut(Entity e) {
+  switch (e) {
+    case Entity::kRouter: return routers_;
+    case Entity::kLocalLink: return local_links_;
+    case Entity::kGlobalLink: return global_links_;
+    case Entity::kTerminal: return terminals_;
+  }
+  throw Error("bad entity");
+}
+
+void DataSet::add_derived_column(Entity e, const std::string& name,
+                                 std::vector<double> values) {
+  DataTable& t = table_mut(e);
+  if (t.has_column(name)) {
+    t.set_column(name, std::move(values));
+  } else {
+    t.add_column(name, std::move(values));
+  }
 }
 
 }  // namespace dv::core

@@ -29,9 +29,15 @@ class DataTable {
   /// Adds a column (must match the row count; a table with 0 rows adopts
   /// the column's length).
   void add_column(const std::string& name, std::vector<double> values);
+  /// Replaces an existing column (same length); bumps version().
+  void set_column(const std::string& name, std::vector<double> values);
   bool has_column(const std::string& name) const;
   const std::vector<double>& column(const std::string& name) const;  // throws
   const std::vector<std::string>& column_names() const { return names_; }
+
+  /// Mutation counter: bumped by every add_column / set_column. Cached
+  /// query results keyed on it are invalidated by any table change.
+  std::uint64_t version() const { return version_; }
 
   double at(const std::string& name, std::size_t row) const;
 
@@ -42,6 +48,7 @@ class DataTable {
 
  private:
   std::size_t rows_ = 0;
+  std::uint64_t version_ = 0;
   std::vector<std::string> names_;
   std::vector<std::vector<double>> columns_;
 };
@@ -51,6 +58,16 @@ enum class Entity { kRouter, kLocalLink, kGlobalLink, kTerminal };
 
 Entity entity_from_string(const std::string& name);  // throws on unknown
 std::string to_string(Entity e);
+
+/// Prefix-summed time-series slabs, one per sampled metric. Built once per
+/// DataSet (O(frames x entities)); every windowed reduction afterwards is a
+/// prefix delta, so a brushed time range re-aggregates in O(rows) instead of
+/// O(rows x frames).
+struct TimeSlabs {
+  metrics::PrefixSeries local_traffic, local_sat;
+  metrics::PrefixSeries global_traffic, global_sat;
+  metrics::PrefixSeries term_traffic, term_sat;
+};
 
 /// A full run as a set of linked entity tables, plus the topology shape
 /// needed to resolve references and time series for range re-aggregation.
@@ -78,11 +95,40 @@ class DataSet {
   /// Requires the run to have time series.
   DataSet slice_time(double t0, double t1) const;
 
+  bool has_time_series() const { return run_->has_time_series(); }
+  /// The prefix slabs backing windowed reduction (requires time series).
+  const TimeSlabs& slabs() const;
+
+  /// True when `attr` of entity `e` varies with the time window (it is fed
+  /// by a sampled series rather than a whole-run scalar).
+  static bool windowable(Entity e, const std::string& attr);
+  /// The prefix slab whose entity index matches rows of table(e), for a
+  /// windowable attr. Router attrs are sums over links, so they have no
+  /// per-row slab — use windowed_table for those.
+  const metrics::PrefixSeries& prefix_for(Entity e,
+                                          const std::string& attr) const;
+
+  /// Copy of table(e) with every windowable column restricted to [t0, t1).
+  /// Router columns are re-accumulated from the windowed links in the same
+  /// order as metrics::RunMetrics::derive_routers, so the result is
+  /// bit-exact with slice_time(t0, t1).table(e).
+  DataTable windowed_table(Entity e, double t0, double t1) const;
+
+  /// Monotonic mutation counter over all entity tables (cache key input).
+  std::uint64_t version() const;
+
+  /// Appends (or replaces) a derived column on one entity table. Bumps
+  /// version(), invalidating cached query results.
+  void add_derived_column(Entity e, const std::string& name,
+                          std::vector<double> values);
+
  private:
   DataSet() = default;
   void build();
+  DataTable& table_mut(Entity e);
 
   std::shared_ptr<const metrics::RunMetrics> run_;
+  std::shared_ptr<const TimeSlabs> slabs_;
   DataTable routers_, local_links_, global_links_, terminals_;
 };
 

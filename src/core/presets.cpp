@@ -5,7 +5,8 @@
 namespace dv::core {
 
 std::vector<std::string> preset_names() {
-  return {"fig4", "fig5a", "fig7", "fig9", "fig13", "overview"};
+  return {"fig4", "fig5a", "fig7", "fig9", "fig13", "overview",
+          "interactive"};
 }
 
 ProjectionSpec preset(const std::string& name) {
@@ -116,6 +117,30 @@ ProjectionSpec preset(const std::string& name) {
         .color("sat_time")
         .colors({"white", "steelblue"})
         .ribbons(Entity::kLocalLink, "router_rank")
+        .build();
+  }
+  if (n == "interactive") {
+    // Brushing workload: windowable sum channels on every ring, so a
+    // time-range selection re-aggregates through the engine's group slabs
+    // (combine with --window / SpecBuilder::window).
+    return SpecBuilder()
+        .level(Entity::kGlobalLink)
+        .aggregate({"group_id"})
+        .max_bins(16)
+        .color("sat_time")
+        .size("traffic")
+        .colors({"white", "purple"})
+        .level(Entity::kLocalLink)
+        .aggregate({"router_rank"})
+        .color("sat_time")
+        .size("traffic")
+        .colors({"white", "steelblue"})
+        .level(Entity::kTerminal)
+        .aggregate({"router_rank"})
+        .color("sat_time")
+        .size("data_size")
+        .colors({"white", "crimson"})
+        .ribbons(Entity::kGlobalLink, "group_id")
         .build();
   }
   throw Error("unknown spec preset: " + name + " (available: " +

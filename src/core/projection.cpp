@@ -56,10 +56,10 @@ std::string ProjectionView::scale_key(std::size_t level, const char* channel) {
 }
 
 ProjectionView::ProjectionView(const DataSet& data, ProjectionSpec spec,
-                               const ScaleSet* shared)
+                               const ScaleSet* shared, QueryEngine* engine)
     : spec_(std::move(spec)) {
   DV_REQUIRE(!spec_.levels.empty(), "projection spec has no levels");
-  build(data, shared);
+  build(data, shared, engine);
 }
 
 ScaleSet ProjectionView::compute_scales(const DataSet& data,
@@ -67,35 +67,62 @@ ScaleSet ProjectionView::compute_scales(const DataSet& data,
   return ProjectionView(data, spec).scales();
 }
 
-void ProjectionView::build(const DataSet& data, const ScaleSet* shared) {
-  for (std::size_t i = 0; i < spec_.levels.size(); ++i) {
-    build_ring(data, spec_.levels[i], i);
+void ProjectionView::build(const DataSet& data, const ScaleSet* shared,
+                           QueryEngine* engine) {
+  DV_OBS_PHASE("projection");
+  QueryEngine local(data);
+  QueryEngine& eng = engine ? *engine : local;
+
+  // Every ring and the ribbon layer are independent pipelines: build each
+  // into its own ring/scale slot on the VA pool, then merge the scale
+  // domains in ring order so the result is deterministic.
+  const std::size_t n_levels = spec_.levels.size();
+  std::vector<Ring> rings(n_levels);
+  std::vector<ScaleSet> ring_scales(n_levels);
+  ScaleSet ribbon_scales;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n_levels + 1);
+  for (std::size_t i = 0; i < n_levels; ++i) {
+    tasks.push_back([this, &eng, &rings, &ring_scales, i] {
+      build_ring(eng, spec_.levels[i], i, rings[i], ring_scales[i]);
+    });
   }
-  if (spec_.ribbons.enabled) build_ribbons(data);
+  if (spec_.ribbons.enabled) {
+    tasks.push_back(
+        [this, &eng, &ribbon_scales] { build_ribbons(eng, ribbon_scales); });
+  }
+  run_parallel(std::move(tasks));
+
+  rings_ = std::move(rings);
+  for (const auto& s : ring_scales) scales_.merge(s);
+  scales_.merge(ribbon_scales);
   if (shared) scales_.merge(*shared);
   apply_scales();
 }
 
-void ProjectionView::build_ring(const DataSet& data, const LevelSpec& lvl,
-                                std::size_t level_idx) {
-  const DataTable& table = data.table(lvl.entity);
-  const Aggregation agg(table, lvl.aggregation_spec());
+void ProjectionView::build_ring(QueryEngine& eng, const LevelSpec& lvl,
+                                std::size_t level_idx, Ring& out,
+                                ScaleSet& scales) {
+  AggregationSpec aspec = lvl.aggregation_spec();
+  aspec.window = spec_.window;
+  const auto agg = eng.aggregate(lvl.entity, aspec);
+  const DataTable& table = agg->table();
 
-  Ring ring;
+  Ring& ring = out;
   ring.spec = lvl;
   ring.type = lvl.plot_type();
 
-  const std::size_t n = agg.size();
+  const std::size_t n = agg->size();
   ring.items.resize(n);
 
   auto fill_channel = [&](const std::string& attr, const char* channel,
                           auto setter) {
     if (attr.empty()) return;
-    const auto vals = agg.reduce(attr);
-    auto& scale = scales_.get_or_add(scale_key(level_idx, channel));
+    const auto vals = eng.reduce(lvl.entity, aspec, attr);
+    auto& scale = scales.get_or_add(scale_key(level_idx, channel));
     for (std::size_t j = 0; j < n; ++j) {
-      setter(ring.items[j], vals[j]);
-      scale.include(vals[j]);
+      setter(ring.items[j], (*vals)[j]);
+      scale.include((*vals)[j]);
     }
   };
   fill_channel(lvl.vmap.color, "color",
@@ -111,8 +138,8 @@ void ProjectionView::build_ring(const DataSet& data, const LevelSpec& lvl,
       lvl.aggregate.empty() ? nullptr : &table.column(lvl.aggregate[0]);
   for (std::size_t j = 0; j < n; ++j) {
     RingItem& it = ring.items[j];
-    it.keys = agg.groups()[j].keys;
-    it.source_rows = agg.groups()[j].rows;
+    it.keys = agg->groups()[j].keys;
+    it.source_rows = agg->groups()[j].rows;
     if (first_key_col && !it.source_rows.empty()) {
       it.key_lo = it.key_hi = (*first_key_col)[it.source_rows[0]];
       for (std::uint32_t r : it.source_rows) {
@@ -125,12 +152,12 @@ void ProjectionView::build_ring(const DataSet& data, const LevelSpec& lvl,
   }
   DV_OBS_COUNT("core.proj.rings", 1);
   DV_OBS_COUNT("core.proj.items", n);
-  rings_.push_back(std::move(ring));
 }
 
-void ProjectionView::build_ribbons(const DataSet& data) {
+void ProjectionView::build_ribbons(QueryEngine& eng, ScaleSet& scales) {
   const RibbonSpec& rs = spec_.ribbons;
-  const DataTable& table = data.table(rs.entity);
+  const auto table_ptr = eng.table(rs.entity, spec_.window);
+  const DataTable& table = *table_ptr;
   const auto [src_col_name, dst_col_name] =
       ribbon_key_columns(table, rs.key);
   const auto& src_col = table.column(src_col_name);
@@ -215,8 +242,8 @@ void ProjectionView::build_ribbons(const DataSet& data) {
   std::vector<std::vector<End>> ends(n_arcs);
   ribbons_.clear();
   ribbons_.reserve(bundles.size());
-  auto& sscale = scales_.get_or_add("R/size");
-  auto& cscale = scales_.get_or_add("R/color");
+  auto& sscale = scales.get_or_add("R/size");
+  auto& cscale = scales.get_or_add("R/color");
   for (const auto& [pair, acc] : bundles) {
     RibbonBundle rb;
     rb.arc_a = arc_of[pair.first];

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/datatable.hpp"
+#include "core/query.hpp"
 #include "core/scales.hpp"
 #include "core/spec.hpp"
 #include "core/svg.hpp"
@@ -65,9 +66,16 @@ class ProjectionView {
  public:
   /// Builds the view. If `shared` is given, its domains are unioned into
   /// the locally computed scales (cross-run comparison uses the same
-  /// min/max — Sec. IV-B2).
+  /// min/max — Sec. IV-B2). If `engine` is given, aggregations and
+  /// reductions go through its result cache (the interactive loop: repeated
+  /// builds against the same dataset — brushing, drill-down, re-windowing —
+  /// reuse each other's work); otherwise a throwaway engine is used. The
+  /// spec's window restricts sampled metrics to [t0, t1). Rings and the
+  /// ribbon layer are independent pipelines and are built on the VA worker
+  /// pool.
   ProjectionView(const DataSet& data, ProjectionSpec spec,
-                 const ScaleSet* shared = nullptr);
+                 const ScaleSet* shared = nullptr,
+                 QueryEngine* engine = nullptr);
 
   const std::vector<Ring>& rings() const { return rings_; }
   const std::vector<RibbonArc>& arcs() const { return arcs_; }
@@ -113,10 +121,11 @@ class ProjectionView {
                 const std::string& title = "") const;
 
  private:
-  void build(const DataSet& data, const ScaleSet* shared);
-  void build_ring(const DataSet& data, const LevelSpec& lvl,
-                  std::size_t level_idx);
-  void build_ribbons(const DataSet& data);
+  void build(const DataSet& data, const ScaleSet* shared,
+             QueryEngine* engine);
+  void build_ring(QueryEngine& engine, const LevelSpec& lvl,
+                  std::size_t level_idx, Ring& out, ScaleSet& scales);
+  void build_ribbons(QueryEngine& engine, ScaleSet& scales);
   void apply_scales();
 
   static std::string scale_key(std::size_t level, const char* channel);

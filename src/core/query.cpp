@@ -1,0 +1,351 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "util/threadpool.hpp"
+
+namespace dv::core {
+
+namespace {
+
+// FNV-1a 64-bit over a canonical byte stream. Doubles hash by bit pattern,
+// so -0.0 != 0.0 — acceptable: distinct keys only cost a duplicate entry.
+struct Hasher {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(b));
+    u64(b);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+enum CacheKind : std::uint64_t {
+  kTableKind = 1,
+  kAggKind = 2,
+  kSlabKind = 3,
+  kReduceKind = 4,
+};
+
+// Filters are AND-combined, so their order is irrelevant — sort for a
+// canonical key. Key order matters and is hashed as-is.
+void hash_spec(Hasher& h, Entity e, const AggregationSpec& spec) {
+  h.u64(static_cast<std::uint64_t>(e));
+  h.u64(spec.keys.size());
+  for (const auto& k : spec.keys) h.str(k);
+  h.u64(spec.max_bins);
+  std::vector<AttrFilter> filters = spec.filters;
+  std::sort(filters.begin(), filters.end(),
+            [](const AttrFilter& a, const AttrFilter& b) {
+              if (a.attr != b.attr) return a.attr < b.attr;
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi < b.hi;
+            });
+  h.u64(filters.size());
+  for (const auto& f : filters) {
+    h.str(f.attr);
+    h.f64(f.lo);
+    h.f64(f.hi);
+  }
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const DataSet& data, std::size_t capacity)
+    : data_(&data), capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool QueryEngine::grouping_windowed(Entity e,
+                                    const AggregationSpec& spec) const {
+  for (const auto& k : spec.keys) {
+    if (DataSet::windowable(e, k)) return true;
+  }
+  for (const auto& f : spec.filters) {
+    if (DataSet::windowable(e, f.attr)) return true;
+  }
+  return false;
+}
+
+std::pair<std::size_t, std::size_t> QueryEngine::frame_range(
+    Entity e, TimeWindow w) const {
+  const TimeSlabs& sl = data_->slabs();
+  const metrics::PrefixSeries* ps = nullptr;
+  switch (e) {
+    case Entity::kRouter:
+    case Entity::kLocalLink: ps = &sl.local_traffic; break;
+    case Entity::kGlobalLink: ps = &sl.global_traffic; break;
+    case Entity::kTerminal: ps = &sl.term_traffic; break;
+  }
+  return ps->frame_range(w.t0, w.t1);
+}
+
+std::shared_ptr<const DataTable> QueryEngine::table(Entity e, TimeWindow w) {
+  if (!w.active()) {
+    // Aliasing pointer to the live base table (no copy, not cached).
+    return std::shared_ptr<const DataTable>(std::shared_ptr<const void>(),
+                                            &data_->table(e));
+  }
+  const auto [f0, f1] = frame_range(e, w);
+  Hasher h;
+  h.u64(kTableKind);
+  h.u64(static_cast<std::uint64_t>(e));
+  h.u64(f0);
+  h.u64(f1);
+  h.u64(data_->version());
+  auto v = get_or_compute(h.h, [&] {
+    Entry en;
+    en.key = h.h;
+    en.value = std::make_shared<const DataTable>(
+        data_->windowed_table(e, w.t0, w.t1));
+    return en;
+  });
+  return std::static_pointer_cast<const DataTable>(v);
+}
+
+std::shared_ptr<const Aggregation> QueryEngine::aggregate(
+    Entity e, const AggregationSpec& spec) {
+  const bool gw = spec.window.active() && grouping_windowed(e, spec);
+  auto tbl = table(e, gw ? spec.window : TimeWindow{});
+
+  Hasher h;
+  h.u64(kAggKind);
+  hash_spec(h, e, spec);
+  if (gw) {
+    const auto [f0, f1] = frame_range(e, spec.window);
+    h.u64(1);
+    h.u64(f0);
+    h.u64(f1);
+  } else {
+    h.u64(0);
+  }
+  h.u64(data_->version());
+  auto v = get_or_compute(h.h, [&] {
+    Entry en;
+    en.key = h.h;
+    en.value = std::make_shared<const Aggregation>(*tbl, spec);
+    en.dep = tbl;  // the Aggregation holds a reference into tbl
+    return en;
+  });
+  return std::static_pointer_cast<const Aggregation>(v);
+}
+
+std::shared_ptr<const QueryEngine::GroupSlab> QueryEngine::group_slab(
+    Entity e, const AggregationSpec& spec, const std::string& attr) {
+  Hasher h;
+  h.u64(kSlabKind);
+  hash_spec(h, e, spec);
+  h.str(attr);
+  h.u64(data_->version());
+  auto v = get_or_compute(h.h, [&] {
+    DV_OBS_PHASE("query/slab_build");
+    auto agg = aggregate(e, spec);  // window-independent grouping
+    const metrics::PrefixSeries& ps = data_->prefix_for(e, attr);
+    auto slab = std::make_shared<GroupSlab>();
+    slab->groups = agg->size();
+    slab->frames = ps.frames();
+    slab->prefix.assign((slab->frames + 1) * slab->groups, 0.0);
+    for (std::size_t g = 0; g < slab->groups; ++g) {
+      const auto& rows = agg->groups()[g].rows;
+      for (std::size_t f = 1; f <= slab->frames; ++f) {
+        double acc = 0.0;
+        for (std::uint32_t row : rows) acc += ps.range_sum(row, 0, f);
+        slab->prefix[f * slab->groups + g] = acc;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.slab_builds;
+    }
+    DV_OBS_COUNT("core.cache.slab_build", 1);
+    Entry en;
+    en.key = h.h;
+    en.value = std::move(slab);
+    return en;
+  });
+  return std::static_pointer_cast<const GroupSlab>(v);
+}
+
+std::shared_ptr<const std::vector<double>> QueryEngine::reduce(
+    Entity e, const AggregationSpec& spec, const std::string& attr,
+    Reducer r) {
+  const bool windowed = spec.window.active();
+  const bool attr_w = DataSet::windowable(e, attr);
+  const bool gw = windowed && grouping_windowed(e, spec);
+  // Whether the result depends on the window at all; if not, brushes with
+  // different windows share one cache entry.
+  const bool window_sensitive = windowed && (attr_w || gw);
+  // Group-slab fast path: window-independent grouping, plain sum of a
+  // sampled per-row attribute. Routers have no per-row series (their sums
+  // span links), so they take the windowed-table path below.
+  const bool slab_ok = window_sensitive && !gw && r == Reducer::kSum &&
+                       attr_w && e != Entity::kRouter;
+
+  Hasher h;
+  h.u64(kReduceKind);
+  hash_spec(h, e, spec);
+  h.str(attr);
+  h.u64(static_cast<std::uint64_t>(r));
+  if (window_sensitive) {
+    const auto [f0, f1] = frame_range(e, spec.window);
+    h.u64(1);
+    h.u64(f0);
+    h.u64(f1);
+  } else {
+    h.u64(0);
+  }
+  h.u64(data_->version());
+
+  auto v = get_or_compute(h.h, [&] {
+    Entry en;
+    en.key = h.h;
+    if (slab_ok) {
+      auto slab = group_slab(e, spec, attr);
+      const auto [f0, f1] = frame_range(e, spec.window);
+      auto out = std::make_shared<std::vector<double>>(slab->groups);
+      for (std::size_t g = 0; g < slab->groups; ++g) {
+        (*out)[g] = slab->value(g, f0, f1);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.slab_reduces;
+      }
+      DV_OBS_COUNT("core.cache.slab_reduce", 1);
+      en.value = std::move(out);
+    } else if (window_sensitive) {
+      // Reuse the grouping (windowed only when it must be) and reduce over
+      // the windowed table; bit-exact with slicing from scratch because the
+      // groups, row order, and windowed values all coincide.
+      auto agg = aggregate(e, spec);
+      auto tbl = table(e, spec.window);
+      en.value = std::make_shared<std::vector<double>>(
+          agg->reduce_over(*tbl, attr, r));
+    } else {
+      auto agg = aggregate(e, spec);
+      en.value = std::make_shared<std::vector<double>>(agg->reduce(attr, r));
+    }
+    return en;
+  });
+  return std::static_pointer_cast<const std::vector<double>>(v);
+}
+
+std::shared_ptr<const std::vector<double>> QueryEngine::reduce(
+    Entity e, const AggregationSpec& spec, const std::string& attr) {
+  return reduce(e, spec, attr, default_reducer(attr));
+}
+
+std::shared_ptr<const void> QueryEngine::get_or_compute(
+    std::uint64_t key, const std::function<Entry()>& make) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      DV_OBS_COUNT("core.cache.hit", 1);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->value;
+    }
+    ++stats_.misses;
+    DV_OBS_COUNT("core.cache.miss", 1);
+  }
+
+  // Compute outside the lock (make may recurse into the cache).
+  Entry fresh = make();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Raced with a concurrent compute of the same key; first insert wins
+    // (both values are bit-identical by the determinism contract).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
+  lru_.push_front(std::move(fresh));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    DV_OBS_COUNT("core.cache.evict", 1);
+  }
+  stats_.entries = lru_.size();
+  DV_OBS_GAUGE_SET("core.cache.size", static_cast<double>(lru_.size()));
+  return lru_.front().value;
+}
+
+QueryStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryStats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void QueryEngine::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+// ----------------------------------------------------------- run_parallel
+
+namespace {
+
+std::size_t va_threads() {
+  if (const char* env = std::getenv("DV_VA_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(4, hw ? hw : 1);
+}
+
+ThreadPool& va_pool() {
+  static ThreadPool pool(va_threads());
+  return pool;
+}
+
+// The pool's wait_idle barrier is not reentrant: a pool task blocking on it
+// would deadlock. Nested run_parallel calls run their tasks inline instead.
+thread_local bool t_in_va_pool = false;
+
+}  // namespace
+
+void run_parallel(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (t_in_va_pool || tasks.size() == 1 || va_threads() <= 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  std::vector<std::exception_ptr> errors(tasks.size());
+  parallel_for(
+      va_pool(), tasks.size(),
+      [&](std::size_t i) {
+        t_in_va_pool = true;
+        try {
+          tasks[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        t_in_va_pool = false;
+      },
+      1);
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace dv::core

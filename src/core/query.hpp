@@ -1,0 +1,127 @@
+// Query engine for the VA pipeline (the paper's interactive loop, Fig. 6).
+//
+// Brushing a time range re-executes filter → aggregate → project; doing
+// that from scratch over the full run is O(rows x samples) per brush. The
+// QueryEngine makes it incremental:
+//
+//  1. Time-windowed tables: windowable metric columns are restricted to
+//     [t0, t1) through the DataSet's prefix slabs (O(rows) per window, no
+//     RunMetrics copy, no table rebuild).
+//  2. Group slabs: for window-independent groupings reduced with kSum over
+//     a sampled attribute, a per-(grouping, attr) prefix array over groups
+//     is built once; every subsequent window is an O(groups) delta.
+//  3. A result cache keyed by a canonical 64-bit hash of (kind, entity,
+//     spec, filters, quantized window, dataset version) with LRU eviction.
+//     Mutating the dataset (add_derived_column) bumps the version, so stale
+//     entries can never be returned; they age out of the LRU.
+//
+// Determinism contract: the evaluation path for a query is a pure function
+// of the query itself (never of cache state), so a cached result is
+// bit-exact with what a fresh engine would recompute.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/datatable.hpp"
+
+namespace dv::core {
+
+/// Cache effectiveness counters (mirrored into obs as core.cache.*).
+struct QueryStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t slab_builds = 0;  ///< group-slab constructions (cold)
+  std::uint64_t slab_reduces = 0; ///< O(groups) windowed reductions (warm)
+  std::size_t entries = 0;        ///< live cache entries
+};
+
+class QueryEngine {
+ public:
+  /// The dataset must outlive the engine. `capacity` bounds the number of
+  /// cached results (tables, aggregations, slabs, reductions combined).
+  explicit QueryEngine(const DataSet& data, std::size_t capacity = 128);
+
+  const DataSet& data() const { return *data_; }
+
+  /// The entity table restricted to `w` (the base table when inactive).
+  std::shared_ptr<const DataTable> table(Entity e, TimeWindow w);
+
+  /// Grouping for `spec`. Built over the windowed table only when a key or
+  /// filter attribute actually varies with the window; otherwise the
+  /// grouping is window-independent and shared across brushes.
+  std::shared_ptr<const Aggregation> aggregate(Entity e,
+                                               const AggregationSpec& spec);
+
+  /// Per-group reduction of one attribute. Windowed kSum reductions over
+  /// sampled attributes go through a group slab when the grouping is
+  /// window-independent.
+  std::shared_ptr<const std::vector<double>> reduce(
+      Entity e, const AggregationSpec& spec, const std::string& attr,
+      Reducer r);
+  std::shared_ptr<const std::vector<double>> reduce(
+      Entity e, const AggregationSpec& spec, const std::string& attr);
+
+  QueryStats stats() const;
+  void clear();
+
+ private:
+  struct GroupSlab {
+    std::size_t groups = 0;
+    std::size_t frames = 0;
+    std::vector<double> prefix;  // (frames+1) x groups, frame-major
+    double value(std::size_t g, std::size_t f0, std::size_t f1) const {
+      return prefix[f1 * groups + g] - prefix[f0 * groups + g];
+    }
+  };
+
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const void> value;
+    // Keeps a windowed table alive while a cached Aggregation refers to it.
+    std::shared_ptr<const DataTable> dep;
+  };
+
+  /// True when the grouping (keys or filters) reads a windowable attribute,
+  /// i.e. the group structure itself depends on the window.
+  bool grouping_windowed(Entity e, const AggregationSpec& spec) const;
+  /// Quantized [f0, f1) of an active window for entity e's series.
+  std::pair<std::size_t, std::size_t> frame_range(Entity e,
+                                                  TimeWindow w) const;
+
+  std::shared_ptr<const GroupSlab> group_slab(Entity e,
+                                              const AggregationSpec& spec,
+                                              const std::string& attr);
+
+  /// LRU lookup-or-compute. `make` runs outside the cache lock; on a racing
+  /// duplicate insert the first entry wins.
+  std::shared_ptr<const void> get_or_compute(
+      std::uint64_t key,
+      const std::function<Entry()>& make);
+
+  const DataSet* data_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  QueryStats stats_;
+};
+
+/// Runs independent view-pipeline tasks (projection rings, report panels)
+/// on a small shared worker pool. Exceptions thrown by tasks are captured
+/// and the first one is rethrown on the caller after all tasks finish.
+/// Nested calls from inside a pool task degrade to sequential execution
+/// (the pool's barrier is not reentrant). Thread count: DV_VA_THREADS env
+/// var, default min(4, hardware_concurrency).
+void run_parallel(std::vector<std::function<void()>> tasks);
+
+}  // namespace dv::core

@@ -118,6 +118,24 @@ ReportBuilder& ReportBuilder::svg(const std::string& svg_markup,
   return *this;
 }
 
+ReportBuilder& ReportBuilder::query_stats(const QueryStats& stats) {
+  heading("Query engine");
+  std::ostringstream os;
+  os << "<table class=\"meta\">\n";
+  auto row = [&os](const std::string& k, std::uint64_t v) {
+    os << "<tr><th>" << escape(k) << "</th><td>" << v << "</td></tr>\n";
+  };
+  row("cache hits", stats.hits);
+  row("cache misses", stats.misses);
+  row("evictions", stats.evictions);
+  row("group-slab builds", stats.slab_builds);
+  row("group-slab reductions", stats.slab_reduces);
+  row("live entries", stats.entries);
+  os << "</table>\n";
+  body_ += os.str();
+  return *this;
+}
+
 std::string ReportBuilder::html() const {
   std::ostringstream os;
   os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>"

@@ -48,6 +48,10 @@ class ReportBuilder {
   ReportBuilder& svg(const std::string& svg_markup,
                      const std::string& caption);
 
+  /// Query-engine cache effectiveness table (hits, misses, evictions, slab
+  /// usage) — documents how interactive the reported session was.
+  ReportBuilder& query_stats(const QueryStats& stats);
+
   std::string html() const;
   void save(const std::string& path) const;
 

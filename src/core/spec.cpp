@@ -63,11 +63,27 @@ std::vector<std::string> parse_string_list(const json::Value& v,
 std::vector<AttrFilter> parse_filters(const json::Value& v) {
   std::vector<AttrFilter> out;
   for (const auto& [attr, range] : v.as_object()) {
-    const auto& arr = range.as_array();
-    DV_REQUIRE(arr.size() == 2, "filter range must be [lo, hi]");
-    out.push_back(AttrFilter{attr, arr[0].as_number(), arr[1].as_number()});
+    AttrFilter f;
+    f.attr = attr;
+    // `attr: null` keeps the default unbounded range (the attr is named
+    // without restricting it); `[null, hi]` / `[lo, null]` are one-sided.
+    if (!range.is_null()) {
+      const auto& arr = range.as_array();
+      DV_REQUIRE(arr.size() == 2, "filter range must be [lo, hi]");
+      if (!arr[0].is_null()) f.lo = arr[0].as_number();
+      if (!arr[1].is_null()) f.hi = arr[1].as_number();
+    }
+    out.push_back(std::move(f));
   }
   return out;
+}
+
+TimeWindow parse_window(const json::Value& v) {
+  const auto& arr = v.as_array();
+  DV_REQUIRE(arr.size() == 2, "window must be [t0, t1]");
+  TimeWindow w{arr[0].as_number(), arr[1].as_number()};
+  DV_REQUIRE(w.active(), "window must satisfy t0 < t1");
+  return w;
 }
 
 LevelSpec parse_level(const json::Value& v) {
@@ -136,6 +152,12 @@ ProjectionSpec ProjectionSpec::from_json(const json::Value& v) {
       spec.ribbons = parse_ribbons(entry.at("ribbons"));
       continue;
     }
+    if (const auto* w = entry.find("window")) {
+      DV_REQUIRE(entry.as_object().size() == 1,
+                 "window must be its own spec entry");
+      spec.window = parse_window(*w);
+      continue;
+    }
     spec.levels.push_back(parse_level(entry));
   }
   DV_REQUIRE(!spec.levels.empty(), "projection spec has no levels");
@@ -160,9 +182,15 @@ json::Value ProjectionSpec::to_json() const {
     if (!lvl.filters.empty()) {
       json::Object f;
       for (const auto& flt : lvl.filters) {
+        if (!flt.bounded_lo() && !flt.bounded_hi()) {
+          f[flt.attr] = json::Value(nullptr);
+          continue;
+        }
         json::Array range;
-        range.emplace_back(flt.lo);
-        range.emplace_back(flt.hi);
+        range.emplace_back(flt.bounded_lo() ? json::Value(flt.lo)
+                                            : json::Value(nullptr));
+        range.emplace_back(flt.bounded_hi() ? json::Value(flt.hi)
+                                            : json::Value(nullptr));
         f[flt.attr] = json::Value(std::move(range));
       }
       o["filter"] = json::Value(std::move(f));
@@ -182,6 +210,14 @@ json::Value ProjectionSpec::to_json() const {
     }
     if (!lvl.border) o["border"] = json::Value(false);
     arr.emplace_back(std::move(o));
+  }
+  if (window.active()) {
+    json::Object w;
+    json::Array range;
+    range.emplace_back(window.t0);
+    range.emplace_back(window.t1);
+    w["window"] = json::Value(std::move(range));
+    arr.emplace_back(std::move(w));
   }
   {
     json::Object rw;
@@ -231,6 +267,22 @@ SpecBuilder& SpecBuilder::max_bins(std::size_t n) {
 SpecBuilder& SpecBuilder::filter(const std::string& attr, double lo,
                                  double hi) {
   current().filters.push_back(AttrFilter{attr, lo, hi});
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::filter_min(const std::string& attr, double lo) {
+  AttrFilter f;
+  f.attr = attr;
+  f.lo = lo;
+  current().filters.push_back(std::move(f));
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::filter_max(const std::string& attr, double hi) {
+  AttrFilter f;
+  f.attr = attr;
+  f.hi = hi;
+  current().filters.push_back(std::move(f));
   return *this;
 }
 
@@ -284,6 +336,12 @@ SpecBuilder& SpecBuilder::ribbon_colors(std::vector<std::string> ramp) {
 
 SpecBuilder& SpecBuilder::no_ribbons() {
   spec_.ribbons.enabled = false;
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::window(double t0, double t1) {
+  DV_REQUIRE(t0 < t1, "window must satisfy t0 < t1");
+  spec_.window = TimeWindow{t0, t1};
   return *this;
 }
 

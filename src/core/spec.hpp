@@ -63,6 +63,9 @@ struct RibbonSpec {
 struct ProjectionSpec {
   std::vector<LevelSpec> levels;
   RibbonSpec ribbons;
+  /// Restricts sampled metrics to [t0, t1) in every level and the ribbons
+  /// (script entry: { window: [t0, t1] }). Inactive by default.
+  TimeWindow window;
 
   /// Parses a Fig. 5-style script (relaxed JSON; a comma-separated list of
   /// level objects, optionally with one "ribbons" object).
@@ -82,6 +85,9 @@ class SpecBuilder {
   SpecBuilder& aggregate(std::vector<std::string> keys);
   SpecBuilder& max_bins(std::size_t n);
   SpecBuilder& filter(const std::string& attr, double lo, double hi);
+  /// One-sided / unbounded filters (omitted bounds stay infinite).
+  SpecBuilder& filter_min(const std::string& attr, double lo);
+  SpecBuilder& filter_max(const std::string& attr, double hi);
   SpecBuilder& color(const std::string& attr);
   SpecBuilder& size(const std::string& attr);
   SpecBuilder& x(const std::string& attr);
@@ -94,6 +100,9 @@ class SpecBuilder {
                        const std::string& color_attr = "sat_time");
   SpecBuilder& ribbon_colors(std::vector<std::string> ramp);
   SpecBuilder& no_ribbons();
+
+  /// Restricts the whole projection to the time range [t0, t1).
+  SpecBuilder& window(double t0, double t1);
 
   ProjectionSpec build() const;
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "core/scales.hpp"
+#include "obs/obs.hpp"
 #include "util/str.hpp"
 
 namespace dv::core {
@@ -297,20 +298,33 @@ std::string TimelineView::to_svg(double w, double h) const {
 
 AnalysisSession::AnalysisSession(DataSet data, ProjectionSpec spec)
     : data_(std::move(data)), spec_(std::move(spec)) {
+  engine_.emplace(data_);
   rebuild();
 }
 
-DataSet AnalysisSession::active_data() const {
-  if (sel_t0_ < sel_t1_) return data_.slice_time(sel_t0_, sel_t1_);
-  return data_;
-}
-
 void AnalysisSession::rebuild() {
-  current_data_ = active_data();
+  DV_OBS_PHASE("session/rebuild");
+  const bool windowed = sel_t0_ < sel_t1_;
+
+  // The detail view plots raw per-entity values, so it reads a sliced copy
+  // of the dataset; memoize it on the selected range so brush changes do
+  // not re-slice.
+  if (!windowed) {
+    current_data_.reset();
+  } else if (!current_data_ || slice_t0_ != sel_t0_ || slice_t1_ != sel_t1_) {
+    current_data_ = data_.slice_time(sel_t0_, sel_t1_);
+    slice_t0_ = sel_t0_;
+    slice_t1_ = sel_t1_;
+  }
+  const DataSet& detail_data = windowed ? *current_data_ : data_;
 
   // Apply detail brushes as terminal-entity filters on the projection
-  // (paper: brushing updates the projection to the selected data).
+  // (paper: brushing updates the projection to the selected data). The
+  // selected time range becomes the spec window, so the projection
+  // re-aggregates through the engine's prefix slabs instead of a fresh
+  // dataset rebuild.
   ProjectionSpec spec = spec_;
+  if (windowed) spec.window = TimeWindow{sel_t0_, sel_t1_};
   if (detail_) {
     for (auto& lvl : spec.levels) {
       if (lvl.entity != Entity::kTerminal) continue;
@@ -320,8 +334,8 @@ void AnalysisSession::rebuild() {
   std::vector<AttrFilter> saved_brushes;
   if (detail_) saved_brushes = detail_->brushes();
 
-  projection_.emplace(*current_data_, spec);
-  detail_.emplace(*current_data_);
+  projection_.emplace(data_, spec, nullptr, &*engine_);
+  detail_.emplace(detail_data);
   for (const auto& b : saved_brushes) detail_->brush(b.attr, b.lo, b.hi);
   if (data_.run().has_time_series()) {
     timeline_.emplace(data_);

@@ -95,14 +95,26 @@ class TimelineView {
 };
 
 /// The full linked-view analysis session of Fig. 6.
+///
+/// The session owns a QueryEngine over its dataset: time-range selections
+/// become spec windows, so re-brushing the timeline re-aggregates through
+/// cached prefix slabs instead of rebuilding the dataset from scratch.
 class AnalysisSession {
  public:
   AnalysisSession(DataSet data, ProjectionSpec spec);
+
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
 
   /// Current projection (rebuilt on time-range/brush changes).
   const ProjectionView& projection() const { return *projection_; }
   DetailView& detail() { return *detail_; }
   TimelineView& timeline() { return *timeline_; }
+
+  /// The session's query engine (shared across rebuilds) and its cache
+  /// counters (the CLI's --cache-stats report).
+  QueryEngine& engine() { return *engine_; }
+  QueryStats query_stats() const { return engine_->stats(); }
 
   /// Timeline interaction: re-aggregates projection + detail on [t0, t1).
   void select_time_range(double t0, double t1);
@@ -126,15 +138,17 @@ class AnalysisSession {
 
  private:
   void rebuild();
-  DataSet active_data() const;
 
   DataSet data_;
   ProjectionSpec spec_;
+  std::optional<QueryEngine> engine_;  // over data_; outlives every rebuild
   std::optional<ProjectionView> projection_;
   std::optional<DetailView> detail_;
   std::optional<TimelineView> timeline_;
-  // Views hold pointers into current_data_; keep it alive alongside them.
+  // The detail view shows raw windowed values, so it reads a sliced copy;
+  // memoized on the selected range and kept alive alongside the views.
   std::optional<DataSet> current_data_;
+  double slice_t0_ = 0.0, slice_t1_ = 0.0;
   double sel_t0_ = 0.0, sel_t1_ = 0.0;
 };
 

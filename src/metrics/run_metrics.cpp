@@ -1,5 +1,6 @@
 #include "metrics/run_metrics.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -40,6 +41,44 @@ std::size_t SampledSeries::frame_of(SimTime t) const {
   if (t <= 0.0) return 0;
   const auto f = static_cast<std::size_t>(t / dt_);
   return f >= frames() ? frames() - 1 : f;
+}
+
+// ------------------------------------------------------------ PrefixSeries
+
+PrefixSeries::PrefixSeries(const SampledSeries& s)
+    : entities_(s.entities()), dt_(s.dt()) {
+  const std::size_t frames = s.frames();
+  if (entities_ == 0) return;
+  prefix_.assign((frames + 1) * entities_, 0.0);
+  // P[f+1][e] = P[f][e] + frame f — the same sequential accumulation
+  // SampledSeries::range_sum(e, 0, f) performs, so prefix deltas starting
+  // at frame 0 reproduce it bit for bit.
+  for (std::size_t f = 0; f < frames; ++f) {
+    const double* prev = &prefix_[f * entities_];
+    double* next = &prefix_[(f + 1) * entities_];
+    for (std::size_t e = 0; e < entities_; ++e) {
+      next[e] = prev[e] + static_cast<double>(s.at(f, e));
+    }
+  }
+}
+
+double PrefixSeries::range_sum(std::size_t entity, std::size_t f0,
+                               std::size_t f1) const {
+  DV_REQUIRE(entity < entities_, "entity out of range");
+  DV_REQUIRE(f0 <= f1 && f1 <= frames(), "bad frame range");
+  return prefix_[f1 * entities_ + entity] - prefix_[f0 * entities_ + entity];
+}
+
+std::pair<std::size_t, std::size_t> PrefixSeries::frame_range(
+    double t0, double t1) const {
+  const std::size_t n = frames();
+  if (dt_ <= 0.0 || n == 0) return {0, 0};
+  const std::size_t f0 = static_cast<std::size_t>(std::max(0.0, t0 / dt_));
+  std::size_t f1 = t1 >= static_cast<double>(n) * dt_
+                       ? n
+                       : static_cast<std::size_t>(std::max(0.0, t1 / dt_));
+  f1 = std::min(f1, n);
+  return {std::min(f0, f1), f1};
 }
 
 // ------------------------------------------------------------ RunMetrics

@@ -87,6 +87,38 @@ class SampledSeries {
   std::vector<float> data_;  // frame-major
 };
 
+/// Prefix-summed view of a SampledSeries: P[f][e] accumulates the frames
+/// [0, f) of entity e, so the windowed sum over frames [f0, f1) is the O(1)
+/// delta P[f1][e] - P[f0][e] instead of an O(f1-f0) scan. The VA layer's
+/// query engine and DataSet::slice_time both reduce through one PrefixSeries
+/// per sampled metric, which makes incremental re-windowing and from-scratch
+/// slicing bit-exact with each other.
+class PrefixSeries {
+ public:
+  PrefixSeries() = default;
+  explicit PrefixSeries(const SampledSeries& s);
+
+  std::size_t entities() const { return entities_; }
+  std::size_t frames() const {
+    return entities_ ? prefix_.size() / entities_ - 1 : 0;
+  }
+  double dt() const { return dt_; }
+  bool empty() const { return prefix_.empty(); }
+
+  /// Sum over frames [f0, f1) for one entity, as a prefix delta.
+  double range_sum(std::size_t entity, std::size_t f0, std::size_t f1) const;
+
+  /// Half-open frame quantization of the time range [t0, t1): frame f
+  /// covers [f*dt, (f+1)*dt), so adjacent ranges partition the frames
+  /// exactly (no double counting). Clamped to the sampled span.
+  std::pair<std::size_t, std::size_t> frame_range(double t0, double t1) const;
+
+ private:
+  std::size_t entities_ = 0;
+  double dt_ = 0.0;
+  std::vector<double> prefix_;  // (frames+1) x entities, frame-major
+};
+
 /// Everything one simulation run produces.
 struct RunMetrics {
   // Configuration echo (enough to rebuild entity relations in the VA layer).

@@ -83,7 +83,9 @@ Snapshot snapshot() {
 
 namespace detail {
 
-void phase_enter(const char* name, std::string& path_out) {
+void phase_enter(const char* name, std::string& path_out,
+                 std::string& prev_out) {
+  prev_out = t_phase_path;
   if (t_phase_path.empty()) {
     t_phase_path = name;
   } else {
@@ -93,11 +95,11 @@ void phase_enter(const char* name, std::string& path_out) {
   path_out = t_phase_path;
 }
 
-void phase_exit(const std::string& path, double seconds) {
-  // Restore the enclosing path (strip the last component).
-  const auto cut = t_phase_path.find_last_of('/');
-  t_phase_path = cut == std::string::npos ? std::string()
-                                          : t_phase_path.substr(0, cut);
+void phase_exit(const std::string& path, const std::string& prev,
+                double seconds) {
+  // Restore the exact enclosing path (names may contain '/' themselves,
+  // so stripping one component would leak segments onto the stack).
+  t_phase_path = prev;
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   auto& acc = r.phases[path];

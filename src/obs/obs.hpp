@@ -111,25 +111,29 @@ void reset();
 Snapshot snapshot();
 
 namespace detail {
-void phase_enter(const char* name, std::string& path_out);
-void phase_exit(const std::string& path, double seconds);
+void phase_enter(const char* name, std::string& path_out,
+                 std::string& prev_out);
+void phase_exit(const std::string& path, const std::string& prev,
+                double seconds);
 }  // namespace detail
 
 /// RAII wall-clock timer for one phase. Phases nest: a ScopedPhase created
 /// while another is alive on the same thread records under the path
 /// "outer/inner", and the outer phase's time includes the inner's. The
 /// per-thread phase stack means concurrent phases on different threads do
-/// not interleave paths.
+/// not interleave paths. Names may themselves contain '/' (e.g.
+/// "query/slab_build") to group related phases under one prefix; the exit
+/// restores the exact enclosing path regardless.
 class ScopedPhase {
  public:
 #ifdef DV_OBS_ENABLED
   explicit ScopedPhase(const char* name)
       : start_(std::chrono::steady_clock::now()) {
-    detail::phase_enter(name, path_);
+    detail::phase_enter(name, path_, prev_);
   }
   ~ScopedPhase() {
     const auto end = std::chrono::steady_clock::now();
-    detail::phase_exit(path_,
+    detail::phase_exit(path_, prev_,
                        std::chrono::duration<double>(end - start_).count());
   }
 #else
@@ -142,6 +146,7 @@ class ScopedPhase {
  private:
 #ifdef DV_OBS_ENABLED
   std::string path_;
+  std::string prev_;  ///< enclosing path, restored verbatim on exit
   std::chrono::steady_clock::time_point start_;
 #endif
 };
@@ -158,12 +163,21 @@ class ScopedPhase {
     DV_OBS_CONCAT(dv_obs_c_, __LINE__).add(n);                  \
   } while (0)
 #define DV_OBS_PHASE(name) ::dv::obs::ScopedPhase DV_OBS_CONCAT(dv_obs_p_, __LINE__)(name)
+#define DV_OBS_GAUGE_SET(name, v)                               \
+  do {                                                          \
+    static ::dv::obs::Gauge& DV_OBS_CONCAT(dv_obs_g_, __LINE__) = \
+        ::dv::obs::gauge(name);                                 \
+    DV_OBS_CONCAT(dv_obs_g_, __LINE__).set(v);                  \
+  } while (0)
 #else
 #define DV_OBS_COUNT(name, n) \
   do {                        \
   } while (0)
 #define DV_OBS_PHASE(name) \
   do {                     \
+  } while (0)
+#define DV_OBS_GAUGE_SET(name, v) \
+  do {                            \
   } while (0)
 #endif
 

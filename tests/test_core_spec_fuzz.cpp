@@ -1,0 +1,148 @@
+// Differential fuzzing for the projection-spec parser: mutate valid
+// scripts and require that every input either parses — in which case
+// parse -> serialize -> parse must reach a fixpoint — or fails with a
+// dv::Error diagnostic. Anything else (crash, foreign exception type,
+// empty message) is a bug.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "core/spec.hpp"
+
+namespace dv::core {
+namespace {
+
+const std::vector<std::string>& base_scripts() {
+  static const std::vector<std::string> scripts = [] {
+    std::vector<std::string> out;
+    // Every preset exercised through its canonical serialized form, plus a
+    // hand-written script covering window / null filters / one-sided bounds.
+    for (const auto& name : preset_names()) {
+      out.push_back(preset(name).to_script());
+    }
+    out.push_back(R"(
+      { project: "global_link", aggregate: ["group_id"], maxBins: 8,
+        vmap: { color: "sat_time", size: "traffic" },
+        filter: { traffic: null, sat_time: [10, null] },
+        colors: ["white", "purple"] },
+      { window: [1000, 25000] },
+      { project: "terminal", aggregate: "router_rank",
+        vmap: { color: "sat_time" },
+        filter: { data_size: [null, 4096] } }
+    )");
+    return out;
+  }();
+  return scripts;
+}
+
+std::string mutate(const std::string& base, std::mt19937& rng) {
+  static const char* kTokens[] = {"{",      "}",    "[",     "]",      ",",
+                                  ":",      "null", "\"",    "1e9999", "-3",
+                                  "window", "vmap", "filter", "project"};
+  std::string s = base;
+  const int edits = 1 + static_cast<int>(rng() % 3);
+  for (int e = 0; e < edits; ++e) {
+    if (s.empty()) break;
+    const std::size_t pos = rng() % s.size();
+    switch (rng() % 6) {
+      case 0:  // truncate
+        s.resize(pos);
+        break;
+      case 1:  // flip one char to a random printable
+        s[pos] = static_cast<char>(' ' + rng() % 95);
+        break;
+      case 2:  // insert a grammar token
+        s.insert(pos, kTokens[rng() % (sizeof(kTokens) / sizeof(*kTokens))]);
+        break;
+      case 3: {  // delete a short span
+        const std::size_t len = 1 + rng() % 8;
+        s.erase(pos, std::min(len, s.size() - pos));
+        break;
+      }
+      case 4: {  // duplicate a short span
+        const std::size_t len = std::min<std::size_t>(1 + rng() % 12,
+                                                      s.size() - pos);
+        s.insert(pos, s.substr(pos, len));
+        break;
+      }
+      case 5: {  // splice in a digit run (perturbs numbers)
+        const char digits[] = "0123456789.e-";
+        std::string num;
+        for (std::size_t i = 0; i < 1 + rng() % 6; ++i) {
+          num += digits[rng() % (sizeof(digits) - 1)];
+        }
+        s.insert(pos, num);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+/// Feeds one input through parse; on success requires the serialized form
+/// to be a parser fixpoint. Returns true when the input parsed.
+bool check_one(const std::string& input) {
+  ProjectionSpec spec;
+  try {
+    spec = ProjectionSpec::parse(input);
+  } catch (const Error& e) {
+    EXPECT_STRNE(e.what(), "") << "diagnostic must not be empty";
+    return false;
+  }
+  // Parsed: serialization must itself parse, to the same canonical form.
+  const std::string script = spec.to_script();
+  try {
+    const ProjectionSpec again = ProjectionSpec::parse(script);
+    EXPECT_EQ(again.to_script(), script)
+        << "serialize -> parse -> serialize is not a fixpoint for:\n"
+        << input;
+  } catch (const Error& e) {
+    ADD_FAILURE() << "serialized form rejected (" << e.what() << "):\n"
+                  << script;
+  }
+  return true;
+}
+
+TEST(SpecFuzz, BaseScriptsAllParseAndRoundTrip) {
+  for (const auto& s : base_scripts()) {
+    EXPECT_TRUE(check_one(s)) << s;
+  }
+}
+
+TEST(SpecFuzz, MutatedScriptsNeverCrashAndRoundTripWhenParsed) {
+  std::mt19937 rng(0xd1a60u);  // deterministic: failures are reproducible
+  std::size_t parsed = 0, rejected = 0;
+  for (const auto& base : base_scripts()) {
+    for (int i = 0; i < 250; ++i) {
+      const std::string input = mutate(base, rng);
+      SCOPED_TRACE("mutant " + std::to_string(i) + " of base\n" + base);
+      if (check_one(input)) {
+        ++parsed;
+      } else {
+        ++rejected;
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  // The mutator must actually exercise both outcomes to mean anything.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(SpecFuzz, GarbageInputsAreRejectedWithDiagnostics) {
+  const char* kGarbage[] = {
+      "", "   ", "{", "}", "[[[[", "{]", "\"", "{ project: }",
+      "{ project: \"no_such_entity\", vmap: { color: \"x\" } }",
+      "{ window: [5] }", "{ window: [9, 2] }", "{ window: \"all\" }",
+      "\xff\xfe\x00garbage", "{ aggregate: 42 }",
+  };
+  for (const char* s : kGarbage) {
+    EXPECT_THROW(ProjectionSpec::parse(s), Error) << "input: " << s;
+  }
+}
+
+}  // namespace
+}  // namespace dv::core

@@ -1,0 +1,146 @@
+// Golden-file SVG regression tests. Rendered markup is compared against
+// checked-in references with float-tolerant normalization: literal text
+// must match exactly, embedded numbers may differ by formatting noise.
+// Regenerate the references with:  DV_UPDATE_GOLDEN=1 ./dv_tests
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "core/projection.hpp"
+#include "core/views.hpp"
+#include "helpers.hpp"
+
+#ifndef DV_TEST_GOLDEN_DIR
+#define DV_TEST_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace dv {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(DV_TEST_GOLDEN_DIR) + "/" + name;
+}
+
+bool update_mode() {
+  const char* e = std::getenv("DV_UPDATE_GOLDEN");
+  return e != nullptr && *e != '\0' && *e != '0';
+}
+
+/// Splits SVG markup into literal chunks and parsed numbers, so "1.5000"
+/// and "1.5" normalize identically and last-digit float noise is tolerated.
+struct SvgTokens {
+  std::vector<std::string> literals;  // literals.size() == numbers.size() + 1
+  std::vector<double> numbers;
+};
+
+SvgTokens tokenize(const std::string& s) {
+  SvgTokens out;
+  std::string lit;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    const bool digit_start =
+        (c >= '0' && c <= '9') ||
+        ((c == '-' || c == '.') && i + 1 < s.size() && s[i + 1] >= '0' &&
+         s[i + 1] <= '9');
+    if (digit_start) {
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str() + i, &end);
+      const auto consumed = static_cast<std::size_t>(end - (s.c_str() + i));
+      if (consumed > 0) {
+        out.literals.push_back(std::move(lit));
+        lit.clear();
+        out.numbers.push_back(v);
+        i += consumed;
+        continue;
+      }
+    }
+    lit.push_back(c);
+    ++i;
+  }
+  out.literals.push_back(std::move(lit));
+  return out;
+}
+
+void expect_svg_matches_golden(const std::string& svg,
+                               const std::string& name) {
+  const std::string path = golden_path(name);
+  if (update_mode()) {
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os.good()) << "cannot write golden: " << path;
+    os << svg;
+    return;
+  }
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good()) << "missing golden file " << path
+                         << " — regenerate with DV_UPDATE_GOLDEN=1";
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string want = buf.str();
+
+  const SvgTokens a = tokenize(want), b = tokenize(svg);
+  ASSERT_EQ(a.literals.size(), b.literals.size())
+      << name << ": structure changed (token count differs); if intended, "
+      << "regenerate with DV_UPDATE_GOLDEN=1";
+  for (std::size_t i = 0; i < a.literals.size(); ++i) {
+    ASSERT_EQ(a.literals[i], b.literals[i])
+        << name << ": literal chunk " << i << " differs";
+  }
+  for (std::size_t i = 0; i < a.numbers.size(); ++i) {
+    const double tol =
+        1e-4 + 2e-4 * std::max(std::abs(a.numbers[i]), std::abs(b.numbers[i]));
+    ASSERT_NEAR(a.numbers[i], b.numbers[i], tol)
+        << name << ": number " << i << " drifted past formatting noise";
+  }
+}
+
+const dv::testing::MiniRun& mini() {
+  static const auto run = dv::testing::make_mini_run();
+  return run;
+}
+
+TEST(GoldenSvg, NormalizerToleratesFloatFormattingOnly) {
+  // Self-test of the comparator before trusting it on real views.
+  const SvgTokens a = tokenize("<rect x=\"1.5000\" y=\"-2\"/>");
+  const SvgTokens b = tokenize("<rect x=\"1.5\" y=\"-2.00001\"/>");
+  ASSERT_EQ(a.literals, b.literals);
+  ASSERT_EQ(a.numbers.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.numbers[0], 1.5);
+  EXPECT_DOUBLE_EQ(a.numbers[1], -2.0);
+  EXPECT_NEAR(a.numbers[1], b.numbers[1], 1e-4);
+  // Structural changes do not slip through as number drift.
+  EXPECT_NE(tokenize("<circle r=\"3\"/>").literals, a.literals);
+}
+
+TEST(GoldenSvg, ProjectionFig7) {
+  const core::DataSet data(mini().run);
+  const core::ProjectionView view(data, core::preset("fig7"));
+  expect_svg_matches_golden(view.to_svg(420), "projection_fig7.svg");
+}
+
+TEST(GoldenSvg, ProjectionInteractiveWindowed) {
+  const core::DataSet data(mini().run);
+  auto spec = core::preset("interactive");
+  const double end = mini().run.end_time;
+  spec.window = core::TimeWindow{end * 0.25, end * 0.75};
+  core::QueryEngine engine(data);
+  const core::ProjectionView view(data, spec, nullptr, &engine);
+  expect_svg_matches_golden(view.to_svg(420),
+                            "projection_interactive_windowed.svg");
+}
+
+TEST(GoldenSvg, TimelineView) {
+  const core::DataSet data(mini().run);
+  const core::TimelineView timeline(data);
+  expect_svg_matches_golden(timeline.to_svg(600, 160), "timeline.svg");
+}
+
+}  // namespace
+}  // namespace dv

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <random>
 #include <tuple>
 
 #include "core/projection.hpp"
+#include "core/query.hpp"
 #include "core/views.hpp"
 #include "helpers.hpp"
 #include "netsim/network.hpp"
@@ -210,6 +212,182 @@ TEST(Pipeline, SessionSliceEqualsManualSlice) {
   const auto& col = manual.table(core::Entity::kLocalLink).column("traffic");
   const double manual_total = std::accumulate(col.begin(), col.end(), 0.0);
   EXPECT_NEAR(session_total, manual_total, 1e-6 + manual_total * 1e-9);
+}
+
+// ----------------------------------------------------- query-engine algebra
+
+namespace qprop {
+
+struct RandomQuery {
+  core::Entity entity;
+  core::AggregationSpec spec;
+  std::string attr;
+  core::Reducer reducer;
+};
+
+/// Draws a random but valid query: entity, keys, bins, filters (bounded,
+/// one-sided, or unbounded), reducer, attribute, and an optional window.
+RandomQuery draw(std::mt19937& rng, double end_time) {
+  static const struct {
+    core::Entity entity;
+    std::vector<const char*> keys;
+    std::vector<const char*> attrs;
+  } kPools[] = {
+      {core::Entity::kLocalLink,
+       {"group_id", "router_rank", "router_port", "src_job"},
+       {"traffic", "sat_time"}},
+      {core::Entity::kGlobalLink,
+       {"group_id", "router_rank", "dst_group"},
+       {"traffic", "sat_time"}},
+      {core::Entity::kTerminal,
+       {"group_id", "router_rank", "router_port", "workload"},
+       {"data_size", "sat_time", "avg_latency", "avg_hops"}},
+      {core::Entity::kRouter,
+       {"group_id", "router_rank"},
+       {"local_traffic", "global_traffic", "local_sat_time"}},
+  };
+  const auto& pool = kPools[rng() % 4];
+
+  RandomQuery q;
+  q.entity = pool.entity;
+  const std::size_t n_keys = 1 + rng() % 2;
+  for (std::size_t i = 0; i < n_keys; ++i) {
+    const char* k = pool.keys[rng() % pool.keys.size()];
+    if (q.spec.keys.empty() || q.spec.keys[0] != k) q.spec.keys.push_back(k);
+  }
+  if (rng() % 3 == 0) q.spec.max_bins = 2 + rng() % 12;
+  if (rng() % 3 == 0) {
+    core::AttrFilter f;
+    f.attr = pool.attrs[rng() % pool.attrs.size()];
+    switch (rng() % 3) {
+      case 0: f.lo = 0.0; break;                      // one-sided
+      case 1: f.hi = 1e12; break;                     // one-sided
+      default: f.lo = 0.0; f.hi = 1e12; break;        // bounded
+    }
+    q.spec.filters.push_back(std::move(f));
+  }
+  q.attr = pool.attrs[rng() % pool.attrs.size()];
+  static const core::Reducer kReducers[] = {
+      core::Reducer::kSum, core::Reducer::kMean, core::Reducer::kMax,
+      core::Reducer::kMin, core::Reducer::kCount};
+  q.reducer = kReducers[rng() % 5];
+  if (rng() % 2) {
+    const double a = (rng() % 1000) / 1000.0 * end_time;
+    const double b = (rng() % 1000) / 1000.0 * end_time;
+    if (a != b) q.spec.window = core::TimeWindow{std::min(a, b), std::max(a, b)};
+  }
+  return q;
+}
+
+}  // namespace qprop
+
+TEST(QueryProperty, CachedEqualsFreshRecomputeBitExactAcross1000Specs) {
+  // The acceptance-criteria sweep: for >= 1000 random specs, a warmed
+  // shared engine returns results bit-identical to a fresh engine's cold
+  // recompute. EXPECT_EQ on doubles is exact equality on purpose.
+  const auto mini = dv::testing::make_mini_run();
+  const core::DataSet data(mini.run);
+  const double end = mini.run.end_time;
+  core::QueryEngine warmed(data, 256);
+  std::mt19937 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto q = qprop::draw(rng, end);
+    // Query twice so the second answer is (usually) served from cache.
+    (void)warmed.reduce(q.entity, q.spec, q.attr, q.reducer);
+    const auto cached = warmed.reduce(q.entity, q.spec, q.attr, q.reducer);
+    core::QueryEngine fresh(data);
+    const auto cold = fresh.reduce(q.entity, q.spec, q.attr, q.reducer);
+    ASSERT_EQ(cached->size(), cold->size()) << "spec " << i;
+    for (std::size_t g = 0; g < cold->size(); ++g) {
+      ASSERT_EQ((*cached)[g], (*cold)[g])
+          << "spec " << i << " group " << g << " (cached vs recompute)";
+    }
+  }
+  const auto s = warmed.stats();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GT(s.misses, 0u);
+}
+
+TEST(QueryProperty, WindowCoveringWholeRunMatchesFullAggregation) {
+  // Sum over [0, end] equals the unwindowed aggregation up to sampling
+  // float precision (series store float deltas, totals are doubles).
+  const auto mini = dv::testing::make_mini_run();
+  const core::DataSet data(mini.run);
+  core::QueryEngine eng(data);
+  core::AggregationSpec spec;
+  spec.keys = {"group_id"};
+  const auto full = eng.reduce(core::Entity::kGlobalLink, spec, "traffic",
+                               core::Reducer::kSum);
+  spec.window = core::TimeWindow{0.0, mini.run.end_time + 1.0};
+  const auto windowed = eng.reduce(core::Entity::kGlobalLink, spec, "traffic",
+                                   core::Reducer::kSum);
+  ASSERT_EQ(full->size(), windowed->size());
+  for (std::size_t g = 0; g < full->size(); ++g) {
+    EXPECT_NEAR((*windowed)[g], (*full)[g], 1e-3 + (*full)[g] * 1e-4)
+        << "group " << g;
+  }
+}
+
+TEST(QueryProperty, WindowedSumsAreAdditiveAtFrameBoundaries) {
+  // [0, m) + [m, end) = [0, end) when m is frame-aligned (windows quantize
+  // to frames, so only aligned splits partition exactly).
+  const auto mini = dv::testing::make_mini_run();
+  const core::DataSet data(mini.run);
+  core::QueryEngine eng(data);
+  const double dt = mini.run.sample_dt;
+  const std::size_t frames = mini.run.global_traffic_ts.frames();
+  ASSERT_GT(frames, 2u);
+  const double mid = dt * static_cast<double>(frames / 2);
+  const double end = dt * static_cast<double>(frames);
+
+  core::AggregationSpec spec;
+  spec.keys = {"group_id"};
+  auto sum_over = [&](double t0, double t1) {
+    auto s = spec;
+    s.window = core::TimeWindow{t0, t1};
+    return *eng.reduce(core::Entity::kGlobalLink, s, "traffic",
+                       core::Reducer::kSum);
+  };
+  const auto left = sum_over(0.0, mid);
+  const auto right = sum_over(mid, end);
+  const auto whole = sum_over(0.0, end);
+  ASSERT_EQ(left.size(), whole.size());
+  ASSERT_EQ(right.size(), whole.size());
+  for (std::size_t g = 0; g < whole.size(); ++g) {
+    EXPECT_NEAR(left[g] + right[g], whole[g], 1e-6 + whole[g] * 1e-9)
+        << "group " << g;
+  }
+}
+
+TEST(QueryProperty, WindowedMeanStaysPacketWeighted) {
+  // kMean weights by packets_finished. Windowing replaces the sampled value
+  // columns but never the weights, so the windowed mean must equal the
+  // hand-computed packet-weighted mean over the windowed values.
+  const auto mini = dv::testing::make_mini_run();
+  const core::DataSet data(mini.run);
+  core::QueryEngine eng(data);
+  const double end = mini.run.end_time;
+  core::AggregationSpec spec;
+  spec.keys = {"router_rank"};
+  spec.window = core::TimeWindow{end * 0.2, end * 0.8};
+  const auto got = eng.reduce(core::Entity::kTerminal, spec, "data_size",
+                              core::Reducer::kMean);
+
+  const core::DataTable wt =
+      data.windowed_table(core::Entity::kTerminal, end * 0.2, end * 0.8);
+  const auto agg = eng.aggregate(core::Entity::kTerminal, spec);
+  const auto& vals = wt.column("data_size");
+  const auto& weights = wt.column("packets_finished");
+  ASSERT_EQ(got->size(), agg->size());
+  for (std::size_t g = 0; g < agg->size(); ++g) {
+    double acc = 0.0, wsum = 0.0;
+    for (std::uint32_t row : agg->groups()[g].rows) {
+      acc += vals[row] * weights[row];
+      wsum += weights[row];
+    }
+    const double want = wsum > 0 ? acc / wsum : 0.0;
+    EXPECT_DOUBLE_EQ((*got)[g], want) << "group " << g;
+  }
 }
 
 TEST(Pipeline, SeedChangesRandomPlacementButNotTotals) {
