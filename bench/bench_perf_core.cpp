@@ -14,6 +14,7 @@
 
 #include "core/projection.hpp"
 #include "core/views.hpp"
+#include "fault/fault.hpp"
 #include "netsim/network.hpp"
 #include "pdes/phold.hpp"
 #include "workload/workload.hpp"
@@ -63,8 +64,10 @@ core::ProjectionSpec default_spec() {
 }
 
 /// One medium uniform-random netsim run; workers = 0 picks the sequential
-/// engine, N > 1 the partitioned parallel one. Returns events processed.
-std::uint64_t run_netsim_once(std::uint32_t workers) {
+/// engine, N > 1 the partitioned parallel one. `faulted` adds a transient
+/// cable outage plus a transient router outage inside the injection window.
+/// Returns events processed.
+std::uint64_t run_netsim_once(std::uint32_t workers, bool faulted = false) {
   const auto topo = topo::Dragonfly::canonical(3);
   netsim::Network net(topo, routing::Algo::kAdaptive, {}, 3);
   workload::Config cfg;
@@ -76,6 +79,10 @@ std::uint64_t run_netsim_once(std::uint32_t workers) {
       topo, {{"ur", topo.num_terminals(), placement::Policy::kContiguous}}, 3);
   net.add_messages(workload::map_to_terminals(
       workload::generate_uniform_random(cfg), placement, 0));
+  if (faulted) {
+    net.set_fault_plan(fault::FaultPlan::parse(
+        "link:g0->g1@1e4:3e4\nrouter:g2.r1@5e3:2.5e4\n"));
+  }
   if (workers) net.set_parallel(workers);
   benchmark::DoNotOptimize(net.run());
   return net.events_processed();
@@ -93,6 +100,22 @@ void BM_SimulatorEventRate(benchmark::State& state) {
 // Arg 0 = sequential engine; 1/2/4 = conservative parallel partitions.
 BENCHMARK(BM_SimulatorEventRate)
     ->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorEventRateFaulted(benchmark::State& state) {
+  std::uint64_t events = 0;
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    events += run_netsim_once(workers, /*faulted=*/true);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+// The degraded-operation cost: same run with an active fault plan (per-port
+// liveness checks, retries, detours). Compare against BM_SimulatorEventRate
+// to see the overhead; the no-fault path itself stays branch-gated.
+BENCHMARK(BM_SimulatorEventRateFaulted)
+    ->Arg(0)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_DataSetBuild(benchmark::State& state) {

@@ -21,6 +21,7 @@
 
 #include "app/runner.hpp"
 #include "core/comparison.hpp"
+#include "fault/fault.hpp"
 #include "obs/profile.hpp"
 #include "core/presets.hpp"
 #include "core/report.hpp"
@@ -119,6 +120,26 @@ void maybe_write_profile(const Args& args, const std::string& out_path) {
   }
 }
 
+/// Collects the fault plan from --faults FILE (at most one) plus any
+/// number of inline --fault SPEC arguments.
+fault::FaultPlan parse_fault_args(const Args& args) {
+  fault::FaultPlan plan;
+  const std::string file = args.one_or("faults", "");
+  if (!file.empty()) plan = fault::FaultPlan::load(file);
+  for (const auto& s : args.many("fault")) {
+    plan.faults.push_back(fault::parse_fault(s));
+  }
+  return plan;
+}
+
+/// Applies the --fault-retry-* tuning knobs to the simulation parameters.
+void apply_fault_params(const Args& args, netsim::Params& params) {
+  params.fault_retry_base =
+      args.num_or("fault-retry-base", params.fault_retry_base);
+  params.fault_retry_budget = static_cast<std::uint32_t>(
+      args.num_or("fault-retry-budget", params.fault_retry_budget));
+}
+
 /// --spec accepts either a script file path or "preset:<name>".
 core::ProjectionSpec load_spec(const Args& args) {
   const std::string& ref = args.one("spec");
@@ -168,6 +189,8 @@ int cmd_sim(const Args& args) {
   cfg.sample_dt = args.num_or("sample-dt", 0.0);
   cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
   cfg.parallel = static_cast<std::uint32_t>(args.num_or("parallel", 0));
+  cfg.faults = parse_fault_args(args);
+  apply_fault_params(args, cfg.params);
   const auto jobs = args.many("job");
   DV_REQUIRE(!jobs.empty(),
              "at least one --job workload[:ranks[:policy]] required");
@@ -197,6 +220,15 @@ int cmd_sim(const Args& args) {
       static_cast<unsigned long long>(result.events), result.wall_seconds,
       result.run.end_time, result.partitions,
       result.partitions > 1 ? "partitions" : "partition, sequential");
+  if (!cfg.faults.empty()) {
+    std::uint64_t retries = 0, drops = 0;
+    for (const auto c : result.run.router_retries) retries += c;
+    for (const auto c : result.run.router_drops) drops += c;
+    std::printf("faults: %zu scheduled, %llu retries, %llu packets dropped\n",
+                cfg.faults.faults.size(),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(drops));
+  }
   std::printf("wrote %s\n", out.c_str());
   maybe_write_profile(args, out);
   return 0;
@@ -400,12 +432,16 @@ int cmd_trace_replay(const Args& args) {
   const auto seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
   const auto placement =
       placement::place_jobs(topo, {{t.app, t.ranks, policy}}, seed);
+  netsim::Params params;
+  apply_fault_params(args, params);
   netsim::Network net(topo, routing::algo_from_string(
                                 args.one_or("routing", "adaptive")),
-                      {}, seed);
+                      params, seed);
   net.set_jobs(placement);
   net.set_labels(t.app, placement::to_string(policy), {t.app});
   net.add_messages(workload::map_to_terminals(t.messages, placement, 0));
+  const auto fault_plan = parse_fault_args(args);
+  if (!fault_plan.empty()) net.set_fault_plan(fault_plan);
   const double dt = args.num_or("sample-dt", 0.0);
   if (dt > 0) net.enable_sampling(dt);
   net.set_parallel(static_cast<std::uint32_t>(args.num_or("parallel", 1)));
@@ -437,6 +473,19 @@ int cmd_info(const Args& args) {
               human_bytes(run.total_injected()).c_str());
   std::printf("packets:    %llu finished\n",
               static_cast<unsigned long long>(run.total_packets_finished()));
+  if (!run.router_downtime.empty()) {
+    double downtime = 0.0;
+    std::uint64_t retries = 0, drops = 0, rerouted = 0;
+    for (const auto d : run.router_downtime) downtime += d;
+    for (const auto c : run.router_retries) retries += c;
+    for (const auto c : run.router_drops) drops += c;
+    for (const auto& t : run.terminals) rerouted += t.packets_rerouted;
+    std::printf("faults:     %.0f router-ns down, %llu retries, %llu dropped,"
+                " %llu rerouted\n",
+                downtime, static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(drops),
+                static_cast<unsigned long long>(rerouted));
+  }
   if (run.has_time_series()) {
     std::printf("sampling:   dt=%.0f ns, %zu frames\n", run.sample_dt,
                 run.local_traffic_ts.frames());
@@ -455,6 +504,10 @@ void print_help() {
       "           N group-partitions; same seed => identical metrics for\n"
       "           minimal/nonminimal routing; env DV_PARALLEL as default)\n"
       "           [--profile[=prof.json]]  (counters + phase breakdown)\n"
+      "           [--faults plan.txt] [--fault SPEC ...]  (fault injection;\n"
+      "           SPEC: link:g0.r1->g2.r0@T0[:T1] | link:g0->g2@T0[:T1] |\n"
+      "           router:g1.r2@T0[:T1], times in ns, no T1 = permanent)\n"
+      "           [--fault-retry-base NS] [--fault-retry-budget N]\n"
       "  render   --run run.json --spec spec.json --out view.svg [--size PX]\n"
       "           [--focus ring:item]   (click-to-focus drill-down)\n"
       "           [--window T0:T1]      (time-window the aggregation, ns)\n"
@@ -475,7 +528,8 @@ void print_help() {
       "  trace-info   --trace t.dvtr\n"
       "  trace-replay --trace t.dvtr --p N --out run.json\n"
       "           [--placement P] [--routing R] [--sample-dt NS]"
-      " [--parallel N]\n\n"
+      " [--parallel N]\n"
+      "           [--faults plan.txt] [--fault SPEC ...]\n\n"
       "workloads: uniform_random nearest_neighbor all_to_all permutation\n"
       "           bisection amg amr_boxlib minife\n"
       "policies:  contiguous random_group random_router random_node\n");

@@ -53,6 +53,9 @@ core::DataSet load_run_dataset(const std::string& path) {
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   DV_REQUIRE(!cfg.jobs.empty(), "experiment has no jobs");
   DV_REQUIRE(cfg.traffic_scale > 0, "traffic scale must be positive");
+  DV_REQUIRE(cfg.window > 0,
+             "injection window must be positive (a zero-length window would "
+             "inject every message at t=0 and simulate nothing)");
 
   ExperimentResult out;
   // Phases: "setup" covers placement, network construction and workload
@@ -109,6 +112,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     net.add_messages(workload::map_to_terminals(msgs, out.placement, j));
   }
 
+  if (!cfg.faults.empty()) net.set_fault_plan(cfg.faults);
   if (cfg.sample_dt > 0) net.enable_sampling(cfg.sample_dt);
   net.set_parallel(resolve_parallel(cfg.parallel));
   setup_phase.reset();

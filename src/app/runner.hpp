@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/datatable.hpp"
+#include "fault/fault.hpp"
 #include "metrics/run_metrics.hpp"
 #include "netsim/network.hpp"
 #include "obs/profile.hpp"
@@ -41,6 +42,8 @@ struct ExperimentConfig {
   /// parallel engine with N partitions (clamped to the group count).
   std::uint32_t parallel = 0;
   netsim::Params params;
+  /// Scheduled link/router outages (empty = healthy network).
+  fault::FaultPlan faults;
 
   /// Human-readable placement label ("contiguous", "random_router",
   /// "hybrid(...)" when jobs differ).

@@ -136,10 +136,16 @@ void DataSet::build() {
     }
   }
 
+  // Scheduled downtime as a fraction of the simulated span; zero on a
+  // healthy run (and when the run finished at t=0).
+  const double span = run.end_time > 0.0 ? run.end_time : 0.0;
+  auto frac = [span](double ns) { return span > 0.0 ? ns / span : 0.0; };
+
   {
     const auto routers = run.derive_routers();
     const std::size_t n = routers.size();
-    std::vector<double> id(n), grp(n), rank(n), gt(n), gs(n), lt(n), ls(n);
+    std::vector<double> id(n), grp(n), rank(n), gt(n), gs(n), lt(n), ls(n),
+        down(n), dfrac(n), retries(n), drops(n);
     for (std::size_t i = 0; i < n; ++i) {
       id[i] = routers[i].router;
       grp[i] = routers[i].group;
@@ -148,6 +154,10 @@ void DataSet::build() {
       gs[i] = routers[i].global_sat_time;
       lt[i] = routers[i].local_traffic;
       ls[i] = routers[i].local_sat_time;
+      down[i] = routers[i].downtime;
+      dfrac[i] = frac(routers[i].downtime);
+      retries[i] = static_cast<double>(routers[i].retries);
+      drops[i] = static_cast<double>(routers[i].pkts_dropped);
     }
     routers_ = DataTable(n);
     routers_.add_column("router", std::move(id));
@@ -158,13 +168,18 @@ void DataSet::build() {
     routers_.add_column("local_traffic", std::move(lt));
     routers_.add_column("local_sat_time", std::move(ls));
     routers_.add_column("job", router_job);
+    routers_.add_column("downtime", std::move(down));
+    routers_.add_column("downtime_frac", std::move(dfrac));
+    routers_.add_column("retries", std::move(retries));
+    routers_.add_column("pkts_dropped", std::move(drops));
   }
 
-  auto build_links = [a, &router_job](
+  auto build_links = [a, &router_job, &frac](
                          const std::vector<metrics::LinkMetrics>& links) {
     const std::size_t n = links.size();
     std::vector<double> sr(n), sp(n), dr(n), dp(n), grp(n), rank(n), port(n),
-        dgrp(n), drank(n), sjob(n), djob(n), traffic(n), sat(n);
+        dgrp(n), drank(n), sjob(n), djob(n), traffic(n), sat(n), down(n),
+        dfrac(n), retries(n), drops(n);
     for (std::size_t i = 0; i < n; ++i) {
       sr[i] = links[i].src_router;
       sp[i] = links[i].src_port;
@@ -179,6 +194,10 @@ void DataSet::build() {
       djob[i] = router_job[links[i].dst_router];
       traffic[i] = links[i].traffic;
       sat[i] = links[i].sat_time;
+      down[i] = links[i].downtime;
+      dfrac[i] = frac(links[i].downtime);
+      retries[i] = static_cast<double>(links[i].retries);
+      drops[i] = static_cast<double>(links[i].pkts_dropped);
     }
     DataTable t(n);
     t.add_column("src_router", std::move(sr));
@@ -194,6 +213,10 @@ void DataSet::build() {
     t.add_column("dst_job", std::move(djob));
     t.add_column("traffic", std::move(traffic));
     t.add_column("sat_time", std::move(sat));
+    t.add_column("downtime", std::move(down));
+    t.add_column("downtime_frac", std::move(dfrac));
+    t.add_column("retries", std::move(retries));
+    t.add_column("pkts_dropped", std::move(drops));
     return t;
   };
   local_links_ = build_links(run.local_links);
@@ -202,7 +225,8 @@ void DataSet::build() {
   {
     const std::size_t n = run.terminals.size();
     std::vector<double> id(n), router(n), grp(n), rank(n), port(n), data(n),
-        sat(n), pkts(n), lat(n), hops(n), job(n);
+        sat(n), pkts(n), lat(n), hops(n), job(n), dropped(n), rerouted(n),
+        rfrac(n), down(n), dfrac(n);
     for (std::size_t i = 0; i < n; ++i) {
       const auto& t = run.terminals[i];
       id[i] = static_cast<double>(i);
@@ -216,6 +240,11 @@ void DataSet::build() {
       lat[i] = t.avg_latency();
       hops[i] = t.avg_hops();
       job[i] = t.job;
+      dropped[i] = static_cast<double>(t.packets_dropped);
+      rerouted[i] = static_cast<double>(t.packets_rerouted);
+      rfrac[i] = t.rerouted_frac();
+      down[i] = t.downtime;
+      dfrac[i] = frac(t.downtime);
     }
     terminals_ = DataTable(n);
     terminals_.add_column("terminal", std::move(id));
@@ -229,6 +258,11 @@ void DataSet::build() {
     terminals_.add_column("avg_latency", std::move(lat));
     terminals_.add_column("avg_hops", std::move(hops));
     terminals_.add_column("workload", std::move(job));
+    terminals_.add_column("pkts_dropped", std::move(dropped));
+    terminals_.add_column("rerouted", std::move(rerouted));
+    terminals_.add_column("rerouted_frac", std::move(rfrac));
+    terminals_.add_column("downtime", std::move(down));
+    terminals_.add_column("downtime_frac", std::move(dfrac));
   }
 
   if (run.has_time_series()) {

@@ -6,7 +6,7 @@ namespace dv::core {
 
 std::vector<std::string> preset_names() {
   return {"fig4", "fig5a", "fig7", "fig9", "fig13", "overview",
-          "interactive"};
+          "interactive", "faults"};
 }
 
 ProjectionSpec preset(const std::string& name) {
@@ -140,6 +140,30 @@ ProjectionSpec preset(const std::string& name) {
         .color("sat_time")
         .size("data_size")
         .colors({"white", "crimson"})
+        .ribbons(Entity::kGlobalLink, "group_id")
+        .build();
+  }
+  if (n == "faults") {
+    // Degraded-operation view: outage fraction on the link rings, drops at
+    // the routers, and the share of traffic that had to detour around dead
+    // global links on the terminal ring.
+    return SpecBuilder()
+        .level(Entity::kGlobalLink)
+        .aggregate({"group_id"})
+        .max_bins(16)
+        .color("downtime_frac")
+        .size("traffic")
+        .colors({"white", "crimson"})
+        .level(Entity::kRouter)
+        .aggregate({"router_rank"})
+        .color("pkts_dropped")
+        .size("retries")
+        .colors({"white", "orange"})
+        .level(Entity::kTerminal)
+        .aggregate({"router_rank"})
+        .color("rerouted_frac")
+        .size("data_size")
+        .colors({"white", "purple"})
         .ribbons(Entity::kGlobalLink, "group_id")
         .build();
   }

@@ -100,6 +100,11 @@ std::vector<RouterMetrics> RunMetrics::derive_routers() const {
     out[l.src_router].global_traffic += l.traffic;
     out[l.src_router].global_sat_time += l.sat_time;
   }
+  for (std::uint32_t r = 0; r < n_routers; ++r) {
+    if (r < router_downtime.size()) out[r].downtime = router_downtime[r];
+    if (r < router_retries.size()) out[r].retries = router_retries[r];
+    if (r < router_drops.size()) out[r].pkts_dropped = router_drops[r];
+  }
   return out;
 }
 
@@ -142,6 +147,9 @@ json::Value links_to_json(const std::vector<LinkMetrics>& links) {
     row.emplace_back(l.dst_port);
     row.emplace_back(l.traffic);
     row.emplace_back(l.sat_time);
+    row.emplace_back(l.downtime);
+    row.emplace_back(l.retries);
+    row.emplace_back(l.pkts_dropped);
     arr.emplace_back(std::move(row));
   }
   return json::Value(std::move(arr));
@@ -151,7 +159,8 @@ std::vector<LinkMetrics> links_from_json(const json::Value& v) {
   std::vector<LinkMetrics> out;
   for (const auto& rowv : v.as_array()) {
     const auto& row = rowv.as_array();
-    DV_REQUIRE(row.size() == 6, "bad link row");
+    // 6-column rows predate fault injection; accept both layouts.
+    DV_REQUIRE(row.size() == 6 || row.size() == 9, "bad link row");
     LinkMetrics l;
     l.src_router = static_cast<std::uint32_t>(row[0].as_int());
     l.src_port = static_cast<std::uint32_t>(row[1].as_int());
@@ -159,6 +168,11 @@ std::vector<LinkMetrics> links_from_json(const json::Value& v) {
     l.dst_port = static_cast<std::uint32_t>(row[3].as_int());
     l.traffic = row[4].as_number();
     l.sat_time = row[5].as_number();
+    if (row.size() == 9) {
+      l.downtime = row[6].as_number();
+      l.retries = static_cast<std::uint64_t>(row[7].as_int());
+      l.pkts_dropped = static_cast<std::uint64_t>(row[8].as_int());
+    }
     out.push_back(l);
   }
   return out;
@@ -229,9 +243,30 @@ json::Value RunMetrics::to_json() const {
       row.emplace_back(t.sum_latency);
       row.emplace_back(t.sum_hops);
       row.emplace_back(static_cast<double>(t.job));
+      row.emplace_back(t.packets_rerouted);
+      row.emplace_back(t.packets_dropped);
+      row.emplace_back(t.downtime);
       arr.emplace_back(std::move(row));
     }
     o["terminals"] = json::Value(std::move(arr));
+  }
+  if (!router_downtime.empty() || !router_retries.empty() ||
+      !router_drops.empty()) {
+    auto dump_doubles = [](const std::vector<double>& vs) {
+      json::Array a;
+      a.reserve(vs.size());
+      for (double d : vs) a.emplace_back(d);
+      return json::Value(std::move(a));
+    };
+    auto dump_counts = [](const std::vector<std::uint64_t>& vs) {
+      json::Array a;
+      a.reserve(vs.size());
+      for (std::uint64_t c : vs) a.emplace_back(c);
+      return json::Value(std::move(a));
+    };
+    o["router_downtime"] = dump_doubles(router_downtime);
+    o["router_retries"] = dump_counts(router_retries);
+    o["router_drops"] = dump_counts(router_drops);
   }
   o["sample_dt"] = json::Value(sample_dt);
   if (has_time_series()) {
@@ -266,7 +301,8 @@ RunMetrics RunMetrics::from_json(const json::Value& v) {
   m.global_links = links_from_json(v.at("global_links"));
   for (const auto& rowv : v.at("terminals").as_array()) {
     const auto& row = rowv.as_array();
-    DV_REQUIRE(row.size() == 8, "bad terminal row");
+    // 8-column rows predate fault injection; accept both layouts.
+    DV_REQUIRE(row.size() == 8 || row.size() == 11, "bad terminal row");
     TerminalMetrics t;
     t.router = static_cast<std::uint32_t>(row[0].as_int());
     t.port = static_cast<std::uint32_t>(row[1].as_int());
@@ -276,7 +312,27 @@ RunMetrics RunMetrics::from_json(const json::Value& v) {
     t.sum_latency = row[5].as_number();
     t.sum_hops = row[6].as_number();
     t.job = static_cast<std::int32_t>(row[7].as_int());
+    if (row.size() == 11) {
+      t.packets_rerouted = static_cast<std::uint64_t>(row[8].as_int());
+      t.packets_dropped = static_cast<std::uint64_t>(row[9].as_int());
+      t.downtime = row[10].as_number();
+    }
     m.terminals.push_back(t);
+  }
+  if (const auto* rd = v.find("router_downtime")) {
+    for (const auto& d : rd->as_array()) {
+      m.router_downtime.push_back(d.as_number());
+    }
+  }
+  if (const auto* rr = v.find("router_retries")) {
+    for (const auto& c : rr->as_array()) {
+      m.router_retries.push_back(static_cast<std::uint64_t>(c.as_int()));
+    }
+  }
+  if (const auto* rd = v.find("router_drops")) {
+    for (const auto& c : rd->as_array()) {
+      m.router_drops.push_back(static_cast<std::uint64_t>(c.as_int()));
+    }
   }
   m.sample_dt = v.get_number("sample_dt", 0.0);
   if (m.sample_dt > 0.0) {
@@ -311,36 +367,46 @@ CsvTable RunMetrics::to_csv(const std::string& entity_class) const {
   if (entity_class == "local_links" || entity_class == "global_links") {
     const auto& links =
         entity_class == "local_links" ? local_links : global_links;
-    t.header = {"src_router", "src_port", "dst_router", "dst_port",
-                "traffic",    "sat_time"};
+    t.header = {"src_router", "src_port", "dst_router",
+                "dst_port",   "traffic",  "sat_time",
+                "downtime",   "retries",  "pkts_dropped"};
     for (const auto& l : links) {
       t.rows.push_back({std::to_string(l.src_router), std::to_string(l.src_port),
                         std::to_string(l.dst_router), std::to_string(l.dst_port),
-                        num(l.traffic), num(l.sat_time)});
+                        num(l.traffic), num(l.sat_time), num(l.downtime),
+                        std::to_string(l.retries),
+                        std::to_string(l.pkts_dropped)});
     }
     return t;
   }
   if (entity_class == "terminals") {
-    t.header = {"router", "port",        "data_size",  "sat_time",
-                "packets", "avg_latency", "avg_hops",  "job"};
+    t.header = {"router",      "port",     "data_size",    "sat_time",
+                "packets",     "avg_latency", "avg_hops",  "job",
+                "pkts_rerouted", "pkts_dropped", "downtime"};
     for (const auto& term : terminals) {
       t.rows.push_back({std::to_string(term.router), std::to_string(term.port),
                         num(term.data_size), num(term.sat_time),
                         std::to_string(term.packets_finished),
                         num(term.avg_latency()), num(term.avg_hops()),
-                        std::to_string(term.job)});
+                        std::to_string(term.job),
+                        std::to_string(term.packets_rerouted),
+                        std::to_string(term.packets_dropped),
+                        num(term.downtime)});
     }
     return t;
   }
   if (entity_class == "routers") {
     t.header = {"router",        "group",          "rank",
                 "global_traffic", "global_sat_time", "local_traffic",
-                "local_sat_time"};
+                "local_sat_time", "downtime",       "retries",
+                "pkts_dropped"};
     for (const auto& r : derive_routers()) {
       t.rows.push_back({std::to_string(r.router), std::to_string(r.group),
                         std::to_string(r.rank), num(r.global_traffic),
                         num(r.global_sat_time), num(r.local_traffic),
-                        num(r.local_sat_time)});
+                        num(r.local_sat_time), num(r.downtime),
+                        std::to_string(r.retries),
+                        std::to_string(r.pkts_dropped)});
     }
     return t;
   }

@@ -24,6 +24,10 @@ struct LinkMetrics {
   std::uint32_t dst_port = 0;
   double traffic = 0.0;   ///< bytes transmitted
   double sat_time = 0.0;  ///< total ns during which VC buffers were full
+  // Fault injection (all zero on a healthy run).
+  double downtime = 0.0;  ///< ns the link was effectively unusable
+  std::uint64_t retries = 0;       ///< fault retries of packets aimed here
+  std::uint64_t pkts_dropped = 0;  ///< packets dropped while aimed here
 };
 
 /// One terminal (compute node NIC) — Fig. 2(a) "Terminal".
@@ -36,12 +40,23 @@ struct TerminalMetrics {
   double sum_latency = 0.0;  ///< over finished packets (ns)
   double sum_hops = 0.0;     ///< router visits over finished packets
   std::int32_t job = -1;     ///< job id, -1 when idle
+  // Fault injection (all zero on a healthy run).
+  std::uint64_t packets_rerouted = 0;  ///< delivered via a fault detour
+  std::uint64_t packets_dropped = 0;   ///< sourced here, dropped in flight
+  double downtime = 0.0;               ///< ns the attached router was down
 
   double avg_latency() const {
     return packets_finished ? sum_latency / static_cast<double>(packets_finished) : 0.0;
   }
   double avg_hops() const {
     return packets_finished ? sum_hops / static_cast<double>(packets_finished) : 0.0;
+  }
+  /// Fraction of delivered packets that reached here via a fault detour.
+  double rerouted_frac() const {
+    return packets_finished
+               ? static_cast<double>(packets_rerouted) /
+                     static_cast<double>(packets_finished)
+               : 0.0;
   }
 };
 
@@ -54,6 +69,10 @@ struct RouterMetrics {
   double global_sat_time = 0.0;
   double local_traffic = 0.0;
   double local_sat_time = 0.0;
+  // Fault injection (all zero on a healthy run).
+  double downtime = 0.0;           ///< ns the router was down
+  std::uint64_t retries = 0;       ///< fault retries issued at this router
+  std::uint64_t pkts_dropped = 0;  ///< packets dropped at this router
 };
 
 /// Fixed-rate sampled series for one entity class: frame f stores the
@@ -136,6 +155,11 @@ struct RunMetrics {
   std::vector<LinkMetrics> local_links;   // id = router*(a-1)+lport
   std::vector<LinkMetrics> global_links;  // id = router*h+channel
   std::vector<TerminalMetrics> terminals;
+
+  // Per-router fault tallies (empty on a healthy run; index = router id).
+  std::vector<double> router_downtime;
+  std::vector<std::uint64_t> router_retries;
+  std::vector<std::uint64_t> router_drops;
 
   // Optional sampling (enabled per run); indices match the vectors above.
   double sample_dt = 0.0;

@@ -28,6 +28,8 @@ void Params::validate() const {
              "lookahead window)");
   DV_REQUIRE(packet_size > 0, "packet size must be positive");
   DV_REQUIRE(vc_buffer_packets > 0, "vc buffer must hold at least one packet");
+  DV_REQUIRE(fault_retry_base > 0,
+             "fault retry backoff base must be positive");
 }
 
 // ----------------------------------------------------------------- LinkArray
@@ -43,6 +45,8 @@ void Network::LinkArray::init(std::size_t links, std::uint32_t vcs_per_link,
   traffic.assign(links, 0.0);
   backlog.assign(links, 0);
   backlog_since.assign(links, 0.0);
+  retries.assign(links, 0);
+  drops.assign(links, 0);
 }
 
 void Network::LinkArray::set_backlog(std::uint32_t link, bool full,
@@ -167,6 +171,9 @@ Network::Network(const topo::Dragonfly& topo, routing::Algo algo,
     sim_.set_kind_label(kEvPktAtTerminal, "pkt_at_terminal");
     sim_.set_kind_label(kEvPortFree, "port_free");
     sim_.set_kind_label(kEvCredit, "credit");
+    sim_.set_kind_label(kEvPktRetry, "pkt_retry");
+    sim_.set_kind_label(kEvFaultWake, "fault_wake");
+    sim_.set_kind_label(kEvPktDropNotify, "pkt_drop_notify");
   }
 }
 
@@ -215,6 +222,25 @@ void Network::enable_sampling(double dt) {
   prev_global_sat_.assign(topo_.num_global_links(), 0.0);
   prev_term_traffic_.assign(topo_.num_terminals(), 0.0);
   prev_term_sat_.assign(topo_.num_terminals(), 0.0);
+}
+
+void Network::set_fault_plan(const fault::FaultPlan& plan) {
+  DV_REQUIRE(!ran_, "set_fault_plan after run()");
+  if (plan.empty()) return;  // bit-identical to never calling this
+  fault_ = fault::FaultTimeline(topo_, plan);
+  has_faults_ = true;
+  planner_.set_fault_aware(true);
+  // A detoured minimal packet takes a Valiant-length path, so the planner's
+  // hop bound (== VC count) may grow. No credits have been handed out yet
+  // (run() hasn't started), so re-initializing the pools is safe.
+  if (planner_.max_link_hops() != num_vcs_) {
+    num_vcs_ = planner_.max_link_hops();
+    const auto buf = static_cast<std::int32_t>(params_.vc_buffer_packets);
+    local_links_.init(topo_.num_local_links(), num_vcs_, buf);
+    global_links_.init(topo_.num_global_links(), num_vcs_, buf);
+  }
+  router_retries_.assign(topo_.num_routers(), 0);
+  router_drops_.assign(topo_.num_routers(), 0);
 }
 
 void Network::set_parallel(std::uint32_t workers) {
@@ -317,6 +343,25 @@ double Network::depth(std::uint32_t router, std::uint32_t p) const {
   return static_cast<double>(op.queue.size()) + (op.busy ? 1.0 : 0.0);
 }
 
+bool Network::port_blocked(std::uint32_t router, std::uint32_t p,
+                           double now) const {
+  if (!has_faults_) return false;
+  if (fault_.router_down(router, now)) return true;
+  const Hop hop = hop_for_port(router, p);
+  switch (hop.cls) {
+    case LinkClass::kEjection:
+      return false;  // terminal NICs don't fail in this model
+    case LinkClass::kLocal:
+      return fault_.local_link_down(hop.id, now) ||
+             fault_.router_down(hop.dst_router, now);
+    case LinkClass::kGlobal:
+      return fault_.global_link_down(hop.id, now) ||
+             fault_.router_down(hop.dst_router, now);
+    default:
+      return false;
+  }
+}
+
 // ----------------------------------------------------------------- hops
 
 Network::Hop Network::hop_for_port(std::uint32_t router,
@@ -361,6 +406,10 @@ Network::Hop Network::hop_for_port(std::uint32_t router,
 void Network::try_inject(Ctx& ctx, std::uint32_t term) {
   TerminalState& ts = terminals_[term];
   if (ts.injector_busy || ts.pending.empty()) return;
+  if (has_faults_ &&
+      fault_.router_down(topo_.terminal_router(term), ctx.now)) {
+    return;  // re-attempted at the router's revival wake
+  }
   if (!injection_.has_credit(term, 0)) return;  // retried on credit return
 
   const SimTime now = ctx.now;
@@ -384,7 +433,8 @@ void Network::try_inject(Ctx& ctx, std::uint32_t term) {
   // on both engines — it keys every event the packet generates.
   pkt.uid = (static_cast<std::uint64_t>(term) << 32) | term_pkt_seq_[term]++;
   pkt.route.dst_terminal = msg.dst;
-  planner_.on_inject(pkt.route, term, *this, term_rng_[term], sh.route_stats);
+  planner_.on_inject(pkt.route, term, *this, term_rng_[term], sh.route_stats,
+                     now);
   pkt.in_link = encode_link(LinkClass::kInjection, term, 0);
 
   injection_.take_credit(term, 0, now);
@@ -432,6 +482,9 @@ void Network::update_backlog(Ctx& ctx, std::uint32_t router, std::uint32_t p) {
 void Network::try_transmit(Ctx& ctx, std::uint32_t router, std::uint32_t p) {
   OutPort& op = port(router, p);
   if (op.busy || op.queue.empty()) return;
+  if (has_faults_ && port_blocked(router, p, ctx.now)) {
+    return;  // queued packets bounce into the retry path at the next wake
+  }
 
   const Hop hop = hop_for_port(router, p);
   LinkArray& la = link_array_for(hop.cls);
@@ -512,16 +565,96 @@ void Network::return_credit(Ctx& ctx, std::uint64_t enc_link) {
 }
 
 void Network::handle_packet_at_router(Ctx& ctx, std::uint32_t pid,
-                                      std::uint32_t router) {
+                                      std::uint32_t router, bool is_retry) {
   Packet& pkt = packet(pid);
-  ++pkt.router_hops;
+  if (!is_retry) ++pkt.router_hops;
   Shard& sh = *shards_[ctx.shard];
+  if (has_faults_ && fault_.router_down(router, ctx.now)) {
+    // The packet arrived at (or is retrying on) a dead router: it cannot
+    // be routed until the router revives.
+    retry_or_drop(ctx, pid, router);
+    return;
+  }
   const routing::Decision d = planner_.route(pkt.route, router, *this,
                                              router_rng_[router],
-                                             sh.route_stats);
+                                             sh.route_stats, ctx.now);
+  if (has_faults_ && port_blocked(router, d.port, ctx.now)) {
+    // Routing found no live alternative (e.g. a dead local hop, or every
+    // candidate global exit down): back off and re-route later.
+    retry_or_drop(ctx, pid, router, d.port);
+    return;
+  }
   port(router, d.port).queue.push_back(pid);
   update_backlog(ctx, router, d.port);
   try_transmit(ctx, router, d.port);
+}
+
+void Network::retry_or_drop(Ctx& ctx, std::uint32_t pid, std::uint32_t router,
+                            std::uint32_t blocked_port) {
+  Packet& pkt = packet(pid);
+  Shard& sh = *shards_[ctx.shard];
+  LinkArray* la = nullptr;
+  std::uint32_t link = 0;
+  if (blocked_port != std::numeric_limits<std::uint32_t>::max()) {
+    const Hop hop = hop_for_port(router, blocked_port);
+    if (hop.cls == LinkClass::kLocal || hop.cls == LinkClass::kGlobal) {
+      la = &link_array_for(hop.cls);
+      link = hop.id;
+    }
+  }
+  if (pkt.retries < params_.fault_retry_budget) {
+    ++pkt.retries;
+    ++sh.fault_retries;
+    ++router_retries_[router];
+    if (la) ++la->retries[link];
+    // Exponential backoff; the retry re-enters the routing step, so a
+    // packet stuck at a dead port escapes as soon as an alternative (or
+    // the port itself) comes back up.
+    const std::uint32_t exp = std::min(pkt.retries - 1, 20u);
+    const double backoff =
+        params_.fault_retry_base * static_cast<double>(1ULL << exp);
+    ctx.schedule_in(backoff, router, kEvPktRetry, pid, router,
+                    pri_key(kEvPktRetry, pkt.uid));
+    return;
+  }
+  // Retry budget exhausted: drop the packet where it sits. Its upstream
+  // buffer slot frees, and the source terminal's partition is notified so
+  // per-terminal drop counts stay owner-written (the notify delay equals
+  // credit_latency, which respects the conservative lookahead).
+  ++sh.pkts_dropped;
+  sh.bytes_dropped += pkt.size;
+  ++router_drops_[router];
+  if (la) ++la->drops[link];
+  --sh.in_flight;
+  return_credit(ctx, pkt.in_link);
+  ctx.schedule_in(params_.credit_latency, lp_of_terminal(pkt.src),
+                  kEvPktDropNotify, pkt.src, 0,
+                  pri_key(kEvPktDropNotify, pkt.uid));
+  free_packet(ctx.shard, pid);
+}
+
+void Network::handle_fault_wake(Ctx& ctx, std::uint32_t router) {
+  // Some adjacent entity changed liveness at exactly ctx.now. Dead ports:
+  // bounce their queues into the retry path (the packets re-route and can
+  // escape via a detour). Live ports: restart transmission — they may have
+  // been silenced while down.
+  for (std::uint32_t p = 0; p < ports_per_router_; ++p) {
+    OutPort& op = port(router, p);
+    if (port_blocked(router, p, ctx.now)) {
+      while (!op.queue.empty()) {
+        const std::uint32_t pid = op.queue.front();
+        op.queue.pop_front();
+        retry_or_drop(ctx, pid, router, p);
+      }
+      update_backlog(ctx, router, p);
+    } else {
+      try_transmit(ctx, router, p);
+    }
+  }
+  // A revived router also resumes injection for its terminals.
+  for (std::uint32_t s = 0; s < topo_.terminals_per_router(); ++s) {
+    try_inject(ctx, topo_.terminal_id(router, s));
+  }
 }
 
 void Network::handle_packet_at_terminal(Ctx& ctx, std::uint32_t pid,
@@ -532,6 +665,7 @@ void Network::handle_packet_at_terminal(Ctx& ctx, std::uint32_t pid,
   ++tm.packets_finished;
   tm.sum_latency += ctx.now - pkt.inject_time;
   tm.sum_hops += pkt.router_hops;
+  if (pkt.route.fault_detour) ++tm.packets_rerouted;
   Shard& sh = *shards_[ctx.shard];
   ++sh.packets_delivered;
   sh.bytes_delivered += pkt.size;
@@ -654,6 +788,17 @@ void Network::dispatch(Ctx& ctx, const pdes::Event& ev) {
       }
       break;
     }
+    case kEvPktRetry:
+      handle_packet_at_router(ctx, static_cast<std::uint32_t>(ev.data0),
+                              static_cast<std::uint32_t>(ev.data1),
+                              /*is_retry=*/true);
+      break;
+    case kEvFaultWake:
+      handle_fault_wake(ctx, static_cast<std::uint32_t>(ev.data0));
+      break;
+    case kEvPktDropNotify:
+      ++term_stats_[static_cast<std::uint32_t>(ev.data0)].packets_dropped;
+      break;
     default:
       DV_CHECK(false, "unknown event kind");
   }
@@ -690,6 +835,19 @@ metrics::RunMetrics Network::run() {
       par_->add_lp(static_cast<pdes::ParallelLp*>(this), router_partition_[r]);
     }
     if (params_.event_budget) par_->set_event_budget(params_.event_budget);
+  }
+
+  // Fault wakes are plain pre-scheduled events, so both engines see the
+  // same liveness transitions in the same (time, pri) order.
+  if (has_faults_) {
+    for (const auto& [router, t] : fault_.wakes()) {
+      const std::uint64_t pri = pri_key(kEvFaultWake, router);
+      if (par_) {
+        par_->schedule(t, router, kEvFaultWake, router, 0, pri);
+      } else {
+        sim_.schedule(t, router, kEvFaultWake, router, 0, pri);
+      }
+    }
   }
 
   for (std::size_t i = 0; i < messages_.size(); ++i) {
@@ -735,16 +893,26 @@ metrics::RunMetrics Network::run() {
 
   std::int64_t in_flight = 0;
   std::uint64_t msgs_finished = 0, bytes_in = 0, bytes_out = 0;
+  std::uint64_t bytes_dropped = 0;
   for (const auto& sh : shards_) {
     in_flight += sh->in_flight;
     msgs_finished += sh->msgs_finished;
     bytes_in += sh->bytes_injected;
     bytes_out += sh->bytes_delivered;
+    bytes_dropped += sh->bytes_dropped;
   }
-  DV_CHECK(in_flight == 0 && msgs_finished == messages_.size(),
-           "simulation drained with work outstanding");
-  DV_CHECK(bytes_in == bytes_out,
-           "flow conservation violated: injected != delivered bytes");
+  DV_CHECK(in_flight == 0, "simulation drained with packets in flight");
+  if (has_faults_) {
+    // Messages queued behind a permanently dead router never finish
+    // injecting; everything that did inject must be accounted for.
+    DV_CHECK(msgs_finished <= messages_.size(),
+             "message bookkeeping overflowed");
+  } else {
+    DV_CHECK(msgs_finished == messages_.size(),
+             "simulation drained with messages outstanding");
+  }
+  DV_CHECK(bytes_in == bytes_out + bytes_dropped,
+           "flow conservation violated: injected != delivered + dropped");
 
   metrics::RunMetrics out;
   {
@@ -770,13 +938,18 @@ std::uint64_t Network::packets_delivered() const {
 void Network::publish_run_obs(const metrics::RunMetrics& out) {
 #ifdef DV_OBS_ENABLED
   std::uint64_t bytes_in = 0, bytes_out = 0;
+  std::uint64_t retries = 0, dropped = 0, bytes_dropped = 0;
   routing::RouteStats rs;
   for (const auto& sh : shards_) {
     bytes_in += sh->bytes_injected;
     bytes_out += sh->bytes_delivered;
+    retries += sh->fault_retries;
+    dropped += sh->pkts_dropped;
+    bytes_dropped += sh->bytes_dropped;
     rs.minimal += sh->route_stats.minimal;
     rs.nonminimal += sh->route_stats.nonminimal;
     rs.par_diverts += sh->route_stats.par_diverts;
+    rs.fault_detours += sh->route_stats.fault_detours;
     rs.steps += sh->route_stats.steps;
   }
   obs::counter("net.messages").add(messages_.size());
@@ -792,6 +965,16 @@ void Network::publish_run_obs(const metrics::RunMetrics& out) {
   obs::counter("net.route.par_diverts").add(rs.par_diverts);
   obs::counter("net.route.steps").add(rs.steps);
   obs::gauge("net.partitions").set(static_cast<double>(partitions_used_));
+  if (has_faults_) {
+    std::uint64_t rerouted = 0;
+    for (const auto& t : out.terminals) rerouted += t.packets_rerouted;
+    obs::counter("net.fault.retries").add(retries);
+    obs::counter("net.fault.pkts_dropped").add(dropped);
+    obs::counter("net.fault.bytes_dropped").add(bytes_dropped);
+    obs::counter("net.fault.detours").add(rs.fault_detours);
+    obs::counter("net.fault.rerouted").add(rerouted);
+    obs::gauge("net.fault.entities").set(static_cast<double>(fault_.entities()));
+  }
   if (sample_dt_ > 0.0) {
     obs::counter("net.sample_frames").add(out.local_traffic_ts.frames());
   }
@@ -823,6 +1006,12 @@ void Network::flush_and_collect(metrics::RunMetrics& out, SimTime end) {
     l.dst_port = hop.dst_port;
     l.traffic = local_links_.traffic[lid];
     l.sat_time = local_links_.sat_at(lid, end);
+    l.retries = local_links_.retries[lid];
+    l.pkts_dropped = local_links_.drops[lid];
+    if (has_faults_) {
+      l.downtime = fault_.effective_link_downtime(false, lid, router,
+                                                  hop.dst_router, end);
+    }
   }
   out.global_links.resize(topo_.num_global_links());
   for (std::uint32_t gid = 0; gid < topo_.num_global_links(); ++gid) {
@@ -835,6 +1024,12 @@ void Network::flush_and_collect(metrics::RunMetrics& out, SimTime end) {
     l.dst_port = hop.dst_port;
     l.traffic = global_links_.traffic[gid];
     l.sat_time = global_links_.sat_at(gid, end);
+    l.retries = global_links_.retries[gid];
+    l.pkts_dropped = global_links_.drops[gid];
+    if (has_faults_) {
+      l.downtime = fault_.effective_link_downtime(true, gid, src.router,
+                                                  hop.dst_router, end);
+    }
   }
   out.terminals = term_stats_;
   for (std::uint32_t t = 0; t < topo_.num_terminals(); ++t) {
@@ -842,6 +1037,19 @@ void Network::flush_and_collect(metrics::RunMetrics& out, SimTime end) {
     out.terminals[t].sat_time =
         injection_.sat_at(t, end) + ejection_.sat_at(t, end);
     out.terminals[t].job = term_job_[t];
+    if (has_faults_) {
+      // A terminal is down exactly when its router is.
+      out.terminals[t].downtime =
+          fault_.router_downtime(topo_.terminal_router(t), end);
+    }
+  }
+  if (has_faults_) {
+    out.router_downtime.resize(topo_.num_routers());
+    for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
+      out.router_downtime[r] = fault_.router_downtime(r, end);
+    }
+    out.router_retries = router_retries_;
+    out.router_drops = router_drops_;
   }
 
   if (sample_dt_ > 0.0) {

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "metrics/run_metrics.hpp"
 #include "pdes/engine.hpp"
 #include "pdes/parallel.hpp"
@@ -60,6 +61,11 @@ struct Params {
   std::uint32_t vc_buffer_packets = 8;    ///< credits per (link, VC)
   routing::AdaptiveParams adaptive;
   std::uint64_t event_budget = 0;         ///< 0 = unlimited
+  /// Fault handling: a packet whose chosen output port is dead waits
+  /// fault_retry_base * 2^(attempt-1) ns between attempts; after
+  /// fault_retry_budget failed attempts it is dropped.
+  double fault_retry_base = 200.0;
+  std::uint32_t fault_retry_budget = 6;
 
   void validate() const;
 };
@@ -100,6 +106,15 @@ class Network final : public pdes::LogicalProcess,
   /// Enables fixed-rate time-series sampling (dt in ns).
   void enable_sampling(double dt);
 
+  /// Installs a fault plan (must be called before run()). An empty plan is
+  /// a no-op: the simulation is bit-identical to one without this call.
+  /// A non-empty plan compiles the plan into a FaultTimeline, switches the
+  /// planner into fault-aware routing (which may raise the VC count for
+  /// minimal routing — detoured packets take Valiant-length paths), and
+  /// schedules one wake event per liveness transition so the reaction is
+  /// an ordinary deterministic PDES event on both engines.
+  void set_fault_plan(const fault::FaultPlan& plan);
+
   /// Selects the engine: 0 or 1 = sequential reference, N > 1 = the
   /// conservative parallel engine with N partitions (clamped to the number
   /// of groups and to 64). Must be called before run().
@@ -118,6 +133,11 @@ class Network final : public pdes::LogicalProcess,
 
   // routing::QueueProbe: output queue depth (packets, incl. in service).
   double depth(std::uint32_t router, std::uint32_t port) const override;
+  // routing::QueueProbe: fault liveness of an output port. Pure function
+  // of the fault timeline — safe to evaluate from any partition.
+  bool port_blocked(std::uint32_t router, std::uint32_t port,
+                    double now) const override;
+  bool faults_active() const override { return has_faults_; }
 
   // pdes::LogicalProcess (sequential engine).
   void on_event(pdes::Simulator& sim, const pdes::Event& ev) override;
@@ -149,6 +169,8 @@ class Network final : public pdes::LogicalProcess,
     std::vector<double> traffic;          // [link] bytes
     std::vector<std::uint8_t> backlog;    // [link] output backlog state
     std::vector<SimTime> backlog_since;   // [link]
+    std::vector<std::uint64_t> retries;   // [link] fault retries at the port
+    std::vector<std::uint64_t> drops;     // [link] packets dropped at the port
 
     void init(std::size_t links, std::uint32_t vcs_per_link,
               std::int32_t initial_credits);
@@ -173,6 +195,7 @@ class Network final : public pdes::LogicalProcess,
                                     // engine-independent event priority key
     std::uint32_t router_hops = 0;  // routers visited
     std::uint32_t link_hops = 0;    // router-router links crossed (== VC)
+    std::uint32_t retries = 0;      // fault-retry attempts at current router
     std::uint32_t next_free = 0;    // remote free-list chain (arena)
     std::uint64_t in_link = 0;      // where to return the buffer credit
     routing::PacketRoute route;
@@ -224,6 +247,9 @@ class Network final : public pdes::LogicalProcess,
     std::uint64_t bytes_delivered = 0;
     std::int64_t in_flight = 0;      // per-shard delta; only the sum is >= 0
     std::uint64_t msgs_finished = 0;
+    std::uint64_t fault_retries = 0;
+    std::uint64_t pkts_dropped = 0;
+    std::uint64_t bytes_dropped = 0;
     routing::RouteStats route_stats;
   };
 
@@ -253,6 +279,9 @@ class Network final : public pdes::LogicalProcess,
     kEvPktAtTerminal, // data0 = packet, data1 = terminal
     kEvPortFree,      // data0 = router, data1 = port
     kEvCredit,        // data0 = encoded link+vc
+    kEvPktRetry,      // data0 = packet, data1 = router
+    kEvFaultWake,     // data0 = router (a liveness transition near it)
+    kEvPktDropNotify, // data0 = src terminal (attributes the drop)
   };
 
   /// Engine-independent ordering key for simultaneous events: kind in the
@@ -284,9 +313,20 @@ class Network final : public pdes::LogicalProcess,
   void try_inject(Ctx& ctx, std::uint32_t term);
   void try_transmit(Ctx& ctx, std::uint32_t router, std::uint32_t p);
   void handle_packet_at_router(Ctx& ctx, std::uint32_t pkt_id,
-                               std::uint32_t router);
+                               std::uint32_t router, bool is_retry = false);
   void handle_packet_at_terminal(Ctx& ctx, std::uint32_t pkt_id,
                                  std::uint32_t term);
+  /// Fault reaction for a packet whose next hop from `router` is dead:
+  /// schedules an exponential-backoff retry while the budget lasts, then
+  /// drops the packet (freeing its buffer credit and notifying the source
+  /// terminal's partition for attribution).
+  void retry_or_drop(Ctx& ctx, std::uint32_t pkt_id, std::uint32_t router,
+                     std::uint32_t blocked_port =
+                         std::numeric_limits<std::uint32_t>::max());
+  /// Reacts to a liveness transition adjacent to `router`: bounces queued
+  /// packets off now-dead ports into the retry path, restarts transmission
+  /// on revived ports, and re-attempts injection at local terminals.
+  void handle_fault_wake(Ctx& ctx, std::uint32_t router);
   void return_credit(Ctx& ctx, std::uint64_t enc_link);
   void take_sample(SimTime now);
   void flush_and_collect(metrics::RunMetrics& out, SimTime end);
@@ -329,6 +369,13 @@ class Network final : public pdes::LogicalProcess,
 
   // Terminal delivery stats.
   std::vector<metrics::TerminalMetrics> term_stats_;
+
+  // Fault injection. fault_ is immutable during the run; per-router tallies
+  // are written only by the owning router's partition.
+  fault::FaultTimeline fault_;
+  bool has_faults_ = false;
+  std::vector<std::uint64_t> router_retries_;
+  std::vector<std::uint64_t> router_drops_;
 
   // Sampling.
   double sample_dt_ = 0.0;

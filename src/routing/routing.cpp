@@ -1,5 +1,7 @@
 #include "routing/routing.hpp"
 
+#include <limits>
+
 #include "util/str.hpp"
 
 namespace dv::routing {
@@ -31,7 +33,10 @@ RoutePlanner::RoutePlanner(const topo::Dragonfly& net, Algo algo,
 
 std::uint32_t RoutePlanner::max_link_hops() const {
   switch (algo_) {
-    case Algo::kMinimal: return 4;
+    // Fault-aware minimal routing can detour one leg via a Valiant proxy
+    // (l-g-l-g-l plus one pre-detour local hop), so it needs the
+    // non-minimal VC budget; the adaptive algorithms already have it.
+    case Algo::kMinimal: return fault_aware_ ? 7 : 4;
     case Algo::kNonMinimal:
     case Algo::kAdaptive: return 7;
     case Algo::kProgressiveAdaptive: return 8;
@@ -102,9 +107,40 @@ Decision RoutePlanner::minimal_step(std::uint32_t router,
           net_.local_port(net_.router_rank(router), net_.router_rank(dr))};
 }
 
+bool RoutePlanner::maybe_fault_detour(PacketRoute& state, std::uint32_t router,
+                                      std::uint32_t target_group,
+                                      const QueueProbe& probe, Rng& rng,
+                                      RouteStats& stats, double now) const {
+  const std::uint32_t cur_group = net_.router_group(router);
+  const topo::GlobalEnd exit = net_.group_exit(cur_group, target_group);
+  if (!probe.port_blocked(exit.router, net_.global_port(exit.channel), now)) {
+    return true;  // the minimal exit is alive; nothing to do
+  }
+  // The direct cable toward the target group is dead: commit to a Valiant
+  // proxy whose own exit from this group is still up. Bounded draws keep
+  // the decision cheap and deterministic (same rng stream, same order on
+  // both engines); if every sampled proxy exit is dead too, give up and
+  // let the simulator's retry/backoff path handle the packet.
+  for (int tries = 0; tries < 8; ++tries) {
+    const std::int32_t proxy = pick_proxy(cur_group, target_group, rng);
+    if (proxy < 0) break;
+    const topo::GlobalEnd pexit =
+        net_.group_exit(cur_group, static_cast<std::uint32_t>(proxy));
+    if (!probe.port_blocked(pexit.router, net_.global_port(pexit.channel),
+                            now)) {
+      state.proxy_group = proxy;
+      state.fault_detour = true;
+      state.decided = true;
+      ++stats.fault_detours;
+      return true;
+    }
+  }
+  return false;
+}
+
 void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
                              const QueueProbe& probe, Rng& rng,
-                             RouteStats& stats) const {
+                             RouteStats& stats, double now) const {
   const std::uint32_t sr = net_.terminal_router(src_terminal);
   const std::uint32_t sg = net_.router_group(sr);
   const std::uint32_t dr = net_.terminal_router(state.dst_terminal);
@@ -155,8 +191,16 @@ void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
       const double h_min =
           net_.minimal_router_hops(src_terminal, state.dst_terminal);
       const double h_non = h_min + 2.0;
-      const double q_min = probe.depth(sr, min_port);
-      const double q_non = probe.depth(sr, non_port);
+      double q_min = probe.depth(sr, min_port);
+      double q_non = probe.depth(sr, non_port);
+      if (probe.faults_active()) {
+        // A dead first hop counts as an infinite queue, so UGAL steers
+        // around it; when both candidates are dead the comparison below
+        // stays false and the packet goes minimal into the retry path.
+        constexpr double kInf = std::numeric_limits<double>::infinity();
+        if (probe.port_blocked(sr, min_port, now)) q_min = kInf;
+        if (probe.port_blocked(sr, non_port, now)) q_non = kInf;
+      }
       if (q_min * h_min > q_non * h_non + params_.threshold) {
         state.proxy_group = proxy;
       }
@@ -181,7 +225,7 @@ void RoutePlanner::on_inject(PacketRoute& state, std::uint32_t src_terminal,
 
 Decision RoutePlanner::route(PacketRoute& state, std::uint32_t router,
                              const QueueProbe& probe, Rng& rng,
-                             RouteStats& stats) const {
+                             RouteStats& stats, double now) const {
   ++stats.steps;
   const std::uint32_t dr = net_.terminal_router(state.dst_terminal);
   if (router == dr) {
@@ -218,13 +262,19 @@ Decision RoutePlanner::route(PacketRoute& state, std::uint32_t router,
       dg != cur_group && state.proxy_group < 0) {
     const std::uint32_t min_port =
         first_hop_port(router, dg, state.dst_terminal);
-    const double q_min = probe.depth(router, min_port);
+    double q_min = probe.depth(router, min_port);
+    if (probe.faults_active() &&
+        probe.port_blocked(router, min_port, now)) {
+      q_min = std::numeric_limits<double>::infinity();
+    }
     if (q_min > params_.par_divert_depth) {
       const std::int32_t proxy = pick_proxy(cur_group, dg, rng);
       if (proxy >= 0) {
         const std::uint32_t non_port = first_hop_port(
             router, static_cast<std::uint32_t>(proxy), state.dst_terminal);
-        if (probe.depth(router, non_port) < q_min) {
+        if (probe.depth(router, non_port) < q_min &&
+            !(probe.faults_active() &&
+              probe.port_blocked(router, non_port, now))) {
           state.proxy_group = proxy;
           state.decided = true;
           ++stats.nonminimal;
@@ -237,6 +287,16 @@ Decision RoutePlanner::route(PacketRoute& state, std::uint32_t router,
       !state.decided) {
     state.decided = true;  // PAR window closes once the packet leaves home
     ++stats.minimal;
+  }
+
+  // Degraded-mode fallback for every algorithm: when the global exit
+  // toward the destination group is dead, commit to a Valiant detour
+  // through a group whose exit cable is alive. At most one detour per
+  // packet (guarded by proxy_group/proxy_router) — the VC/hop budget
+  // admits exactly one extra Valiant leg.
+  if (probe.faults_active() && state.proxy_group < 0 &&
+      state.proxy_router < 0 && dg != cur_group) {
+    maybe_fault_detour(state, router, dg, probe, rng, stats, now);
   }
 
   const std::int32_t target_group =

@@ -34,6 +34,7 @@ struct PacketRoute {
   std::int32_t proxy_router = -1;  ///< intra-group Valiant intermediate router
   bool proxy_router_reached = false;
   bool decided = false;            ///< adaptive choice has been committed
+  bool fault_detour = false;       ///< Valiant proxy forced by a dead link
   std::int32_t src_group = -1;     ///< group of the injecting terminal
 };
 
@@ -50,6 +51,16 @@ class QueueProbe {
  public:
   virtual ~QueueProbe() = default;
   virtual double depth(std::uint32_t router, std::uint32_t port) const = 0;
+  /// True when the output port is unusable at `now` because of an injected
+  /// fault (dead link, dead router on either end). Pure function of the
+  /// fault plan — unlike depth(), safe to evaluate for any router from any
+  /// partition. Default: a healthy network.
+  virtual bool port_blocked(std::uint32_t /*router*/, std::uint32_t /*port*/,
+                            double /*now*/) const {
+    return false;
+  }
+  /// Fast gate: false keeps every fault check off the no-fault hot path.
+  virtual bool faults_active() const { return false; }
 };
 
 /// A probe reporting empty queues everywhere (for tests / pure path math).
@@ -75,6 +86,9 @@ struct RouteStats {
   std::uint64_t nonminimal = 0;    ///< packets sent via a Valiant proxy
   std::uint64_t par_diverts = 0;   ///< in-flight PAR diversions (subset of
                                    ///< nonminimal)
+  std::uint64_t fault_detours = 0; ///< Valiant proxies forced by dead global
+                                   ///< links (counted apart from the
+                                   ///< minimal/nonminimal commitment split)
   std::uint64_t steps = 0;         ///< route() calls (forwarding decisions)
 };
 
@@ -90,13 +104,16 @@ class RoutePlanner {
   /// fixes src_group and, for Valiant, the proxy group. This overload is
   /// const and takes the random stream and stats tally from the caller, so
   /// one planner can serve many threads (each supplies its own Rng/stats).
+  /// `now` is the injection timestamp, used only for fault-liveness probes.
   void on_inject(PacketRoute& state, std::uint32_t src_terminal,
-                 const QueueProbe& probe, Rng& rng, RouteStats& stats) const;
+                 const QueueProbe& probe, Rng& rng, RouteStats& stats,
+                 double now = 0.0) const;
 
   /// Next hop for a packet sitting in `router`. Mutates state (proxy
   /// progress, adaptive commitment). Const/thread-shareable as above.
   Decision route(PacketRoute& state, std::uint32_t router,
-                 const QueueProbe& probe, Rng& rng, RouteStats& stats) const;
+                 const QueueProbe& probe, Rng& rng, RouteStats& stats,
+                 double now = 0.0) const;
 
   /// Convenience overloads using the planner's own RNG stream and stats
   /// (single-threaded callers and the routing unit tests).
@@ -108,6 +125,13 @@ class RoutePlanner {
                  const QueueProbe& probe) {
     return route(state, router, probe, rng_, stats_);
   }
+
+  /// Opts the planner into degraded-mode routing (fault detours around
+  /// dead global links). Must be set before the simulation hands out
+  /// credits: it raises max_link_hops() for minimal routing, because a
+  /// detoured "minimal" packet takes a Valiant-length path.
+  void set_fault_aware(bool aware) { fault_aware_ = aware; }
+  bool fault_aware() const { return fault_aware_; }
 
   /// Upper bound on router-to-router link hops any packet can take; the
   /// simulator sizes its VC count from this (VC index = hop index gives an
@@ -126,11 +150,19 @@ class RoutePlanner {
   std::uint32_t first_hop_port(std::uint32_t router, std::uint32_t target_group,
                                std::uint32_t dst_terminal) const;
 
+  /// Fault detour: when the global exit toward `target_group` is dead,
+  /// commits the packet to a live Valiant proxy. Returns true if a detour
+  /// (or none needed) was applied; false when no live exit exists.
+  bool maybe_fault_detour(PacketRoute& state, std::uint32_t router,
+                          std::uint32_t target_group, const QueueProbe& probe,
+                          Rng& rng, RouteStats& stats, double now) const;
+
   const topo::Dragonfly& net_;
   Algo algo_;
   AdaptiveParams params_;
   Rng rng_;
   RouteStats stats_;
+  bool fault_aware_ = false;
 };
 
 }  // namespace dv::routing

@@ -9,6 +9,7 @@
 #include "app/cli.hpp"
 #include "app/runner.hpp"
 #include "core/projection.hpp"
+#include "fault/fault.hpp"
 
 namespace dv::app {
 namespace {
@@ -93,6 +94,38 @@ TEST(Runner, Validation) {
   EXPECT_THROW(run_experiment(cfg), Error);
 }
 
+TEST(Runner, ZeroLengthWindowRejected) {
+  // Regression: window = 0 used to slip through and inject every message at
+  // t = 0; it must be rejected up front with an explanation.
+  ExperimentConfig cfg;
+  cfg.dragonfly_p = 2;
+  cfg.jobs = {{"uniform_random", 8, placement::Policy::kContiguous, 1024}};
+  cfg.window = 0.0;
+  try {
+    (void)run_experiment(cfg);
+    FAIL() << "zero-length window was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("window must be positive"),
+              std::string::npos)
+        << e.what();
+  }
+  cfg.window = -5.0;
+  EXPECT_THROW(run_experiment(cfg), Error);
+}
+
+TEST(Runner, FaultPlanFlowsThroughExperiment) {
+  ExperimentConfig cfg;
+  cfg.dragonfly_p = 2;
+  cfg.jobs = {{"uniform_random", 0, placement::Policy::kContiguous, 0}};
+  cfg.window = 2.0e4;
+  cfg.faults = fault::FaultPlan::parse("router:g1.r0@0:15000");
+  const auto result = run_experiment(cfg);
+  ASSERT_EQ(result.run.router_downtime.size(),
+            result.topo.num_routers());
+  EXPECT_DOUBLE_EQ(result.run.router_downtime[result.topo.router_id(1, 0)],
+                   15000.0);
+}
+
 // ----------------------------------------------------------------- CLI
 
 TEST(Cli, SimRenderExportInfoPipeline) {
@@ -170,6 +203,38 @@ TEST(Cli, JobSpecParsing) {
   for (const auto& t : run.terminals) placed += (t.job == 0);
   EXPECT_EQ(placed, 12);
   std::remove(run_path.c_str());
+}
+
+TEST(Cli, FaultFlagsAndZeroWindow) {
+  const std::string run_path = tmp("dv_cli_fault_run.json");
+  const std::string plan_path = tmp("dv_cli_fault_plan.txt");
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job", "uniform_random", "--window",
+                 "20000", "--fault", "link:g0->g1@2000:6000", "--fault",
+                 "router:g2.r1@1000:5000", "--out", run_path}),
+            0);
+  {
+    const auto run = metrics::RunMetrics::load(run_path);
+    ASSERT_FALSE(run.router_downtime.empty());
+    EXPECT_EQ(cli({"info", "--run", run_path}), 0);
+  }
+  // Same plan via a --faults file; inline --fault specs append to it.
+  {
+    std::ofstream os(plan_path);
+    os << "# test plan\nlink:g0->g1@2000:6000\n";
+  }
+  EXPECT_EQ(cli({"sim", "--p", "2", "--job", "uniform_random", "--window",
+                 "20000", "--faults", plan_path, "--fault",
+                 "router:g2.r1@1000:5000", "--out", run_path}),
+            0);
+  EXPECT_THROW(cli({"sim", "--p", "2", "--job", "uniform_random", "--window",
+                    "20000", "--fault", "bogus", "--out", run_path}),
+               Error);
+  // Zero-length injection window is rejected at the CLI boundary too.
+  EXPECT_THROW(cli({"sim", "--p", "2", "--job", "uniform_random", "--window",
+                    "0", "--out", run_path}),
+               Error);
+  std::remove(run_path.c_str());
+  std::remove(plan_path.c_str());
 }
 
 TEST(Cli, TraceRecordReplayPipeline) {

@@ -69,6 +69,36 @@ SvgTokens tokenize(const std::string& s) {
   return out;
 }
 
+/// On comparison failure, drops the actual and expected markup into
+/// $DV_GOLDEN_DIFF_DIR (when set) so CI can upload the pair as an
+/// inspectable artifact instead of leaving only an assertion message.
+class GoldenDiffDump {
+ public:
+  GoldenDiffDump(std::string name, const std::string& actual,
+                 const std::string& want)
+      : name_(std::move(name)),
+        actual_(actual),
+        want_(want),
+        failed_before_(::testing::Test::HasFailure()) {}
+
+  ~GoldenDiffDump() {
+    if (failed_before_ || !::testing::Test::HasFailure()) return;
+    const char* dir = std::getenv("DV_GOLDEN_DIFF_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    dump(std::string(dir) + "/actual_" + name_, actual_);
+    if (!want_.empty()) dump(std::string(dir) + "/golden_" + name_, want_);
+  }
+
+ private:
+  static void dump(const std::string& path, const std::string& body) {
+    std::ofstream os(path, std::ios::binary);
+    if (os.good()) os << body;
+  }
+
+  std::string name_, actual_, want_;
+  bool failed_before_;
+};
+
 void expect_svg_matches_golden(const std::string& svg,
                                const std::string& name) {
   const std::string path = golden_path(name);
@@ -79,11 +109,15 @@ void expect_svg_matches_golden(const std::string& svg,
     return;
   }
   std::ifstream is(path, std::ios::binary);
+  std::string want;
+  if (is.good()) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    want = buf.str();
+  }
+  const GoldenDiffDump diff(name, svg, want);
   ASSERT_TRUE(is.good()) << "missing golden file " << path
                          << " — regenerate with DV_UPDATE_GOLDEN=1";
-  std::ostringstream buf;
-  buf << is.rdbuf();
-  const std::string want = buf.str();
 
   const SvgTokens a = tokenize(want), b = tokenize(svg);
   ASSERT_EQ(a.literals.size(), b.literals.size())

@@ -100,7 +100,7 @@ TEST(Metrics, CsvExportShapes) {
   const auto m = sample_run(false);
   const auto links = m.to_csv("local_links");
   EXPECT_EQ(links.rows.size(), m.local_links.size());
-  EXPECT_EQ(links.header.size(), 6u);
+  EXPECT_EQ(links.header.size(), 9u);
   const auto terms = m.to_csv("terminals");
   EXPECT_EQ(terms.rows.size(), m.terminals.size());
   const auto routers = m.to_csv("routers");
