@@ -1,9 +1,13 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <sstream>
+#include <thread>
 
 #include "obs/profile.hpp"
 
@@ -29,6 +33,36 @@ std::string slugify(const std::string& figure) {
   return s.empty() ? "bench" : s;
 }
 }  // namespace
+
+double median_seconds(int reps, const std::function<void()>& fn) {
+  fn();  // warm-up, untimed
+  std::vector<double> secs;
+  secs.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    secs.push_back(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+  }
+  std::sort(secs.begin(), secs.end());
+  const std::size_t n = secs.size();
+  return n % 2 ? secs[n / 2] : 0.5 * (secs[n / 2 - 1] + secs[n / 2]);
+}
+
+std::string provenance_json() {
+  std::ostringstream os;
+  os << "{\"compiler\": \"" << __VERSION__ << "\", \"optimized\": "
+#ifdef NDEBUG
+     << "true"
+#else
+     << "false"
+#endif
+     << ", \"obs_enabled\": " << (obs::kEnabled ? "true" : "false")
+     << ", \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << "}";
+  return os.str();
+}
 
 LinkClassStats link_stats(const std::vector<metrics::LinkMetrics>& links) {
   LinkClassStats s;

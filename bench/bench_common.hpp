@@ -7,6 +7,7 @@
 // Absolute numbers are not expected to match the authors' testbed.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,18 @@
 #include "metrics/run_metrics.hpp"
 
 namespace dv::bench {
+
+/// Runs `fn` once untimed (warm-up: page-in, allocator and cache state),
+/// then `reps` timed repetitions, and returns the median per-repetition
+/// wall seconds — robust against a stray slow rep on shared CI hardware,
+/// unlike the mean over one timed block.
+double median_seconds(int reps, const std::function<void()>& fn);
+
+/// JSON object literal describing how a BENCH_*.json number was produced:
+/// compiler, build flavour (optimized / assertions), observability state,
+/// hardware threads. Stamped into every benchmark artifact so a number is
+/// never compared against one from a different build configuration.
+std::string provenance_json();
 
 /// Aggregate statistics over one link class.
 struct LinkClassStats {

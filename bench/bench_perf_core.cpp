@@ -4,17 +4,19 @@
 // *interactive* exploration of large networks.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/projection.hpp"
 #include "core/views.hpp"
 #include "fault/fault.hpp"
+#include "json/json.hpp"
 #include "netsim/network.hpp"
 #include "pdes/phold.hpp"
 #include "workload/workload.hpp"
@@ -209,25 +211,49 @@ void BM_PholdEngine(benchmark::State& state) {
 // Arg 0 = sequential engine; 1/2/4 = conservative parallel partitions.
 BENCHMARK(BM_PholdEngine)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// Sequential events/s recorded in a previous BENCH_perf.json, or 0 when
+/// the file is missing/unreadable. `DV_BENCH_BASELINE` overrides the path
+/// (CI points it at the checked-in baseline before this run overwrites the
+/// default location).
+double read_baseline_seq_rate(const std::string& default_path) {
+  const char* env = std::getenv("DV_BENCH_BASELINE");
+  const std::string path = env && *env ? env : default_path;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return 0.0;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    const json::Value v = json::parse(buf.str());
+    for (const auto& cfg : v.at("configs").as_array()) {
+      if (cfg.get_string("engine", "") == "sequential") {
+        return cfg.get_number("events_per_second", 0.0);
+      }
+    }
+  } catch (const Error&) {
+  }
+  return 0.0;
+}
+
 /// Direct timed comparison of the two simulation engines, written as
 /// machine-readable JSON so CI and EXPERIMENTS.md can track the event-rate
-/// speedup across hardware. Rates are events/second over `reps` identical
-/// runs (first run per config is a warm-up and is not timed).
+/// speedup across hardware. Each config runs once untimed (warm-up), then
+/// `reps` timed repetitions; the reported rate uses the *median* rep so a
+/// stray slow run on shared hardware cannot fail the CI regression gate.
+/// The file also stamps build provenance — a number measured with a
+/// different compiler or with assertions on is not comparable.
 void write_perf_json(const std::string& path) {
+  const double baseline_seq = read_baseline_seq_rate(path);
   struct Row {
     std::uint32_t workers;  // 0 = sequential reference
-    std::uint64_t events;
-    double seconds;
+    std::uint64_t events;   // per run (identical across reps by design)
+    double seconds;         // median timed rep
   };
   std::vector<Row> rows;
-  const int reps = 3;
+  const int reps = 5;
   for (const std::uint32_t workers : {0u, 1u, 2u, 4u}) {
-    run_netsim_once(workers);  // warm-up
     Row row{workers, 0, 0.0};
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int r = 0; r < reps; ++r) row.events += run_netsim_once(workers);
-    const auto t1 = std::chrono::steady_clock::now();
-    row.seconds = std::chrono::duration<double>(t1 - t0).count();
+    row.seconds = bench::median_seconds(
+        reps, [&] { row.events = run_netsim_once(workers); });
     rows.push_back(row);
     std::printf("perf: %-28s %10.0f events/s\n",
                 workers == 0 ? "sequential"
@@ -237,6 +263,10 @@ void write_perf_json(const std::string& path) {
   }
   const double seq_rate =
       static_cast<double>(rows[0].events) / rows[0].seconds;
+  if (baseline_seq > 0.0) {
+    std::printf("perf: sequential vs baseline        %10.2fx (%.0f -> %.0f)\n",
+                seq_rate / baseline_seq, baseline_seq, seq_rate);
+  }
 
   std::filesystem::create_directories(
       std::filesystem::path(path).parent_path());
@@ -244,8 +274,10 @@ void write_perf_json(const std::string& path) {
   os << "{\n  \"benchmark\": \"netsim_event_rate\",\n"
      << "  \"topology\": \"dragonfly canonical(3)\",\n"
      << "  \"workload\": \"uniform_random 8 MiB\",\n"
-     << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-     << ",\n  \"configs\": [\n";
+     << "  \"reps\": " << reps << ",\n"
+     << "  \"timing\": \"median rep after one untimed warm-up\",\n"
+     << "  \"provenance\": " << bench::provenance_json() << ",\n"
+     << "  \"configs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const double rate = static_cast<double>(rows[i].events) / rows[i].seconds;
     os << "    {\"engine\": \""
@@ -264,6 +296,14 @@ void write_perf_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // CI's perf-smoke leg wants only the engine comparison JSON, not the
+  // google-benchmark suite.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--perf-json-only") {
+      write_perf_json("bench_out/BENCH_perf.json");
+      return 0;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

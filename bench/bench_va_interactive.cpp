@@ -178,6 +178,7 @@ int main(int argc, char** argv) {
   const std::string path = bench::out_path("BENCH_va.json");
   std::ofstream os(path, std::ios::binary);
   os << "{\n  \"benchmark\": \"va_interactive\",\n"
+     << "  \"provenance\": " << bench::provenance_json() << ",\n"
      << "  \"topology\": \"dragonfly canonical(4)\",\n"
      << "  \"terminals\": "
      << run.groups * run.routers_per_group * run.terminals_per_router << ",\n"

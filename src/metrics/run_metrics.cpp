@@ -15,6 +15,12 @@ void SampledSeries::push_frame(const std::vector<float>& deltas) {
   data_.insert(data_.end(), deltas.begin(), deltas.end());
 }
 
+float* SampledSeries::push_frame_raw() {
+  DV_REQUIRE(entities_ > 0, "push_frame_raw on an unconfigured series");
+  data_.resize(data_.size() + entities_, 0.0f);
+  return data_.data() + (data_.size() - entities_);
+}
+
 float SampledSeries::at(std::size_t frame, std::size_t entity) const {
   DV_REQUIRE(frame < frames() && entity < entities_, "series index out of range");
   return data_[frame * entities_ + entity];

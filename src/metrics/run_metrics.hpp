@@ -91,6 +91,10 @@ class SampledSeries {
   bool empty() const { return data_.empty(); }
 
   void push_frame(const std::vector<float>& deltas);
+  /// Appends one frame and returns a pointer to its `entities()` floats for
+  /// in-place filling — the allocation-free counterpart of push_frame used
+  /// by the simulator's per-tick flush (no temporary frame vector).
+  float* push_frame_raw();
   float at(std::size_t frame, std::size_t entity) const;
 
   /// Sum over all entities in one frame.

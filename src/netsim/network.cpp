@@ -129,11 +129,18 @@ Network::Network(const topo::Dragonfly& topo, routing::Algo algo,
   ports_.resize(static_cast<std::size_t>(topo_.num_routers()) *
                 ports_per_router_);
   terminals_.resize(topo_.num_terminals());
-  term_stats_.resize(topo_.num_terminals());
+  term_finished_.assign(topo_.num_terminals(), 0);
+  term_sum_latency_.assign(topo_.num_terminals(), 0.0);
+  term_sum_hops_.assign(topo_.num_terminals(), 0.0);
+  term_rerouted_.assign(topo_.num_terminals(), 0);
+  term_dropped_.assign(topo_.num_terminals(), 0);
   term_job_.assign(topo_.num_terminals(), -1);
-  for (std::uint32_t t = 0; t < topo_.num_terminals(); ++t) {
-    term_stats_[t].router = topo_.terminal_router(t);
-    term_stats_[t].port = topo_.terminal_slot(t);
+
+  hop_cache_.reserve(ports_.size());
+  for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
+    for (std::uint32_t p = 0; p < ports_per_router_; ++p) {
+      hop_cache_.push_back(compute_hop(r, p));
+    }
   }
 
   num_vcs_ = planner_.max_link_hops();
@@ -164,6 +171,13 @@ Network::Network(const topo::Dragonfly& topo, routing::Algo algo,
     sim_.add_lp(this);
   }
   if (params_.event_budget) sim_.set_event_budget(params_.event_budget);
+  // The conservative lookahead is the model's minimum physical delay, the
+  // natural bucket width; the rare shorter delay (serialization of a short
+  // tail packet) takes the bucket layer's ordered-insert slow path. 512
+  // buckets (a ~10 us horizon at default latencies) measured fastest on
+  // bench_perf_core: a wider horizon spreads the same events over more,
+  // colder buckets, a narrower one spills too many pushes to the heap.
+  sim_.set_bucket_granularity(lookahead(), 512);
   if constexpr (obs::kEnabled) {
     sim_.set_kind_label(kEvMsgStart, "msg_start");
     sim_.set_kind_label(kEvInjectorFree, "injector_free");
@@ -347,7 +361,7 @@ bool Network::port_blocked(std::uint32_t router, std::uint32_t p,
                            double now) const {
   if (!has_faults_) return false;
   if (fault_.router_down(router, now)) return true;
-  const Hop hop = hop_for_port(router, p);
+  const Hop& hop = hop_for_port(router, p);
   switch (hop.cls) {
     case LinkClass::kEjection:
       return false;  // terminal NICs don't fail in this model
@@ -364,8 +378,8 @@ bool Network::port_blocked(std::uint32_t router, std::uint32_t p,
 
 // ----------------------------------------------------------------- hops
 
-Network::Hop Network::hop_for_port(std::uint32_t router,
-                                   std::uint32_t p) const {
+Network::Hop Network::compute_hop(std::uint32_t router,
+                                  std::uint32_t p) const {
   Hop hop;
   const std::uint32_t nterm = topo_.terminals_per_router();
   const std::uint32_t nlocal = topo_.routers_per_group() - 1;
@@ -472,7 +486,7 @@ Network::LinkArray& Network::link_array_for(LinkClass cls) {
 }
 
 void Network::update_backlog(Ctx& ctx, std::uint32_t router, std::uint32_t p) {
-  const Hop hop = hop_for_port(router, p);
+  const Hop& hop = hop_for_port(router, p);
   LinkArray& la = link_array_for(hop.cls);
   la.set_backlog(hop.id,
                  port(router, p).queue.size() >= params_.vc_buffer_packets,
@@ -486,7 +500,7 @@ void Network::try_transmit(Ctx& ctx, std::uint32_t router, std::uint32_t p) {
     return;  // queued packets bounce into the retry path at the next wake
   }
 
-  const Hop hop = hop_for_port(router, p);
+  const Hop& hop = hop_for_port(router, p);
   LinkArray& la = link_array_for(hop.cls);
 
   // VC arbitration: first queued packet whose VC has a downstream slot.
@@ -596,7 +610,7 @@ void Network::retry_or_drop(Ctx& ctx, std::uint32_t pid, std::uint32_t router,
   LinkArray* la = nullptr;
   std::uint32_t link = 0;
   if (blocked_port != std::numeric_limits<std::uint32_t>::max()) {
-    const Hop hop = hop_for_port(router, blocked_port);
+    const Hop& hop = hop_for_port(router, blocked_port);
     if (hop.cls == LinkClass::kLocal || hop.cls == LinkClass::kGlobal) {
       la = &link_array_for(hop.cls);
       link = hop.id;
@@ -661,11 +675,10 @@ void Network::handle_packet_at_terminal(Ctx& ctx, std::uint32_t pid,
                                         std::uint32_t term) {
   Packet& pkt = packet(pid);
   DV_CHECK(pkt.dst == term, "packet delivered to the wrong terminal");
-  metrics::TerminalMetrics& tm = term_stats_[term];
-  ++tm.packets_finished;
-  tm.sum_latency += ctx.now - pkt.inject_time;
-  tm.sum_hops += pkt.router_hops;
-  if (pkt.route.fault_detour) ++tm.packets_rerouted;
+  ++term_finished_[term];
+  term_sum_latency_[term] += ctx.now - pkt.inject_time;
+  term_sum_hops_[term] += pkt.router_hops;
+  if (pkt.route.fault_detour) ++term_rerouted_[term];
   Shard& sh = *shards_[ctx.shard];
   ++sh.packets_delivered;
   sh.bytes_delivered += pkt.size;
@@ -684,12 +697,19 @@ void Network::handle_packet_at_terminal(Ctx& ctx, std::uint32_t pid,
 // ----------------------------------------------------------------- sampling
 
 void Network::take_sample(SimTime now) {
+  // Frames are written straight into the series' frame-major storage
+  // (push_frame_raw) — no temporary frame vectors on the per-tick path.
+  // The delta arithmetic (float of a cumulative-double difference, in
+  // entity order) matches the frames the row-at-a-time version produced
+  // bit for bit.
+  obs::ScopedPhase phase("sample");
   auto capture = [now](const LinkArray& la, std::vector<double>& prev_traffic,
                        std::vector<double>& prev_sat,
                        metrics::SampledSeries& traffic_ts,
                        metrics::SampledSeries& sat_ts) {
     const std::size_t n = la.traffic.size();
-    std::vector<float> dt(n), ds(n);
+    float* dt = traffic_ts.push_frame_raw();
+    float* ds = sat_ts.push_frame_raw();
     for (std::size_t i = 0; i < n; ++i) {
       const double cur_t = la.traffic[i];
       const double cur_s = la.sat_at(static_cast<std::uint32_t>(i), now);
@@ -698,8 +718,6 @@ void Network::take_sample(SimTime now) {
       prev_traffic[i] = cur_t;
       prev_sat[i] = cur_s;
     }
-    traffic_ts.push_frame(dt);
-    sat_ts.push_frame(ds);
   };
   capture(local_links_, prev_local_traffic_, prev_local_sat_,
           local_traffic_ts_, local_sat_ts_);
@@ -708,7 +726,8 @@ void Network::take_sample(SimTime now) {
   // Terminal series: injected bytes and injection+ejection saturation.
   {
     const std::size_t n = topo_.num_terminals();
-    std::vector<float> dt(n), ds(n);
+    float* dt = term_traffic_ts_.push_frame_raw();
+    float* ds = term_sat_ts_.push_frame_raw();
     for (std::size_t i = 0; i < n; ++i) {
       const auto li = static_cast<std::uint32_t>(i);
       const double cur_t = injection_.traffic[i];
@@ -719,8 +738,6 @@ void Network::take_sample(SimTime now) {
       prev_term_traffic_[i] = cur_t;
       prev_term_sat_[i] = cur_s;
     }
-    term_traffic_ts_.push_frame(dt);
-    term_sat_ts_.push_frame(ds);
   }
 }
 
@@ -797,7 +814,7 @@ void Network::dispatch(Ctx& ctx, const pdes::Event& ev) {
       handle_fault_wake(ctx, static_cast<std::uint32_t>(ev.data0));
       break;
     case kEvPktDropNotify:
-      ++term_stats_[static_cast<std::uint32_t>(ev.data0)].packets_dropped;
+      ++term_dropped_[static_cast<std::uint32_t>(ev.data0)];
       break;
     default:
       DV_CHECK(false, "unknown event kind");
@@ -998,7 +1015,8 @@ void Network::flush_and_collect(metrics::RunMetrics& out, SimTime end) {
   out.local_links.resize(topo_.num_local_links());
   for (std::uint32_t lid = 0; lid < topo_.num_local_links(); ++lid) {
     const auto [router, lport] = topo_.local_link_ends(lid);
-    const Hop hop = hop_for_port(router, topo_.terminals_per_router() + lport);
+    const Hop& hop =
+        hop_for_port(router, topo_.terminals_per_router() + lport);
     metrics::LinkMetrics& l = out.local_links[lid];
     l.src_router = router;
     l.src_port = topo_.terminals_per_router() + lport;
@@ -1016,7 +1034,7 @@ void Network::flush_and_collect(metrics::RunMetrics& out, SimTime end) {
   out.global_links.resize(topo_.num_global_links());
   for (std::uint32_t gid = 0; gid < topo_.num_global_links(); ++gid) {
     const topo::GlobalEnd src = topo_.global_link_src(gid);
-    const Hop hop = hop_for_port(src.router, topo_.global_port(src.channel));
+    const Hop& hop = hop_for_port(src.router, topo_.global_port(src.channel));
     metrics::LinkMetrics& l = out.global_links[gid];
     l.src_router = src.router;
     l.src_port = topo_.global_port(src.channel);
@@ -1031,16 +1049,24 @@ void Network::flush_and_collect(metrics::RunMetrics& out, SimTime end) {
                                                   hop.dst_router, end);
     }
   }
-  out.terminals = term_stats_;
+  // Terminal rows assemble here from the columnar accumulators — the only
+  // place the 80-byte TerminalMetrics records are materialized.
+  out.terminals.resize(topo_.num_terminals());
   for (std::uint32_t t = 0; t < topo_.num_terminals(); ++t) {
-    out.terminals[t].data_size = injection_.traffic[t];
-    out.terminals[t].sat_time =
-        injection_.sat_at(t, end) + ejection_.sat_at(t, end);
-    out.terminals[t].job = term_job_[t];
+    metrics::TerminalMetrics& tm = out.terminals[t];
+    tm.router = topo_.terminal_router(t);
+    tm.port = topo_.terminal_slot(t);
+    tm.packets_finished = term_finished_[t];
+    tm.sum_latency = term_sum_latency_[t];
+    tm.sum_hops = term_sum_hops_[t];
+    tm.packets_rerouted = term_rerouted_[t];
+    tm.packets_dropped = term_dropped_[t];
+    tm.data_size = injection_.traffic[t];
+    tm.sat_time = injection_.sat_at(t, end) + ejection_.sat_at(t, end);
+    tm.job = term_job_[t];
     if (has_faults_) {
       // A terminal is down exactly when its router is.
-      out.terminals[t].downtime =
-          fault_.router_downtime(topo_.terminal_router(t), end);
+      tm.downtime = fault_.router_downtime(topo_.terminal_router(t), end);
     }
   }
   if (has_faults_) {

@@ -344,7 +344,12 @@ class Network final : public pdes::LogicalProcess,
     double bandwidth = 1.0;
     double latency = 0.0;
   };
-  Hop hop_for_port(std::uint32_t router, std::uint32_t p) const;
+  /// Derives the hop record from the topology (ctor-time only; the hot
+  /// path reads the precomputed hop_cache_ through hop_for_port).
+  Hop compute_hop(std::uint32_t router, std::uint32_t p) const;
+  const Hop& hop_for_port(std::uint32_t router, std::uint32_t p) const {
+    return hop_cache_[static_cast<std::size_t>(router) * ports_per_router_ + p];
+  }
 
   // ---- state ---------------------------------------------------------
   const topo::Dragonfly topo_;
@@ -367,8 +372,18 @@ class Network final : public pdes::LogicalProcess,
   std::vector<std::uint32_t> term_pkt_seq_; // per-terminal packet counter
   std::vector<std::uint32_t> router_partition_;
 
-  // Terminal delivery stats.
-  std::vector<metrics::TerminalMetrics> term_stats_;
+  // Per-port hop records, router-major — topology and physical parameters
+  // are fixed at construction, so the hot path never recomputes them.
+  std::vector<Hop> hop_cache_;
+
+  // Terminal delivery stats, columnar: the delivery handler touches three
+  // adjacent flat arrays instead of scattering into 80-byte records; the
+  // full TerminalMetrics rows are assembled once, in flush_and_collect.
+  std::vector<std::uint64_t> term_finished_;
+  std::vector<double> term_sum_latency_;
+  std::vector<double> term_sum_hops_;
+  std::vector<std::uint64_t> term_rerouted_;
+  std::vector<std::uint64_t> term_dropped_;
 
   // Fault injection. fault_ is immutable during the run; per-router tallies
   // are written only by the owning router's partition.

@@ -1,0 +1,192 @@
+// Bounded-horizon bucket scheduler — the engines' hot-path pending set.
+//
+// A calendar-style layer over EventHeap: events landing within a bounded
+// time horizon ahead of the drain cursor go into fixed-width buckets;
+// everything else (far-future events, or events pushed while the layer is
+// unconfigured) falls back to the indexed d-ary heap. Buckets partition
+// time, so the minimum bucketed event is always at the first non-empty
+// bucket; each bucket is sorted lazily — descending by (time, pri, seq) —
+// exactly once, when the cursor reaches it, and is then drained from the
+// back. The common near-future push/pop pair is therefore O(1) amortized
+// (an append plus a back-pop) instead of a full heap sift, and the lazy
+// sort touches one contiguous vector instead of chasing 32-bit slot
+// indices through a slab.
+//
+// Choosing the bucket width: any positive width is *correct* (pops always
+// come out in strict (time, pri, seq) order; the fallback heap and the
+// buckets are merged through the same comparator). The width is *fast*
+// when it is at most the model's minimum scheduling delay — then a push
+// can (almost) never land in the bucket currently being drained, so the
+// ordered-insert slow path stays cold. The netsim model uses its
+// conservative lookahead (min link/credit latency); the parallel engine
+// uses the same lookahead it already synchronizes windows with.
+//
+// Horizon advance: when every bucket has drained and the next event comes
+// out of the fallback heap, the window re-anchors at that event's time, so
+// the events its handler schedules land back in buckets. Sub-width or even
+// zero delays are legal everywhere: a push into the already-sorted active
+// bucket does an ordered insert (binary search + move), preserving the
+// drain order.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "pdes/event_heap.hpp"
+#include "util/common.hpp"
+
+namespace dv::pdes {
+
+template <typename EventT>
+class BucketSched {
+ public:
+  static constexpr std::size_t kDefaultBuckets = 1024;
+
+  /// Enables the bucket layer with the given bucket width (simulated time
+  /// units); the horizon spans `buckets * width`. A width of 0 disables
+  /// bucketing — every event goes through the fallback heap, which is the
+  /// default state. Must be called while the scheduler is empty.
+  void configure(double width, std::size_t buckets = kDefaultBuckets) {
+    DV_REQUIRE(empty(), "configure() on a non-empty scheduler");
+    DV_REQUIRE(width >= 0.0, "bucket width must be non-negative");
+    DV_REQUIRE(buckets >= 2, "need at least two buckets");
+    width_ = width;
+    buckets_.clear();
+    if (width_ > 0.0) {
+      inv_width_ = 1.0 / width_;
+      buckets_.resize(buckets);
+    }
+    base_ = 0.0;
+    cur_ = 0;
+    sorted_ = false;
+  }
+
+  bool bucketing_enabled() const { return width_ > 0.0; }
+  bool empty() const { return nbucketed_ == 0 && heap_.empty(); }
+  std::size_t size() const { return nbucketed_ + heap_.size(); }
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  void push(const EventT& ev) {
+    if (width_ > 0.0) {
+      const double off = ev.time - base_;
+      if (off >= 0.0) {
+        const double scaled = off * inv_width_;
+        if (scaled < static_cast<double>(buckets_.size())) {
+          push_bucket(static_cast<std::size_t>(scaled), ev);
+          ++pushes_bucketed_;
+          return;
+        }
+      }
+    }
+    heap_.push(ev);
+    ++pushes_heap_;
+  }
+
+  /// Reference to the minimum event. Non-const: reaching the minimum may
+  /// lazily sort the bucket the cursor just arrived at. The reference is
+  /// invalidated by the next push or pop.
+  const EventT& top() {
+    EventT* bm = bucket_min();
+    if (bm == nullptr) return heap_.top();
+    if (heap_.empty() || before(*bm, heap_.top())) return *bm;
+    return heap_.top();
+  }
+
+  /// Removes the minimum event into caller-owned storage.
+  void pop_into(EventT& out) {
+    EventT* bm = bucket_min();
+    if (bm != nullptr && (heap_.empty() || before(*bm, heap_.top()))) {
+      out = *bm;
+      buckets_[cur_].pop_back();
+      --nbucketed_;
+      return;
+    }
+    heap_.pop_into(out);
+    if (width_ > 0.0 && nbucketed_ == 0) {
+      // Every bucket has drained and the minimum lived in the fallback
+      // heap: re-anchor the horizon at that event so its handler's
+      // near-future pushes land back in buckets. Guard the re-anchored
+      // base at or below the event time despite floating-point rounding.
+      base_ = std::floor(out.time * inv_width_) * width_;
+      if (base_ > out.time) base_ -= width_;
+      cur_ = 0;
+      sorted_ = false;
+    }
+  }
+
+  EventT pop() {
+    EventT out;
+    pop_into(out);
+    return out;
+  }
+
+  // Scheduler attribution for the observability layer: how many pushes the
+  // bucket layer absorbed vs. how many fell through to the heap.
+  std::uint64_t pushes_bucketed() const { return pushes_bucketed_; }
+  std::uint64_t pushes_heap() const { return pushes_heap_; }
+
+ private:
+  static bool before(const EventT& a, const EventT& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.pri != b.pri) return a.pri < b.pri;
+    return a.seq < b.seq;
+  }
+  /// Descending comparator — buckets drain from the back.
+  static bool after(const EventT& a, const EventT& b) { return before(b, a); }
+
+  void push_bucket(std::size_t b, const EventT& ev) {
+    ++nbucketed_;
+    std::vector<EventT>& vec = buckets_[b];
+    if (b < cur_) {
+      // A pop from the fallback heap moved `now` behind the drain cursor
+      // (an old far-future event re-entered the window); all buckets below
+      // the cursor are empty, so rewinding it is cheap and safe.
+      cur_ = b;
+      sorted_ = false;
+      vec.push_back(ev);
+      return;
+    }
+    if (b == cur_ && sorted_) {
+      // Sub-width delay into the bucket being drained: ordered insert
+      // keeps it drainable from the back. Rare when the bucket width is
+      // at most the model's minimum scheduling delay.
+      vec.insert(std::upper_bound(vec.begin(), vec.end(), ev, after), ev);
+      return;
+    }
+    vec.push_back(ev);
+  }
+
+  /// Minimum bucketed event (back of the first non-empty bucket), or
+  /// nullptr when no events are bucketed. Advances the cursor over empty
+  /// buckets and lazily sorts the one it lands on.
+  EventT* bucket_min() {
+    if (nbucketed_ == 0) return nullptr;
+    while (buckets_[cur_].empty()) {
+      ++cur_;
+      sorted_ = false;
+      DV_CHECK(cur_ < buckets_.size(), "bucket occupancy out of sync");
+    }
+    std::vector<EventT>& vec = buckets_[cur_];
+    if (!sorted_) {
+      std::sort(vec.begin(), vec.end(), after);
+      sorted_ = true;
+    }
+    return &vec.back();
+  }
+
+  EventHeap<EventT> heap_;                   // far-future fallback
+  std::vector<std::vector<EventT>> buckets_; // fixed-width time buckets
+  double width_ = 0.0;                       // 0 = bucket layer disabled
+  double inv_width_ = 0.0;
+  double base_ = 0.0;        // time at the start of bucket 0
+  std::size_t cur_ = 0;      // drain cursor; buckets below it are empty
+  bool sorted_ = false;      // bucket `cur_` sorted descending?
+  std::size_t nbucketed_ = 0;
+  std::uint64_t pushes_bucketed_ = 0;
+  std::uint64_t pushes_heap_ = 0;
+};
+
+}  // namespace dv::pdes

@@ -22,7 +22,8 @@ void Simulator::schedule(SimTime t, LpId lp, std::uint32_t kind,
                          std::uint64_t pri) {
   DV_REQUIRE(lp < lps_.size(), "schedule to unknown LP");
   DV_REQUIRE(t >= now_, "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, lp, kind, data0, data1, pri});
+  queue_.push(Event{.time = t, .pri = pri, .seq = next_seq_++, .lp = lp,
+                    .kind = kind, .data0 = data0, .data1 = data1});
 #ifdef DV_OBS_ENABLED
   if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
 #endif
@@ -67,6 +68,14 @@ void Simulator::publish_obs(double loop_seconds) {
   }
   obs::gauge("sim.queue_high_water")
       .record_max(static_cast<double>(queue_high_water_));
+  // Scheduler attribution: pushes absorbed by the bounded-horizon bucket
+  // layer vs. pushes that fell through to the fallback heap.
+  obs::counter("sim.sched.bucket_pushes")
+      .add(queue_.pushes_bucketed() - sched_bucketed_published_);
+  obs::counter("sim.sched.heap_pushes")
+      .add(queue_.pushes_heap() - sched_heap_published_);
+  sched_bucketed_published_ = queue_.pushes_bucketed();
+  sched_heap_published_ = queue_.pushes_heap();
   obs::gauge("sim.run_seconds").add(loop_seconds);
   if (loop_seconds > 0.0 && delta > 0) {
     obs::gauge("sim.events_per_sec")
@@ -79,8 +88,10 @@ void Simulator::publish_obs(double loop_seconds) {
 
 void Simulator::run() {
   const auto t0 = std::chrono::steady_clock::now();
+  Event ev;  // pop target reused across the loop — no per-event temporary
   while (!queue_.empty()) {
-    dispatch(queue_.pop());
+    queue_.pop_into(ev);
+    dispatch(ev);
   }
   publish_obs(std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             t0)
@@ -90,8 +101,10 @@ void Simulator::run() {
 void Simulator::run_until(SimTime t_end) {
   DV_REQUIRE(t_end >= now_, "run_until into the past");
   const auto t0 = std::chrono::steady_clock::now();
+  Event ev;
   while (!queue_.empty() && queue_.top().time <= t_end) {
-    dispatch(queue_.pop());
+    queue_.pop_into(ev);
+    dispatch(ev);
   }
   now_ = t_end;
   publish_obs(std::chrono::duration<double>(std::chrono::steady_clock::now() -

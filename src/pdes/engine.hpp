@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "pdes/event_heap.hpp"
+#include "pdes/bucket_sched.hpp"
 #include "util/common.hpp"
 
 namespace dv::pdes {
@@ -25,20 +25,24 @@ namespace dv::pdes {
 using LpId = std::uint32_t;
 
 /// One scheduled event. `kind` and `data` are interpreted by the receiving
-/// logical process.
+/// logical process. Field order is hot-path-deliberate: the three ordering
+/// keys the scheduler compares on occupy the first 24 bytes (one cache
+/// line covers them wherever the event starts), and the four dispatch
+/// fields fill the remaining 24, so the whole record stays at 48 bytes.
 struct Event {
   SimTime time = 0.0;
-  std::uint64_t seq = 0;  // per-engine schedule order; last tie-breaker
-  LpId lp = 0;
-  std::uint32_t kind = 0;
-  std::uint64_t data0 = 0;
-  std::uint64_t data1 = 0;
   // Model-assigned ordering key for simultaneous events. Unlike `seq` it
   // must not depend on schedule order; models wanting cross-engine
   // determinism give every event class a unique key (netsim encodes
   // kind + entity id). 0 (the default) preserves pure schedule order.
   std::uint64_t pri = 0;
+  std::uint64_t seq = 0;  // per-engine schedule order; last tie-breaker
+  LpId lp = 0;
+  std::uint32_t kind = 0;
+  std::uint64_t data0 = 0;
+  std::uint64_t data1 = 0;
 };
+static_assert(sizeof(Event) == 48, "keep the event record at 48 bytes");
 
 class Simulator;
 
@@ -87,6 +91,17 @@ class Simulator {
   /// Safety valve against runaway models; 0 disables. Exceeding it throws.
   void set_event_budget(std::uint64_t max_events) { budget_ = max_events; }
 
+  /// Enables the bounded-horizon bucket layer of the pending-event set
+  /// (see bucket_sched.hpp). `width` should be the model's minimum
+  /// scheduling delay (netsim passes its conservative lookahead); 0
+  /// reverts to the pure heap. Must be called before any event is
+  /// scheduled. No effect on event order — only on scheduling cost.
+  void set_bucket_granularity(double width,
+                              std::size_t buckets =
+                                  BucketSched<Event>::kDefaultBuckets) {
+    queue_.configure(width, buckets);
+  }
+
   /// Names an event kind for observability output ("sim.events.<label>"
   /// instead of "sim.events.kind<N>"). No effect on simulation behaviour.
   void set_kind_label(std::uint32_t kind, std::string label);
@@ -101,7 +116,7 @@ class Simulator {
   void publish_obs(double loop_seconds);
 
   std::vector<LogicalProcess*> lps_;
-  EventHeap<Event> queue_;
+  BucketSched<Event> queue_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
@@ -114,6 +129,8 @@ class Simulator {
   std::vector<std::uint64_t> kind_published_;
   std::vector<std::string> kind_labels_;
   std::uint64_t events_published_ = 0;
+  std::uint64_t sched_bucketed_published_ = 0;
+  std::uint64_t sched_heap_published_ = 0;
 };
 
 }  // namespace dv::pdes

@@ -49,15 +49,22 @@ class EventHeap {
     sift_up(heap_.size() - 1);
   }
 
-  /// Removes and returns the minimum event; its slab slot is recycled.
-  EventT pop() {
+  /// Removes the minimum event, writing it into caller-owned storage (one
+  /// slab read, no intermediate temporary); its slab slot is recycled.
+  void pop_into(EventT& out) {
     DV_CHECK(!heap_.empty(), "pop() on an empty event heap");
     const std::uint32_t slot = heap_[0];
-    const EventT out = slab_[slot];
+    out = slab_[slot];
     free_.push_back(slot);
     heap_[0] = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
+  }
+
+  /// Removes and returns the minimum event; its slab slot is recycled.
+  EventT pop() {
+    EventT out;
+    pop_into(out);
     return out;
   }
 

@@ -19,6 +19,11 @@ ParallelSimulator::ParallelSimulator(std::size_t partitions,
   for (std::size_t i = 0; i < partitions; ++i) {
     parts_.push_back(std::make_unique<Partition>());
     parts_.back()->outbox.resize(partitions);
+    // The lookahead is the engine's own lower bound on cross-partition
+    // delays, which makes it a sound bucket width for the near-future
+    // fast path (see bucket_sched.hpp; sub-width same-partition delays
+    // are still legal, just slower).
+    parts_.back()->queue.configure(lookahead);
   }
 }
 
@@ -47,7 +52,9 @@ void ParallelSimulator::schedule(SimTime t, LpId lp, std::uint32_t kind,
   DV_REQUIRE(lp < lps_.size(), "schedule to unknown LP");
   DV_REQUIRE(t >= 0.0, "negative timestamp");
   Partition& part = *parts_[lp_partition_[lp]];
-  part.queue.push(Event{t, part.next_seq++, lp, kind, data0, data1, pri});
+  part.queue.push(Event{.time = t, .pri = pri, .seq = part.next_seq++,
+                        .lp = lp, .kind = kind, .data0 = data0,
+                        .data1 = data1});
 }
 
 void ParallelContext::schedule(SimTime t, LpId lp, std::uint32_t kind,
@@ -58,7 +65,9 @@ void ParallelContext::schedule(SimTime t, LpId lp, std::uint32_t kind,
   const std::uint32_t target = sim_->lp_partition_[lp];
   ParallelSimulator::Partition& mine = *sim_->parts_[partition_];
   if (target == partition_) {
-    mine.queue.push(Event{t, mine.next_seq++, lp, kind, data0, data1, pri});
+    mine.queue.push(Event{.time = t, .pri = pri, .seq = mine.next_seq++,
+                          .lp = lp, .kind = kind, .data0 = data0,
+                          .data1 = data1});
     return;
   }
   // Conservative contract: cross-partition events must clear the window.
@@ -66,7 +75,9 @@ void ParallelContext::schedule(SimTime t, LpId lp, std::uint32_t kind,
              "cross-partition event violates the lookahead contract");
   // seq is assigned when the outboxes are drained at the barrier; the
   // outbox cell is owned by this partition's worker, so no lock.
-  mine.outbox[target].push_back(Event{t, 0, lp, kind, data0, data1, pri});
+  mine.outbox[target].push_back(Event{.time = t, .pri = pri, .seq = 0,
+                                      .lp = lp, .kind = kind, .data0 = data0,
+                                      .data1 = data1});
 }
 
 void ParallelSimulator::process_window(std::uint32_t p) {
@@ -75,14 +86,47 @@ void ParallelSimulator::process_window(std::uint32_t p) {
   const auto t0 = std::chrono::steady_clock::now();
 #endif
   try {
+    Event ev;
     while (!part.queue.empty() && part.queue.top().time < window_end_) {
-      const Event ev = part.queue.pop();
+      part.queue.pop_into(ev);
       ++part.processed;
       if (budget_ != 0 && part.processed > budget_) {
         throw Error("simulation event budget exceeded");
       }
       part.last_time = ev.time;
       ParallelContext ctx(this, p, ev.time);
+      lps_[ev.lp]->on_event(ctx, ev);
+    }
+  } catch (...) {
+    part.error = std::current_exception();
+  }
+#ifdef DV_OBS_ENABLED
+  part.busy_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+#endif
+}
+
+void ParallelSimulator::run_single_partition() {
+  // One partition owns every LP, so no event can cross a partition
+  // boundary and the windowed protocol degenerates to "drain the queue in
+  // (time, pri, seq) order" — exactly the sequential engine's loop. Skip
+  // the per-window bookkeeping entirely; the pop order (and therefore the
+  // model output) is byte-identical to the windowed execution.
+  Partition& part = *parts_[0];
+#ifdef DV_OBS_ENABLED
+  const auto t0 = std::chrono::steady_clock::now();
+#endif
+  try {
+    Event ev;
+    while (!part.queue.empty() && part.queue.top().time <= t_end_) {
+      part.queue.pop_into(ev);
+      ++part.processed;
+      if (budget_ != 0 && part.processed > budget_) {
+        throw Error("simulation event budget exceeded");
+      }
+      part.last_time = ev.time;
+      ParallelContext ctx(this, 0, ev.time);
       lps_[ev.lp]->on_event(ctx, ev);
     }
   } catch (...) {
@@ -158,6 +202,7 @@ void ParallelSimulator::publish_obs(double loop_seconds) {
 #ifdef DV_OBS_ENABLED
   std::uint64_t total = 0;
   double busy = 0.0;
+  std::uint64_t sched_bucketed = 0, sched_heap = 0;
   for (std::uint32_t p = 0; p < parts_.size(); ++p) {
     Partition& part = *parts_[p];
     const std::uint64_t ev_delta = part.processed - part.published;
@@ -166,11 +211,18 @@ void ParallelSimulator::publish_obs(double loop_seconds) {
     part.busy_published = part.busy_seconds;
     total += ev_delta;
     busy += busy_delta;
+    sched_bucketed +=
+        part.queue.pushes_bucketed() - part.sched_bucketed_published;
+    sched_heap += part.queue.pushes_heap() - part.sched_heap_published;
+    part.sched_bucketed_published = part.queue.pushes_bucketed();
+    part.sched_heap_published = part.queue.pushes_heap();
     obs::counter("par.worker" + std::to_string(p) + ".events").add(ev_delta);
     obs::gauge("par.worker" + std::to_string(p) + ".busy_seconds")
         .add(busy_delta);
   }
   obs::counter("par.events_processed").add(total);
+  obs::counter("par.sched.bucket_pushes").add(sched_bucketed);
+  obs::counter("par.sched.heap_pushes").add(sched_heap);
   obs::counter("par.windows").add(windows_);
   obs::gauge("par.run_seconds").add(loop_seconds);
   // Barrier wait: the span the whole run spends not executing events,
@@ -194,10 +246,7 @@ void ParallelSimulator::run_until(SimTime t_end) {
 
   if (!done_) {
     if (parts_.size() == 1) {
-      while (!done_) {
-        process_window(0);
-        advance_window();
-      }
+      run_single_partition();
     } else {
       // Long-lived workers: one per partition, looping process-window /
       // barrier. The completion step runs advance_window with every

@@ -109,7 +109,7 @@ class ParallelSimulator {
   friend class ParallelContext;
 
   struct alignas(64) Partition {
-    EventHeap<Event> queue;
+    BucketSched<Event> queue;  // bucket width = the conservative lookahead
     // outbox[target]: cross-partition events produced by *this* partition
     // during the current window. Single-writer (this partition's worker),
     // read only in the barrier completion step — no lock needed.
@@ -121,9 +121,16 @@ class ParallelSimulator {
     double busy_seconds = 0.0;     // wall time inside process_window (obs)
     std::uint64_t published = 0;   // processed count already flushed to obs
     double busy_published = 0.0;
+    std::uint64_t sched_bucketed_published = 0;
+    std::uint64_t sched_heap_published = 0;
   };
 
   void process_window(std::uint32_t p);
+  /// Single-partition fast path: with one partition no event can cross a
+  /// partition boundary, so run_until drains the queue on a plain
+  /// sequential loop — no windows, barriers, outboxes, or atomics — while
+  /// keeping the pop order (and therefore the output) byte-identical.
+  void run_single_partition();
   /// Barrier completion step: single-threaded while every worker is
   /// parked. Drains outboxes, advances the window or flags termination.
   void advance_window() noexcept;

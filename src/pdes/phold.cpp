@@ -59,6 +59,8 @@ class ParPholdLp : public ParallelLp {
 PholdResult run_phold_sequential(const PholdConfig& cfg) {
   DV_REQUIRE(cfg.lps > 0 && cfg.population > 0, "empty phold model");
   Simulator sim;
+  // Every PHOLD delay is >= lookahead, so it is the natural bucket width.
+  sim.set_bucket_granularity(cfg.lookahead);
   std::vector<std::unique_ptr<SeqPholdLp>> lps;
   lps.reserve(cfg.lps);
   for (std::uint32_t i = 0; i < cfg.lps; ++i) {
