@@ -11,6 +11,7 @@
 //   dragonviz info    --run run.json
 #include "app/cli.hpp"
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -27,6 +28,9 @@
 #include "core/report.hpp"
 #include "core/views.hpp"
 #include "metrics/run_store.hpp"
+#include "serve/catalog.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "trace/trace.hpp"
 #include "util/str.hpp"
 
@@ -40,7 +44,10 @@ struct Args {
   std::map<std::string, std::vector<std::string>> opts;
 
   static bool optional_value(const std::string& key) {
-    return key == "profile" || key == "cache-stats";
+    return key == "profile" || key == "cache-stats" ||
+           // `client` action flags take no value.
+           key == "list" || key == "stats" || key == "render" ||
+           key == "report" || key == "shutdown";
   }
 
   static Args parse(int argc, char** argv, int start) {
@@ -493,6 +500,154 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+serve::Server* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->stop();  // async-signal-safe
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServeOptions opts;
+  opts.listen = args.one_or("listen", opts.listen);
+  opts.workers = static_cast<std::size_t>(
+      args.num_or("workers", static_cast<double>(opts.workers)));
+  opts.max_queue = static_cast<std::size_t>(
+      args.num_or("max-queue", static_cast<double>(opts.max_queue)));
+  opts.max_sessions = static_cast<std::size_t>(
+      args.num_or("max-sessions", static_cast<double>(opts.max_sessions)));
+  opts.cache_capacity = static_cast<std::size_t>(args.num_or(
+      "cache-capacity", static_cast<double>(opts.cache_capacity)));
+  opts.cache_shards = static_cast<std::size_t>(
+      args.num_or("cache-shards", static_cast<double>(opts.cache_shards)));
+  opts.ready_file = args.one_or("ready-file", "");
+
+  serve::Server server(opts);
+  for (const auto& ref : args.many("run")) {
+    const auto [name, path] = serve::split_run_ref(ref);
+    server.catalog().load(path, name);
+    std::printf("preloaded '%s' from %s\n", name.c_str(), path.c_str());
+  }
+
+  g_server = &server;
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  std::printf("dragonviz serve: listening on %s (%zu runs, %zu workers)\n",
+              serve::Address::parse(opts.listen).describe().c_str(),
+              server.catalog().size(), opts.workers);
+  std::fflush(stdout);
+  const int rc = server.listen_and_serve();
+  g_server = nullptr;
+  std::printf("dragonviz serve: stopped\n");
+  return rc;
+}
+
+/// --spec for the client: a preset reference travels as-is; a script file
+/// travels as its contents (the daemon parses the same text the CLI
+/// would, so renders are byte-identical to `dragonviz render`).
+std::string client_spec_payload(const Args& args) {
+  const std::string& ref = args.one("spec");
+  return core::is_preset_ref(ref) ? ref : read_file(ref);
+}
+
+int cmd_client(const Args& args) {
+  auto client = serve::Client::connect(
+      args.one_or("connect", "unix:/tmp/dragonviz.sock"));
+
+  for (const auto& ref : args.many("load")) {
+    const auto [name, path] = serve::split_run_ref(ref);
+    json::Object p;
+    p["path"] = json::Value(path);
+    p["name"] = json::Value(name);
+    const auto r = client.call("load", json::Value(std::move(p)));
+    std::printf("loaded '%s' (%s / %s)\n", r.get_string("name", "").c_str(),
+                r.get_string("workload", "").c_str(),
+                r.get_string("routing", "").c_str());
+  }
+
+  if (args.opts.count("render") != 0) {
+    json::Object p;
+    const std::string run = args.one_or("run", "");
+    if (!run.empty()) p["run"] = json::Value(run);
+    p["spec"] = json::Value(client_spec_payload(args));
+    const std::string w = args.one_or("window", "");
+    if (!w.empty()) {
+      const auto win = parse_time_window(w);
+      p["window"] =
+          json::Value(json::Array{json::Value(win.t0), json::Value(win.t1)});
+    }
+    json::Array focus;
+    for (const auto& f : args.many("focus")) {
+      const auto parts = split(f, ':');
+      DV_REQUIRE(parts.size() == 2, "--focus must be ring:item");
+      focus.push_back(json::Value(json::Array{
+          json::Value(std::stod(parts[0])), json::Value(std::stod(parts[1]))}));
+    }
+    if (!focus.empty()) p["focus"] = json::Value(std::move(focus));
+    if (args.opts.count("size") != 0) {
+      p["size"] = json::Value(args.num_or("size", 800));
+    }
+    if (args.opts.count("title") != 0) {
+      p["title"] = json::Value(args.one("title"));
+    }
+    const auto r = client.call("render", json::Value(std::move(p)));
+    const std::string out = args.one("out");
+    std::ofstream os(out, std::ios::binary);
+    DV_REQUIRE(os.good(), "cannot open: " + out);
+    os << r.at("svg").as_string();
+    std::printf("wrote %s (run '%s', %.0f rings, %.0f ribbons)\n",
+                out.c_str(), r.get_string("run", "").c_str(),
+                r.get_number("rings", 0), r.get_number("ribbons", 0));
+  }
+
+  if (args.opts.count("report") != 0) {
+    json::Object p;
+    json::Array runs;
+    for (const auto& name : args.many("run")) runs.emplace_back(name);
+    if (runs.size() == 1) {
+      p["run"] = runs[0];
+    } else if (!runs.empty()) {
+      p["runs"] = json::Value(std::move(runs));
+    }
+    p["spec"] = json::Value(client_spec_payload(args));
+    if (args.opts.count("title") != 0) {
+      p["title"] = json::Value(args.one("title"));
+    }
+    const auto r = client.call("report", json::Value(std::move(p)));
+    const std::string out = args.one("out");
+    std::ofstream os(out, std::ios::binary);
+    DV_REQUIRE(os.good(), "cannot open: " + out);
+    os << r.at("html").as_string();
+    std::printf("wrote %s\n", out.c_str());
+  }
+
+  if (args.opts.count("list") != 0) {
+    const auto r = client.call("list");
+    std::printf("%-24s %-20s %-12s %-18s %10s\n", "name", "workload",
+                "routing", "placement", "terminals");
+    for (const auto& run : r.at("runs").as_array()) {
+      std::printf("%-24s %-20s %-12s %-18s %10.0f\n",
+                  run.get_string("name", "").c_str(),
+                  run.get_string("workload", "").c_str(),
+                  run.get_string("routing", "").c_str(),
+                  run.get_string("placement", "").c_str(),
+                  run.get_number("terminals", 0));
+    }
+  }
+
+  if (args.opts.count("stats") != 0) {
+    std::printf("%s\n", json::dump(client.call("stats"), 2).c_str());
+  }
+
+  if (args.opts.count("shutdown") != 0) {
+    client.call("shutdown");
+    std::printf("daemon stopping\n");
+  }
+  return 0;
+}
+
 void print_help() {
   std::printf(
       "dragonviz — visual analytics for large-scale dragonfly networks\n\n"
@@ -524,6 +679,16 @@ void print_help() {
       "  report   --run run.json [--run more.json ...] --spec spec.json\n"
       "           --out report.html [--title T] [--window T0:T1]"
       " [--cache-stats]\n"
+      "  serve    [--listen unix:/path|tcp:PORT] [--run [name=]run.json ...]\n"
+      "           [--workers N] [--max-queue N] [--max-sessions N]\n"
+      "           [--cache-capacity N] [--cache-shards N]"
+      " [--ready-file F]\n"
+      "           (multi-tenant query daemon; see docs/SERVE_PROTOCOL.md)\n"
+      "  client   [--connect ADDR] [--load [name=]run.json ...]\n"
+      "           [--render --spec S --out view.svg [--run NAME] [--size PX]\n"
+      "            [--title T] [--window T0:T1] [--focus ring:item]]\n"
+      "           [--report --spec S --out report.html [--run NAME ...]]\n"
+      "           [--list] [--stats] [--shutdown]\n"
       "  trace-record --workload amg --ranks N --bytes B --out t.dvtr\n"
       "  trace-info   --trace t.dvtr\n"
       "  trace-replay --trace t.dvtr --p N --out run.json\n"
@@ -556,6 +721,8 @@ int run_cli(int argc, char** argv) {
   if (cmd == "trace-replay") return cmd_trace_replay(args);
   if (cmd == "report") return cmd_report(args);
   if (cmd == "store") return cmd_store(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "client") return cmd_client(args);
   throw Error("unknown subcommand: " + cmd + " (try --help)");
 }
 

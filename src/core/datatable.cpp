@@ -1,6 +1,7 @@
 #include "core/datatable.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -109,6 +110,31 @@ std::string to_string(Entity e) {
 DataSet::DataSet(const metrics::RunMetrics& run)
     : run_(std::make_shared<metrics::RunMetrics>(run)) {
   build();
+}
+
+std::uint64_t DataSet::next_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+DataSet::DataSet(const DataSet& other)
+    : run_(other.run_),
+      slabs_(other.slabs_),
+      routers_(other.routers_),
+      local_links_(other.local_links_),
+      global_links_(other.global_links_),
+      terminals_(other.terminals_) {}
+
+DataSet& DataSet::operator=(const DataSet& other) {
+  if (this == &other) return *this;
+  run_ = other.run_;
+  slabs_ = other.slabs_;
+  routers_ = other.routers_;
+  local_links_ = other.local_links_;
+  global_links_ = other.global_links_;
+  terminals_ = other.terminals_;
+  uid_ = next_uid();
+  return *this;
 }
 
 void DataSet::build() {

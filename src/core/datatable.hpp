@@ -84,6 +84,13 @@ class DataSet {
   ///                (alias: avg_packet_latency), avg_hops, workload (job id)
   explicit DataSet(const metrics::RunMetrics& run);
 
+  // Copies are independently mutable (add_derived_column), so they take a
+  // fresh uid(); moves keep the source's identity.
+  DataSet(const DataSet& other);
+  DataSet& operator=(const DataSet& other);
+  DataSet(DataSet&&) = default;
+  DataSet& operator=(DataSet&&) = default;
+
   const DataTable& table(Entity e) const;
   const metrics::RunMetrics& run() const { return *run_; }
 
@@ -117,6 +124,12 @@ class DataSet {
   /// Monotonic mutation counter over all entity tables (cache key input).
   std::uint64_t version() const;
 
+  /// Process-unique dataset identity (assigned at construction, never
+  /// reused). Cache keys combine uid() with version() so one ResultCache
+  /// can be shared across many datasets — e.g. the serve daemon's catalog —
+  /// without key collisions between runs.
+  std::uint64_t uid() const { return uid_; }
+
   /// Appends (or replaces) a derived column on one entity table. Bumps
   /// version(), invalidating cached query results.
   void add_derived_column(Entity e, const std::string& name,
@@ -127,8 +140,11 @@ class DataSet {
   void build();
   DataTable& table_mut(Entity e);
 
+  static std::uint64_t next_uid();
+
   std::shared_ptr<const metrics::RunMetrics> run_;
   std::shared_ptr<const TimeSlabs> slabs_;
+  std::uint64_t uid_ = next_uid();
   DataTable routers_, local_links_, global_links_, terminals_;
 };
 

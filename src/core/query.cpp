@@ -66,8 +66,144 @@ void hash_spec(Hasher& h, Entity e, const AggregationSpec& spec) {
 
 }  // namespace
 
+// ------------------------------------------------------------- ResultCache
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards,
+                         std::string obs_scope) {
+  DV_REQUIRE(shards > 0 && (shards & (shards - 1)) == 0,
+             "cache shard count must be a power of two");
+  shard_mask_ = shards - 1;
+  cap_per_shard_ = std::max<std::size_t>(1, (capacity + shards - 1) / shards);
+  shards_ = std::vector<Shard>(shards);
+  if (obs::kEnabled) {
+    obs_hit_ = &obs::counter(obs_scope + ".hit");
+    obs_miss_ = &obs::counter(obs_scope + ".miss");
+    obs_evict_ = &obs::counter(obs_scope + ".evict");
+    obs_slab_build_ = &obs::counter(obs_scope + ".slab_build");
+    obs_slab_reduce_ = &obs::counter(obs_scope + ".slab_reduce");
+    obs_size_ = &obs::gauge(obs_scope + ".size");
+  }
+}
+
+std::shared_ptr<const void> ResultCache::get_or_compute(
+    std::uint64_t key, const std::function<Entry()>& make) {
+  Shard& sh = shard_of(key);
+  std::shared_ptr<InFlight> mine;
+  {
+    std::unique_lock<std::mutex> lock(sh.mu);
+    for (;;) {
+      auto it = sh.index.find(key);
+      if (it != sh.index.end()) {
+        ++sh.stats.hits;
+        if (obs_hit_) obs_hit_->add(1);
+        sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+        return it->second->value;
+      }
+      auto fl = sh.in_flight.find(key);
+      if (fl == sh.in_flight.end()) break;
+      // Someone is computing this exact key right now: join their result
+      // instead of duplicating the work (request coalescing).
+      std::shared_ptr<InFlight> theirs = fl->second;
+      ++sh.stats.hits;
+      ++sh.stats.coalesced;
+      if (obs_hit_) obs_hit_->add(1);
+      theirs->cv.wait(lock, [&] { return theirs->done; });
+      if (!theirs->failed) return theirs->value;
+      // The computing thread threw; fall through and retry ourselves.
+    }
+    ++sh.stats.misses;
+    if (obs_miss_) obs_miss_->add(1);
+    mine = std::make_shared<InFlight>();
+    sh.in_flight.emplace(key, mine);
+  }
+
+  // Compute outside the lock (make may recurse into other cache keys).
+  Entry fresh;
+  std::exception_ptr error;
+  try {
+    fresh = make();
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sh.in_flight.erase(key);
+  mine->done = true;
+  if (error) {
+    mine->failed = true;
+    mine->cv.notify_all();
+    std::rethrow_exception(error);
+  }
+  mine->value = fresh.value;
+  mine->cv.notify_all();
+  sh.lru.push_front(std::move(fresh));
+  sh.index[key] = sh.lru.begin();
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  while (sh.lru.size() > cap_per_shard_) {
+    sh.index.erase(sh.lru.back().key);
+    sh.lru.pop_back();
+    ++sh.stats.evictions;
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    if (obs_evict_) obs_evict_->add(1);
+  }
+  sh.stats.entries = sh.lru.size();
+  if (obs_size_) {
+    obs_size_->set(
+        static_cast<double>(entries_.load(std::memory_order_relaxed)));
+  }
+  return sh.lru.front().value;
+}
+
+QueryStats ResultCache::stats() const {
+  QueryStats out;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    out.hits += sh.stats.hits;
+    out.misses += sh.stats.misses;
+    out.coalesced += sh.stats.coalesced;
+    out.evictions += sh.stats.evictions;
+    out.slab_builds += sh.stats.slab_builds;
+    out.slab_reduces += sh.stats.slab_reduces;
+    out.entries += sh.lru.size();
+  }
+  return out;
+}
+
+void ResultCache::clear() {
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    entries_.fetch_sub(sh.lru.size(), std::memory_order_relaxed);
+    sh.lru.clear();
+    sh.index.clear();
+    sh.stats.entries = 0;
+  }
+}
+
+void ResultCache::count_slab_build() {
+  Shard& sh = shards_[0];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ++sh.stats.slab_builds;
+  if (obs_slab_build_) obs_slab_build_->add(1);
+}
+
+void ResultCache::count_slab_reduce() {
+  Shard& sh = shards_[0];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  ++sh.stats.slab_reduces;
+  if (obs_slab_reduce_) obs_slab_reduce_->add(1);
+}
+
+// ------------------------------------------------------------- QueryEngine
+
 QueryEngine::QueryEngine(const DataSet& data, std::size_t capacity)
-    : data_(&data), capacity_(std::max<std::size_t>(1, capacity)) {}
+    : data_(&data),
+      cache_(std::make_shared<ResultCache>(capacity, /*shards=*/1)) {}
+
+QueryEngine::QueryEngine(const DataSet& data,
+                         std::shared_ptr<ResultCache> cache)
+    : data_(&data), cache_(std::move(cache)) {
+  DV_REQUIRE(cache_ != nullptr, "QueryEngine requires a cache");
+}
 
 bool QueryEngine::grouping_windowed(Entity e,
                                     const AggregationSpec& spec) const {
@@ -105,9 +241,10 @@ std::shared_ptr<const DataTable> QueryEngine::table(Entity e, TimeWindow w) {
   h.u64(static_cast<std::uint64_t>(e));
   h.u64(f0);
   h.u64(f1);
+  h.u64(data_->uid());
   h.u64(data_->version());
-  auto v = get_or_compute(h.h, [&] {
-    Entry en;
+  auto v = cache_->get_or_compute(h.h, [&] {
+    ResultCache::Entry en;
     en.key = h.h;
     en.value = std::make_shared<const DataTable>(
         data_->windowed_table(e, w.t0, w.t1));
@@ -132,9 +269,10 @@ std::shared_ptr<const Aggregation> QueryEngine::aggregate(
   } else {
     h.u64(0);
   }
+  h.u64(data_->uid());
   h.u64(data_->version());
-  auto v = get_or_compute(h.h, [&] {
-    Entry en;
+  auto v = cache_->get_or_compute(h.h, [&] {
+    ResultCache::Entry en;
     en.key = h.h;
     en.value = std::make_shared<const Aggregation>(*tbl, spec);
     en.dep = tbl;  // the Aggregation holds a reference into tbl
@@ -149,8 +287,9 @@ std::shared_ptr<const QueryEngine::GroupSlab> QueryEngine::group_slab(
   h.u64(kSlabKind);
   hash_spec(h, e, spec);
   h.str(attr);
+  h.u64(data_->uid());
   h.u64(data_->version());
-  auto v = get_or_compute(h.h, [&] {
+  auto v = cache_->get_or_compute(h.h, [&] {
     DV_OBS_PHASE("query/slab_build");
     auto agg = aggregate(e, spec);  // window-independent grouping
     const metrics::PrefixSeries& ps = data_->prefix_for(e, attr);
@@ -166,12 +305,8 @@ std::shared_ptr<const QueryEngine::GroupSlab> QueryEngine::group_slab(
         slab->prefix[f * slab->groups + g] = acc;
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.slab_builds;
-    }
-    DV_OBS_COUNT("core.cache.slab_build", 1);
-    Entry en;
+    cache_->count_slab_build();
+    ResultCache::Entry en;
     en.key = h.h;
     en.value = std::move(slab);
     return en;
@@ -207,10 +342,11 @@ std::shared_ptr<const std::vector<double>> QueryEngine::reduce(
   } else {
     h.u64(0);
   }
+  h.u64(data_->uid());
   h.u64(data_->version());
 
-  auto v = get_or_compute(h.h, [&] {
-    Entry en;
+  auto v = cache_->get_or_compute(h.h, [&] {
+    ResultCache::Entry en;
     en.key = h.h;
     if (slab_ok) {
       auto slab = group_slab(e, spec, attr);
@@ -219,11 +355,7 @@ std::shared_ptr<const std::vector<double>> QueryEngine::reduce(
       for (std::size_t g = 0; g < slab->groups; ++g) {
         (*out)[g] = slab->value(g, f0, f1);
       }
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.slab_reduces;
-      }
-      DV_OBS_COUNT("core.cache.slab_reduce", 1);
+      cache_->count_slab_reduce();
       en.value = std::move(out);
     } else if (window_sensitive) {
       // Reuse the grouping (windowed only when it must be) and reduce over
@@ -247,58 +379,9 @@ std::shared_ptr<const std::vector<double>> QueryEngine::reduce(
   return reduce(e, spec, attr, default_reducer(attr));
 }
 
-std::shared_ptr<const void> QueryEngine::get_or_compute(
-    std::uint64_t key, const std::function<Entry()>& make) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      ++stats_.hits;
-      DV_OBS_COUNT("core.cache.hit", 1);
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return it->second->value;
-    }
-    ++stats_.misses;
-    DV_OBS_COUNT("core.cache.miss", 1);
-  }
+QueryStats QueryEngine::stats() const { return cache_->stats(); }
 
-  // Compute outside the lock (make may recurse into the cache).
-  Entry fresh = make();
-
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    // Raced with a concurrent compute of the same key; first insert wins
-    // (both values are bit-identical by the determinism contract).
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->value;
-  }
-  lru_.push_front(std::move(fresh));
-  index_[key] = lru_.begin();
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.evictions;
-    DV_OBS_COUNT("core.cache.evict", 1);
-  }
-  stats_.entries = lru_.size();
-  DV_OBS_GAUGE_SET("core.cache.size", static_cast<double>(lru_.size()));
-  return lru_.front().value;
-}
-
-QueryStats QueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  QueryStats s = stats_;
-  s.entries = lru_.size();
-  return s;
-}
-
-void QueryEngine::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  lru_.clear();
-  index_.clear();
-  stats_.entries = 0;
-}
+void QueryEngine::clear() { cache_->clear(); }
 
 // ----------------------------------------------------------- run_parallel
 

@@ -1,0 +1,83 @@
+#include "serve/catalog.hpp"
+
+#include "metrics/run_metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace dv::serve {
+
+namespace {
+
+std::string derive_name(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (base.size() > 5 && base.substr(base.size() - 5) == ".json") {
+    base = base.substr(0, base.size() - 5);
+  }
+  DV_REQUIRE(!base.empty(), "cannot derive a run name from: " + path);
+  return base;
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> split_run_ref(const std::string& ref) {
+  const auto eq = ref.find('=');
+  if (eq == std::string::npos) return {derive_name(ref), ref};
+  std::string name = ref.substr(0, eq);
+  std::string path = ref.substr(eq + 1);
+  DV_REQUIRE(!name.empty() && !path.empty(),
+             "run reference must be path or name=path, got: " + ref);
+  return {std::move(name), std::move(path)};
+}
+
+RunCatalog::RunCatalog(std::size_t cache_capacity, std::size_t shards)
+    : cache_(std::make_shared<core::ResultCache>(cache_capacity, shards,
+                                                 "serve.cache")) {}
+
+std::shared_ptr<const LoadedRun> RunCatalog::load(const std::string& path,
+                                                  std::string name) {
+  if (name.empty()) name = derive_name(path);
+  // Parse + dataset build happen outside the catalog lock: loading a big
+  // run must not stall sessions querying already-loaded ones.
+  const metrics::RunMetrics run = metrics::RunMetrics::load(path);
+  auto loaded = std::make_shared<const LoadedRun>(
+      name, path, core::DataSet(run), cache_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_[name] = loaded;
+    DV_OBS_GAUGE_SET("serve.catalog.runs", static_cast<double>(runs_.size()));
+  }
+  DV_OBS_COUNT("serve.catalog.loads", 1);
+  return loaded;
+}
+
+std::shared_ptr<const LoadedRun> RunCatalog::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = runs_.find(name);
+  DV_REQUIRE(it != runs_.end(), "no such run: " + name);
+  return it->second;
+}
+
+void RunCatalog::unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = runs_.find(name);
+  DV_REQUIRE(it != runs_.end(), "no such run: " + name);
+  runs_.erase(it);
+  DV_OBS_GAUGE_SET("serve.catalog.runs", static_cast<double>(runs_.size()));
+}
+
+std::size_t RunCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
+}
+
+std::vector<std::shared_ptr<const LoadedRun>> RunCatalog::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const LoadedRun>> out;
+  out.reserve(runs_.size());
+  for (const auto& [name, run] : runs_) out.push_back(run);
+  return out;
+}
+
+}  // namespace dv::serve

@@ -1,0 +1,80 @@
+// RunCatalog — the daemon-resident "data management" tier.
+//
+// The catalog owns every loaded run as an immutable shared LoadedRun: the
+// RunMetrics-derived DataSet, plus one QueryEngine over it. All engines
+// share ONE sharded ResultCache (keys embed each dataset's uid), so a view
+// any session computes — windowed tables, aggregations, group slabs,
+// reductions — is a cache hit for every other session brushing the same
+// run: the cross-session view indexing that VAID / Collaboration Spotting
+// motivate (PAPERS.md), keyed by the canonical spec hashes of PR 3.
+//
+// LoadedRuns are handed out as shared_ptr<const LoadedRun>; a `load` that
+// replaces a name cannot invalidate a session mid-query.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/datatable.hpp"
+#include "core/query.hpp"
+
+namespace dv::serve {
+
+/// One run resident in the daemon: immutable dataset + its query engine.
+struct LoadedRun {
+  std::string name;
+  std::string source_path;
+  core::DataSet data;
+  /// Engine over `data`, computing through the catalog's shared cache.
+  /// QueryEngine is internally synchronized; many sessions use it at once.
+  mutable core::QueryEngine engine;
+
+  LoadedRun(std::string name_, std::string path_, core::DataSet data_,
+            std::shared_ptr<core::ResultCache> cache)
+      : name(std::move(name_)),
+        source_path(std::move(path_)),
+        data(std::move(data_)),
+        engine(data, std::move(cache)) {}
+};
+
+class RunCatalog {
+ public:
+  /// `cache_capacity` bounds cached results across every run; `shards`
+  /// (power of two) bounds lock contention under concurrent sessions.
+  explicit RunCatalog(std::size_t cache_capacity = 1024,
+                      std::size_t shards = 8);
+
+  /// Loads a RunMetrics JSON file under `name` (basename of `path`, minus
+  /// a trailing ".json", when empty). Replaces an existing entry with the
+  /// same name; in-flight references to the old run stay valid. Returns
+  /// the loaded run. Throws dv::Error when the file is unreadable.
+  std::shared_ptr<const LoadedRun> load(const std::string& path,
+                                        std::string name = "");
+
+  /// Looks up a loaded run; throws dv::Error when `name` is unknown.
+  std::shared_ptr<const LoadedRun> get(const std::string& name) const;
+
+  /// Drops `name` from the catalog (sessions holding it keep it alive).
+  void unload(const std::string& name);
+
+  std::size_t size() const;
+  /// Loaded runs in name order.
+  std::vector<std::shared_ptr<const LoadedRun>> list() const;
+
+  const std::shared_ptr<core::ResultCache>& cache() const { return cache_; }
+
+ private:
+  std::shared_ptr<core::ResultCache> cache_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const LoadedRun>> runs_;
+};
+
+/// "name=path" → {name, path}; bare "path" derives the name from the
+/// basename (minus a trailing ".json"). Shared by the CLI and the verbs.
+std::pair<std::string, std::string> split_run_ref(const std::string& ref);
+
+}  // namespace dv::serve

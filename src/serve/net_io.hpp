@@ -1,0 +1,70 @@
+// POSIX stream-socket plumbing for the serve daemon: address parsing
+// ("unix:/path" | "tcp:PORT" | "tcp:HOST:PORT"), listen/connect helpers,
+// and buffered newline-delimited frame I/O.
+//
+// Everything here is blocking; concurrency lives in the Server (one reader
+// per connection, a bounded worker pool for execution). TCP sockets bind
+// the loopback interface only — the daemon speaks a trusting protocol and
+// is not meant to face a hostile network.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dv::serve {
+
+/// A parsed listen/connect address.
+struct Address {
+  enum class Kind { kUnix, kTcp } kind = Kind::kUnix;
+  std::string path;             ///< unix socket path
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  /// Parses "unix:/path", "tcp:PORT", or "tcp:HOST:PORT"; throws dv::Error.
+  static Address parse(const std::string& text);
+  std::string describe() const;
+};
+
+/// Creates a bound + listening socket for `addr` (unlinking a stale unix
+/// socket path first). Returns the listen fd; throws dv::Error on failure.
+int listen_socket(const Address& addr, int backlog = 64);
+
+/// Connects a blocking stream socket to `addr`; throws dv::Error.
+int connect_socket(const Address& addr);
+
+/// Closes `fd` if >= 0 (EINTR-safe, idempotent via the caller resetting).
+void close_fd(int fd);
+
+/// Wakes any thread blocked reading `fd` (shutdown(2) both directions).
+void shutdown_fd(int fd);
+
+/// Buffered reader/writer of newline-delimited frames over one socket.
+/// Reads never return a partial frame; writes always flush the whole frame.
+class FrameStream {
+ public:
+  /// Adopts `fd` (closed on destruction unless released). `max_frame`
+  /// bounds one frame's length; longer input fails the read.
+  explicit FrameStream(int fd, std::size_t max_frame = 8u << 20);
+  ~FrameStream();
+
+  FrameStream(const FrameStream&) = delete;
+  FrameStream& operator=(const FrameStream&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Reads one '\n'-terminated frame (terminator stripped). Returns false
+  /// on clean EOF at a frame boundary; throws dv::Error on I/O errors,
+  /// oversized frames, or EOF mid-frame.
+  bool read_frame(std::string& out);
+
+  /// Writes `frame` plus a trailing '\n'; throws dv::Error on failure.
+  void write_frame(const std::string& frame);
+
+ private:
+  int fd_ = -1;
+  std::size_t max_frame_;
+  std::string buf_;      // bytes read but not yet returned
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+};
+
+}  // namespace dv::serve

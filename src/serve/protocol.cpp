@@ -1,0 +1,67 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace dv::serve {
+
+std::string to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownVerb: return "unknown_verb";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+Request Request::parse(const std::string& frame) {
+  json::Value v;
+  try {
+    v = json::parse(frame);
+  } catch (const Error& e) {
+    throw Error(std::string("bad JSON frame: ") + e.what());
+  }
+  DV_REQUIRE(v.is_object(), "request frame must be a JSON object");
+  Request req;
+  if (const json::Value* id = v.find("id")) {
+    DV_REQUIRE(id->is_number(), "request id must be a number");
+    const double d = id->as_number();
+    DV_REQUIRE(std::floor(d) == d, "request id must be an integer");
+    req.id = static_cast<std::int64_t>(d);
+  }
+  const json::Value* verb = v.find("verb");
+  DV_REQUIRE(verb != nullptr && verb->is_string(),
+             "request needs a string \"verb\"");
+  req.verb = verb->as_string();
+  if (const json::Value* params = v.find("params")) {
+    DV_REQUIRE(params->is_object(), "request \"params\" must be an object");
+    req.params = *params;
+  }
+  return req;
+}
+
+std::string ok_frame(std::int64_t id, json::Value result) {
+  json::Object o;
+  o["id"] = json::Value(id);
+  o["ok"] = json::Value(true);
+  o["result"] = std::move(result);
+  return json::dump(json::Value(std::move(o)));
+}
+
+std::string error_frame(std::int64_t id, ErrorCode code,
+                        const std::string& message) {
+  json::Object err;
+  err["code"] = json::Value(to_string(code));
+  err["message"] = json::Value(message);
+  json::Object o;
+  o["id"] = json::Value(id);
+  o["ok"] = json::Value(false);
+  o["error"] = json::Value(std::move(err));
+  return json::dump(json::Value(std::move(o)));
+}
+
+}  // namespace dv::serve

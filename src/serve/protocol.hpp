@@ -1,0 +1,55 @@
+// Wire protocol of the serve daemon (documented in docs/SERVE_PROTOCOL.md).
+//
+// Framing is one JSON object per '\n'-terminated line, both directions.
+// A request names a verb and carries its parameters; a response echoes the
+// request id and carries either a result object or a structured error:
+//
+//   -> {"id": 1, "verb": "render", "params": {"run": "amg", "spec": "..."}}
+//   <- {"id": 1, "ok": true, "result": {"svg": "<svg ...>"}}
+//   <- {"id": 1, "ok": false,
+//       "error": {"code": "not_found", "message": "no such run: amg"}}
+//
+// The projection-spec language doubles as the message payload (the paper's
+// "specification language" is serializable by construction), so a spec
+// saved from any session replays verbatim against the daemon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "json/json.hpp"
+
+namespace dv::serve {
+
+/// Protocol revision; bumped on incompatible changes. Reported by `hello`.
+inline constexpr int kProtocolVersion = 1;
+
+/// Machine-readable error classes (stable wire strings, see to_string).
+enum class ErrorCode {
+  kParse,        ///< frame is not a JSON object / missing verb
+  kBadRequest,   ///< verb known, params malformed or invalid
+  kUnknownVerb,  ///< verb not in the dispatch table
+  kNotFound,     ///< named run (or file) does not exist
+  kOverloaded,   ///< admission control rejected the request (queue full)
+  kInternal,     ///< unexpected server-side failure
+};
+
+std::string to_string(ErrorCode code);
+
+/// A parsed request frame.
+struct Request {
+  std::int64_t id = 0;  ///< echoed in the response (0 when omitted)
+  std::string verb;
+  json::Value params;   ///< object; Null when omitted
+
+  /// Parses one frame. Throws dv::Error (message suitable for a kParse /
+  /// kBadRequest response) when the frame is not a request object.
+  static Request parse(const std::string& frame);
+};
+
+/// Serialized response frames (compact JSON, no trailing newline).
+std::string ok_frame(std::int64_t id, json::Value result);
+std::string error_frame(std::int64_t id, ErrorCode code,
+                        const std::string& message);
+
+}  // namespace dv::serve

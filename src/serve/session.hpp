@@ -1,0 +1,67 @@
+// Per-connection session state.
+//
+// A Session is created when a client connects and destroyed when the
+// connection closes; it carries the interactive state of the paper's
+// linked-view loop — the selected time window, the active attribute
+// brushes, and a default run — plus per-session request counters surfaced
+// by the `stats` verb. Sessions are owned by their connection thread;
+// only the Server's registry (for counting/teardown) is shared.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/datatable.hpp"
+
+namespace dv::serve {
+
+struct Session {
+  std::uint64_t id = 0;
+
+  /// Default run for verbs that omit "run" (set by `use`, or by the first
+  /// successful `load` on this connection).
+  std::string run_name;
+
+  /// Time window applied to renders/reports that don't carry their own
+  /// (half-open [t0, t1) ns; inactive when !window.active()).
+  core::TimeWindow window;
+
+  /// Attribute brushes, applied as AND-combined spec filters to every
+  /// projection level whose entity carries the brushed attribute.
+  /// Re-brushing an axis replaces its range. Owner-thread only; other
+  /// threads (the aggregate `stats` block) read brush_count instead.
+  std::vector<core::AttrFilter> brushes;
+
+  // Per-session counters. Atomic because any session's `stats` verb sums
+  // them across the registry while owner threads update their own.
+  std::atomic<std::uint64_t> requests{0};  ///< frames dispatched
+  std::atomic<std::uint64_t> renders{0};   ///< render/report verbs executed
+  std::atomic<std::uint64_t> errors{0};    ///< error responses sent
+  std::atomic<std::size_t> brush_count{0};  ///< == brushes.size()
+
+  void brush(const std::string& axis, double lo, double hi) {
+    for (auto& b : brushes) {
+      if (b.attr == axis) {
+        b.lo = lo;
+        b.hi = hi;
+        return;
+      }
+    }
+    core::AttrFilter f;
+    f.attr = axis;
+    f.lo = lo;
+    f.hi = hi;
+    brushes.push_back(f);
+    brush_count.store(brushes.size(), std::memory_order_relaxed);
+  }
+
+  void clear_brushes() {
+    brushes.clear();
+    brush_count.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace dv::serve
