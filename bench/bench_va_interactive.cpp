@@ -11,15 +11,21 @@
 //              are built once, then each window is an O(groups) delta);
 //   cached   — the warmed engine re-answers the same brushes (pure hits).
 //
-// Emits bench_out/BENCH_va.json and checks cached >= 10x cold.
+// Emits bench_out/BENCH_va.json and checks cached >= 10x cold. When a
+// previous BENCH_va.json exists (DV_BENCH_BASELINE overrides the path, as
+// in CI's perf-smoke leg), the windowed/cached per-query rates must stay
+// within 25% of it — the same band as the event-rate gate.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/query.hpp"
+#include "json/json.hpp"
 
 namespace {
 
@@ -59,6 +65,30 @@ struct Mode {
     return queries ? seconds * 1e3 / static_cast<double>(queries) : 0.0;
   }
 };
+
+/// ms_per_query recorded for `mode` in a previous BENCH_va.json, or 0 when
+/// the file is missing/unreadable. `DV_BENCH_BASELINE` overrides the path
+/// (CI points it at the checked-in baseline before this run overwrites the
+/// default location).
+double read_baseline_ms(const std::string& default_path,
+                        const std::string& mode) {
+  const char* env = std::getenv("DV_BENCH_BASELINE");
+  const std::string path = env && *env ? env : default_path;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return 0.0;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    const dv::json::Value v = dv::json::parse(buf.str());
+    for (const auto& m : v.at("modes").as_array()) {
+      if (m.get_string("mode", "") == mode) {
+        return m.get_number("ms_per_query", 0.0);
+      }
+    }
+  } catch (...) {
+  }
+  return 0.0;
+}
 
 }  // namespace
 
@@ -176,6 +206,27 @@ int main(int argc, char** argv) {
                      "group slabs are built once per ring, not per brush");
 
   const std::string path = bench::out_path("BENCH_va.json");
+  // Rate floor vs the checked-in baseline, read before it is overwritten.
+  // windowed sums ~3ms over 120 queries, so a 25% band absorbs runner
+  // jitter while catching real hot-path regressions; cached answers are
+  // sub-microsecond lookups where timer noise dominates, so only a 2x
+  // slowdown is treated as a real regression there.
+  struct Floor {
+    const Mode* mode;
+    double min_ratio;
+  };
+  for (const auto& [m, min_ratio] :
+       {Floor{&windowed, 0.75}, Floor{&cached, 0.5}}) {
+    const double base_ms = read_baseline_ms(path, m->name);
+    if (base_ms <= 0.0) continue;
+    const double ratio = base_ms / m->ms_per_query();  // >1 means faster
+    std::printf("%s vs baseline: %.4f ms/query vs %.4f (%.2fx)\n", m->name,
+                m->ms_per_query(), base_ms, ratio);
+    bench::shape_check(ratio >= min_ratio,
+                       std::string(m->name) + " per-query rate above the " +
+                           (min_ratio >= 0.75 ? "25%" : "2x") +
+                           " regression floor vs the baseline");
+  }
   std::ofstream os(path, std::ios::binary);
   os << "{\n  \"benchmark\": \"va_interactive\",\n"
      << "  \"provenance\": " << bench::provenance_json() << ",\n"

@@ -27,6 +27,7 @@
 #include "core/presets.hpp"
 #include "core/report.hpp"
 #include "core/views.hpp"
+#include "metrics/dvr.hpp"
 #include "metrics/run_store.hpp"
 #include "serve/catalog.hpp"
 #include "serve/client.hpp"
@@ -44,7 +45,7 @@ struct Args {
   std::map<std::string, std::vector<std::string>> opts;
 
   static bool optional_value(const std::string& key) {
-    return key == "profile" || key == "cache-stats" ||
+    return key == "profile" || key == "cache-stats" || key == "lazy" ||
            // `client` action flags take no value.
            key == "list" || key == "stats" || key == "render" ||
            key == "report" || key == "shutdown";
@@ -276,9 +277,12 @@ int cmd_store(const Args& args) {
   metrics::RunStore store(args.one("dir"));
   const std::string action = args.one_or("action", "list");
   if (action == "add") {
+    const auto fmt =
+        metrics::store_format_from_string(args.one_or("format", "text"));
     const auto run = metrics::RunMetrics::load(args.one("run"));
-    const auto name = store.add(run, args.one_or("name", ""));
-    std::printf("stored as '%s'\n", name.c_str());
+    const auto name = store.add(run, args.one_or("name", ""), fmt);
+    std::printf("stored as '%s' (%s)\n", name.c_str(),
+                metrics::to_string(fmt).c_str());
     return 0;
   }
   if (action == "remove") {
@@ -286,15 +290,105 @@ int cmd_store(const Args& args) {
     std::printf("removed '%s'\n", args.one("name").c_str());
     return 0;
   }
-  DV_REQUIRE(action == "list", "store action must be list|add|remove");
-  std::printf("%-40s %-24s %-12s %-22s %10s\n", "name", "workload",
-              "routing", "placement", "terminals");
+  if (action == "repack") {
+    const auto fmt =
+        metrics::store_format_from_string(args.one_or("format", "dvr"));
+    store.repack(args.one("name"), fmt);
+    std::printf("repacked '%s' as %s\n", args.one("name").c_str(),
+                metrics::to_string(fmt).c_str());
+    return 0;
+  }
+  DV_REQUIRE(action == "list",
+             "store action must be list|add|remove|repack");
+  std::printf("%-36s %-20s %-12s %-18s %9s %5s %16s\n", "name", "workload",
+              "routing", "placement", "terminals", "fmt", "uid");
   for (const auto& info : store.list()) {
-    std::printf("%-40s %-24s %-12s %-22s %10u\n", info.name.c_str(),
-                info.workload.c_str(), info.routing.c_str(),
-                info.placement.c_str(), info.terminals);
+    std::printf("%-36s %-20s %-12s %-18s %9u %5s %016llx\n",
+                info.name.c_str(), info.workload.c_str(),
+                info.routing.c_str(), info.placement.c_str(), info.terminals,
+                metrics::to_string(info.format).c_str(),
+                static_cast<unsigned long long>(info.uid));
   }
   std::printf("%zu run(s) in %s\n", store.size(), store.dir().c_str());
+  return 0;
+}
+
+int cmd_pack(const Args& args) {
+  const std::string in = args.one("in");
+  const std::string out = args.one("out");
+  // Output format: --format wins, else the output extension decides.
+  std::string fmt_name = args.one_or("format", "");
+  if (fmt_name.empty()) {
+    fmt_name = out.size() > 4 && out.compare(out.size() - 4, 4, ".dvr") == 0
+                   ? "dvr"
+                   : "text";
+  }
+  const auto fmt = metrics::store_format_from_string(fmt_name);
+  const auto run = metrics::RunMetrics::load(in);
+  if (fmt == metrics::StoreFormat::kPacked) {
+    metrics::save_dvr(run, out);
+  } else {
+    run.save(out);
+  }
+  const auto size_of = [](const std::string& p) {
+    std::ifstream is(p, std::ios::binary | std::ios::ate);
+    return is.good() ? static_cast<long long>(is.tellg()) : 0ll;
+  };
+  const long long in_b = size_of(in), out_b = size_of(out);
+  std::printf("packed %s (%lld bytes) -> %s (%lld bytes, %s, %.2fx)\n",
+              in.c_str(), in_b, out.c_str(), out_b,
+              metrics::to_string(fmt).c_str(),
+              out_b > 0 ? static_cast<double>(in_b) / out_b : 0.0);
+  std::printf("run uid: %016llx\n", static_cast<unsigned long long>(
+                                        metrics::run_content_uid(run)));
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const std::string path = args.one("run");
+  if (!metrics::is_dvr_file(path)) {
+    std::printf("%s: text (JSON) run — no chunk directory; use "
+                "`dragonviz pack` to convert, `info` for run summary\n",
+                path.c_str());
+    return 0;
+  }
+  // Header + directory only: no column payload is touched, which is the
+  // point — this is what a catalog sees before the first query.
+  const metrics::DvrFile f(path);
+  std::printf("%s: dvr v%u, %llu bytes, run uid %016llx\n", path.c_str(),
+              metrics::kDvrVersion,
+              static_cast<unsigned long long>(f.file_bytes()),
+              static_cast<unsigned long long>(f.run_uid()));
+  std::printf("config:   %s / %s / %s\n", f.workload().c_str(),
+              f.routing().c_str(), f.placement().c_str());
+  std::printf("topology: g=%u a=%u p=%u h=%u, end=%.0f ns%s\n", f.groups(),
+              f.routers_per_group(), f.terminals_per_router(),
+              f.global_per_router(), f.end_time(),
+              f.has_time_series() ? ", sampled" : "");
+  // Per-section rollup of the chunk directory.
+  std::map<std::uint16_t, std::pair<std::size_t, std::uint64_t>> sections;
+  std::size_t zero_chunks = 0;
+  for (const auto& c : f.chunks()) {
+    auto& [count, bytes] = sections[c.section];
+    ++count;
+    bytes += c.bytes;
+    if (c.zmin == 0.0 && c.zmax == 0.0) ++zero_chunks;
+  }
+  std::printf("chunks:   %zu total, %zu all-zero (prunable)\n",
+              f.chunks().size(), zero_chunks);
+  for (const auto& [section, cb] : sections) {
+    const char* label = "series";
+    switch (static_cast<metrics::DvrSection>(section)) {
+      case metrics::DvrSection::kLocalLinks: label = "local_links"; break;
+      case metrics::DvrSection::kGlobalLinks: label = "global_links"; break;
+      case metrics::DvrSection::kTerminals: label = "terminals"; break;
+      case metrics::DvrSection::kRouterTallies: label = "router_tallies"; break;
+      default: break;
+    }
+    std::printf("  section %2u (%s): %zu chunk(s), %llu bytes\n", section,
+                label, cb.first,
+                static_cast<unsigned long long>(cb.second));
+  }
   return 0;
 }
 
@@ -522,10 +616,17 @@ int cmd_serve(const Args& args) {
   opts.ready_file = args.one_or("ready-file", "");
 
   serve::Server server(opts);
+  const bool lazy = args.opts.count("lazy") != 0;
   for (const auto& ref : args.many("run")) {
     const auto [name, path] = serve::split_run_ref(ref);
-    server.catalog().load(path, name);
-    std::printf("preloaded '%s' from %s\n", name.c_str(), path.c_str());
+    if (lazy) {
+      server.catalog().attach(path, name);
+      std::printf("attached '%s' from %s (lazy)\n", name.c_str(),
+                  path.c_str());
+    } else {
+      server.catalog().load(path, name);
+      std::printf("preloaded '%s' from %s\n", name.c_str(), path.c_str());
+    }
   }
 
   g_server = &server;
@@ -667,8 +768,13 @@ void print_help() {
       "           [--focus ring:item]   (click-to-focus drill-down)\n"
       "           [--window T0:T1]      (time-window the aggregation, ns)\n"
       "           [--cache-stats] [--profile[=prof.json]]\n"
-      "  store    --dir runs/ [--action list|add|remove]\n"
-      "           [--run run.json] [--name NAME]\n"
+      "  store    --dir runs/ [--action list|add|remove|repack]\n"
+      "           [--run run.json] [--name NAME] [--format text|dvr]\n"
+      "  pack     --in run.json --out run.dvr [--format text|dvr]\n"
+      "           (lossless conversion between text and packed columnar\n"
+      "           runs; every reader accepts both, bit-identically)\n"
+      "  inspect  --run run.dvr   (header, chunk directory, zone maps —\n"
+      "           reads no column payload; see docs/RUN_FORMAT.md)\n"
       "  session  --run run.json --spec spec.json --out ui.svg\n"
       "           [--t0 NS --t1 NS | --window T0:T1] [--brush axis:lo:hi]\n"
       "           [--cache-stats]\n"
@@ -680,6 +786,8 @@ void print_help() {
       "           --out report.html [--title T] [--window T0:T1]"
       " [--cache-stats]\n"
       "  serve    [--listen unix:/path|tcp:PORT] [--run [name=]run.json ...]\n"
+      "           [--lazy]  (attach preloads without materializing; runs\n"
+      "           parse on first use — sweep-scale catalogs open instantly)\n"
       "           [--workers N] [--max-queue N] [--max-sessions N]\n"
       "           [--cache-capacity N] [--cache-shards N]"
       " [--ready-file F]\n"
@@ -721,6 +829,8 @@ int run_cli(int argc, char** argv) {
   if (cmd == "trace-replay") return cmd_trace_replay(args);
   if (cmd == "report") return cmd_report(args);
   if (cmd == "store") return cmd_store(args);
+  if (cmd == "pack") return cmd_pack(args);
+  if (cmd == "inspect") return cmd_inspect(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "client") return cmd_client(args);
   throw Error("unknown subcommand: " + cmd + " (try --help)");

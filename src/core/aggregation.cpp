@@ -4,6 +4,7 @@
 #include <map>
 
 #include "obs/obs.hpp"
+#include "util/kernels.hpp"
 #include "util/str.hpp"
 
 namespace dv::core {
@@ -21,24 +22,46 @@ Aggregation::Aggregation(const DataTable& table, AggregationSpec spec)
 void Aggregation::build() {
   const DataTable& t = *table_;
 
-  // 1. Filter.
+  // 1. Filter — column-at-a-time predicate masks instead of the old
+  // row-at-a-time short-circuit loop. Column extents act as table-level
+  // zone maps: a filter whose range covers the whole column is dropped
+  // before any scan, and one disjoint from it empties the result outright.
+  // Either way the surviving rows are exactly those of the scalar loop:
+  // filter_range_mask keeps NaN cells like the original predicate did, and
+  // the extent skips are exact because metric columns are NaN-free.
   filtered_rows_.clear();
-  filtered_rows_.reserve(t.rows());
+  bool disjoint = false;
   std::vector<const std::vector<double>*> fcols;
+  std::vector<std::pair<double, double>> fbounds;
   for (const auto& f : spec_.filters) {
     DV_REQUIRE(f.lo <= f.hi, "filter range inverted for " + f.attr);
-    fcols.push_back(&t.column(f.attr));
+    const auto& col = t.column(f.attr);
+    const auto [lo, hi] = t.extent(f.attr);
+    if (t.rows() > 0 && (f.hi < lo || f.lo > hi)) {
+      disjoint = true;
+      break;
+    }
+    if (f.lo <= lo && hi <= f.hi) continue;  // passes every row
+    fcols.push_back(&col);
+    fbounds.emplace_back(f.lo, f.hi);
   }
-  for (std::uint32_t r = 0; r < t.rows(); ++r) {
-    bool keep = true;
-    for (std::size_t i = 0; i < fcols.size(); ++i) {
-      const double v = (*fcols[i])[r];
-      if (v < spec_.filters[i].lo || v > spec_.filters[i].hi) {
-        keep = false;
-        break;
+  if (!disjoint) {
+    filtered_rows_.reserve(t.rows());
+    if (fcols.empty()) {
+      for (std::uint32_t r = 0; r < t.rows(); ++r) {
+        filtered_rows_.push_back(r);
+      }
+    } else {
+      std::vector<unsigned char> keep(t.rows(), 1);
+      for (std::size_t i = 0; i < fcols.size(); ++i) {
+        kernels::filter_range_mask(fcols[i]->data(), t.rows(),
+                                   fbounds[i].first, fbounds[i].second,
+                                   keep.data());
+      }
+      for (std::uint32_t r = 0; r < t.rows(); ++r) {
+        if (keep[r]) filtered_rows_.push_back(r);
       }
     }
-    if (keep) filtered_rows_.push_back(r);
   }
   DV_OBS_COUNT("core.agg.rows_in", t.rows());
   DV_OBS_COUNT("core.agg.rows_kept", filtered_rows_.size());
@@ -79,14 +102,19 @@ void Aggregation::build() {
     binned_ = true;
     const std::size_t bucket_size =
         std::max<std::size_t>(1, first_distinct.size() / spec_.max_bins);
-    std::map<double, double> bin_of;
-    for (std::size_t i = 0; i < first_distinct.size(); ++i) {
-      bin_of[first_distinct[i]] = static_cast<double>(i / bucket_size);
-    }
+    // first_distinct is sorted and every key[0] is a member, so a binary
+    // search gives the same rank -> bin mapping the old std::map lookup
+    // did, without building (and rebalancing) a tree of doubles.
+    auto bin_of = [&](double v) {
+      const auto it = std::lower_bound(first_distinct.begin(),
+                                       first_distinct.end(), v);
+      const auto rank = static_cast<std::size_t>(it - first_distinct.begin());
+      return static_cast<double>(rank / bucket_size);
+    };
     std::map<std::vector<double>, std::vector<std::uint32_t>> rebinned;
     for (auto& [key, rows] : buckets) {
       std::vector<double> nk = key;
-      nk[0] = bin_of[key[0]];
+      nk[0] = bin_of(key[0]);
       auto& dst = rebinned[std::move(nk)];
       dst.insert(dst.end(), rows.begin(), rows.end());
     }
@@ -124,7 +152,9 @@ std::vector<double> Aggregation::reduce_over(const DataTable& t,
     double acc = 0.0;
     switch (r) {
       case Reducer::kSum:
-        for (std::uint32_t row : g.rows) acc += col[row];
+        // Same row order, same accumulation order — gather_sum only hoists
+        // the bounds checks and base pointer out of the loop.
+        acc = kernels::gather_sum(col.data(), g.rows.data(), g.rows.size());
         break;
       case Reducer::kMean: {
         double wsum = 0.0;

@@ -6,11 +6,25 @@
 #include <limits>
 #include <map>
 
+#include "util/kernels.hpp"
 #include "util/str.hpp"
 
 namespace dv::core {
 
 // ----------------------------------------------------------------- DataTable
+
+namespace {
+
+// Whole-column zone map, computed once per mutation so the const accessor
+// never writes (concurrent readers share tables lock-free in serve).
+std::pair<double, double> column_extent(const std::vector<double>& col) {
+  if (col.empty()) return {0.0, 0.0};
+  double lo = 0.0, hi = 0.0;
+  kernels::minmax_f64(col.data(), col.size(), lo, hi);
+  return {lo, hi};
+}
+
+}  // namespace
 
 void DataTable::add_column(const std::string& name,
                            std::vector<double> values) {
@@ -21,6 +35,7 @@ void DataTable::add_column(const std::string& name,
   DV_REQUIRE(values.size() == rows_,
              "column length mismatch for '" + name + "'");
   names_.push_back(name);
+  extents_.push_back(column_extent(values));
   columns_.push_back(std::move(values));
   ++version_;
 }
@@ -31,6 +46,7 @@ void DataTable::set_column(const std::string& name,
              "column length mismatch for '" + name + "'");
   for (std::size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) {
+      extents_[i] = column_extent(values);
       columns_[i] = std::move(values);
       ++version_;
       return;
@@ -59,15 +75,11 @@ double DataTable::at(const std::string& name, std::size_t row) const {
 }
 
 std::pair<double, double> DataTable::extent(const std::string& name) const {
-  const auto& col = column(name);
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -std::numeric_limits<double>::infinity();
-  for (double v : col) {
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return extents_[i];
   }
-  if (col.empty()) return {0.0, 0.0};
-  return {lo, hi};
+  throw Error("no such column: '" + name + "' (available: " +
+              join(names_, ", ") + ")");
 }
 
 std::pair<double, double> DataTable::extent(

@@ -42,6 +42,9 @@ class DataTable {
   double at(const std::string& name, std::size_t row) const;
 
   /// Min/max of a column over a row subset (empty subset = all rows).
+  /// Whole-column extents are precomputed at add/set time (table-level
+  /// zone maps), so this overload is O(1) and safe to call from concurrent
+  /// readers; the row-subset overload still scans its subset.
   std::pair<double, double> extent(const std::string& name) const;
   std::pair<double, double> extent(
       const std::string& name, const std::vector<std::uint32_t>& rows) const;
@@ -51,6 +54,7 @@ class DataTable {
   std::uint64_t version_ = 0;
   std::vector<std::string> names_;
   std::vector<std::vector<double>> columns_;
+  std::vector<std::pair<double, double>> extents_;  // parallel to columns_
 };
 
 /// Entity classes in a Dragonfly run (Fig. 2a).

@@ -297,11 +297,18 @@ std::shared_ptr<const QueryEngine::GroupSlab> QueryEngine::group_slab(
     slab->groups = agg->size();
     slab->frames = ps.frames();
     slab->prefix.assign((slab->frames + 1) * slab->groups, 0.0);
+    // Raw prefix-slab indexing: range_sum(row, 0, f) is the prefix delta
+    // P[f*E + row] - P[row]. Hoisting the frame base pointer out of the
+    // row loop drops the per-element bounds checks and index math while
+    // keeping the accumulation order (and therefore the bits) unchanged.
+    const double* prefix = ps.prefix_data();
+    const std::size_t entities = ps.entities();
     for (std::size_t g = 0; g < slab->groups; ++g) {
       const auto& rows = agg->groups()[g].rows;
       for (std::size_t f = 1; f <= slab->frames; ++f) {
+        const double* frame = prefix + f * entities;
         double acc = 0.0;
-        for (std::uint32_t row : rows) acc += ps.range_sum(row, 0, f);
+        for (std::uint32_t row : rows) acc += frame[row] - prefix[row];
         slab->prefix[f * slab->groups + g] = acc;
       }
     }

@@ -1,0 +1,776 @@
+#include "metrics/dvr.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/obs.hpp"
+#include "util/kernels.hpp"
+
+namespace dv::metrics {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'V', 'R', '1'};
+
+struct Stats {
+  std::atomic<std::uint64_t> opens{0};
+  std::atomic<std::uint64_t> bytes_mapped{0};
+  std::atomic<std::uint64_t> chunks_read{0};
+  std::atomic<std::uint64_t> chunk_bytes_read{0};
+  std::atomic<std::uint64_t> chunks_pruned{0};
+};
+Stats& stats() {
+  static Stats s;
+  return s;
+}
+
+// ----------------------------------------------------- byte-level helpers
+// All multi-byte values are little-endian. The writer/reader memcpy
+// through byte buffers (no packed-struct aliasing); dragonviz targets
+// little-endian hosts, which keeps these memcpys copy-through.
+
+class ByteWriter {
+ public:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  template <typename T>
+  void pod(T v) {
+    raw(&v, sizeof(v));
+  }
+  void str(const std::string& s) {
+    pod(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<unsigned char>& bytes() const { return buf_; }
+  /// Patches a previously written POD in place (for offsets known late).
+  template <typename T>
+  void patch(std::size_t at, T v) {
+    DV_CHECK(at + sizeof(v) <= buf_.size(), "dvr patch out of range");
+    std::memcpy(buf_.data() + at, &v, sizeof(v));
+  }
+
+ private:
+  std::vector<unsigned char> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* p, std::uint64_t n) : p_(p), n_(n) {}
+  template <typename T>
+  T pod() {
+    T v;
+    DV_REQUIRE(at_ + sizeof(v) <= n_, "truncated .dvr file");
+    std::memcpy(&v, p_ + at_, sizeof(v));
+    at_ += sizeof(v);
+    return v;
+  }
+  std::string str() {
+    const auto len = pod<std::uint32_t>();
+    DV_REQUIRE(at_ + len <= n_, "truncated .dvr string");
+    std::string s(reinterpret_cast<const char*>(p_ + at_), len);
+    at_ += len;
+    return s;
+  }
+  void seek(std::uint64_t at) {
+    DV_REQUIRE(at <= n_, "bad .dvr offset");
+    at_ = at;
+  }
+  std::uint64_t at() const { return at_; }
+
+ private:
+  const unsigned char* p_;
+  std::uint64_t n_;
+  std::uint64_t at_ = 0;
+};
+
+// -------------------------------------------------------------- column IO
+
+/// Extracts one field of a record vector into a contiguous typed buffer.
+template <typename T, typename Rec, typename F>
+std::vector<T> gather_field(const std::vector<Rec>& recs, F get) {
+  std::vector<T> out(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) out[i] = get(recs[i]);
+  return out;
+}
+
+template <typename T>
+void zone_map(const std::vector<T>& v, double& zmin, double& zmax) {
+  zmin = zmax = 0.0;
+  if (v.empty()) return;
+  if constexpr (std::is_same_v<T, double>) {
+    kernels::minmax_f64(v.data(), v.size(), zmin, zmax);
+  } else if constexpr (std::is_same_v<T, float>) {
+    float lo = 0.0f, hi = 0.0f;
+    kernels::minmax_f32(v.data(), v.size(), lo, hi);
+    zmin = lo;
+    zmax = hi;
+  } else {
+    T lo = v[0], hi = v[0];
+    for (const T x : v) {
+      lo = x < lo ? x : lo;
+      hi = x > hi ? x : hi;
+    }
+    zmin = static_cast<double>(lo);
+    zmax = static_cast<double>(hi);
+  }
+}
+
+template <typename T>
+DvrType dvr_type_of() {
+  if constexpr (std::is_same_v<T, double>) return DvrType::kF64;
+  if constexpr (std::is_same_v<T, float>) return DvrType::kF32;
+  if constexpr (std::is_same_v<T, std::uint32_t>) return DvrType::kU32;
+  if constexpr (std::is_same_v<T, std::uint64_t>) return DvrType::kU64;
+  return DvrType::kI32;
+}
+
+struct PendingChunk {
+  DvrChunk meta;
+  std::vector<unsigned char> payload;
+};
+
+class ChunkSink {
+ public:
+  template <typename T>
+  void add(DvrSection section, std::uint16_t column,
+           const std::vector<T>& values, std::uint64_t row0 = 0) {
+    PendingChunk c;
+    c.meta.section = static_cast<std::uint16_t>(section);
+    c.meta.column = column;
+    c.meta.dtype = static_cast<std::uint16_t>(dvr_type_of<T>());
+    c.meta.rows = values.size();
+    c.meta.row0 = row0;
+    c.meta.bytes = values.size() * sizeof(T);
+    zone_map(values, c.meta.zmin, c.meta.zmax);
+    c.payload.resize(c.meta.bytes);
+    std::memcpy(c.payload.data(), values.data(), c.meta.bytes);
+    chunks_.push_back(std::move(c));
+  }
+  std::vector<PendingChunk>& chunks() { return chunks_; }
+
+ private:
+  std::vector<PendingChunk> chunks_;
+};
+
+void write_links(ChunkSink& sink, DvrSection s,
+                 const std::vector<LinkMetrics>& links) {
+  using L = LinkMetrics;
+  sink.add(s, 0, gather_field<std::uint32_t, L>(
+                     links, [](const L& l) { return l.src_router; }));
+  sink.add(s, 1, gather_field<std::uint32_t, L>(
+                     links, [](const L& l) { return l.src_port; }));
+  sink.add(s, 2, gather_field<std::uint32_t, L>(
+                     links, [](const L& l) { return l.dst_router; }));
+  sink.add(s, 3, gather_field<std::uint32_t, L>(
+                     links, [](const L& l) { return l.dst_port; }));
+  sink.add(s, 4, gather_field<double, L>(
+                     links, [](const L& l) { return l.traffic; }));
+  sink.add(s, 5, gather_field<double, L>(
+                     links, [](const L& l) { return l.sat_time; }));
+  sink.add(s, 6, gather_field<double, L>(
+                     links, [](const L& l) { return l.downtime; }));
+  sink.add(s, 7, gather_field<std::uint64_t, L>(
+                     links, [](const L& l) { return l.retries; }));
+  sink.add(s, 8, gather_field<std::uint64_t, L>(
+                     links, [](const L& l) { return l.pkts_dropped; }));
+}
+
+void write_terminals(ChunkSink& sink,
+                     const std::vector<TerminalMetrics>& terms) {
+  using T = TerminalMetrics;
+  const auto s = DvrSection::kTerminals;
+  sink.add(s, 0, gather_field<std::uint32_t, T>(
+                     terms, [](const T& t) { return t.router; }));
+  sink.add(s, 1, gather_field<std::uint32_t, T>(
+                     terms, [](const T& t) { return t.port; }));
+  sink.add(s, 2, gather_field<double, T>(
+                     terms, [](const T& t) { return t.data_size; }));
+  sink.add(s, 3, gather_field<double, T>(
+                     terms, [](const T& t) { return t.sat_time; }));
+  sink.add(s, 4, gather_field<std::uint64_t, T>(
+                     terms, [](const T& t) { return t.packets_finished; }));
+  sink.add(s, 5, gather_field<double, T>(
+                     terms, [](const T& t) { return t.sum_latency; }));
+  sink.add(s, 6, gather_field<double, T>(
+                     terms, [](const T& t) { return t.sum_hops; }));
+  sink.add(s, 7, gather_field<std::int32_t, T>(
+                     terms, [](const T& t) { return t.job; }));
+  sink.add(s, 8, gather_field<std::uint64_t, T>(
+                     terms, [](const T& t) { return t.packets_rerouted; }));
+  sink.add(s, 9, gather_field<std::uint64_t, T>(
+                     terms, [](const T& t) { return t.packets_dropped; }));
+  sink.add(s, 10, gather_field<double, T>(
+                      terms, [](const T& t) { return t.downtime; }));
+}
+
+const SampledSeries* series_of(const RunMetrics& run, std::size_t id) {
+  switch (id) {
+    case 0: return &run.local_traffic_ts;
+    case 1: return &run.local_sat_ts;
+    case 2: return &run.global_traffic_ts;
+    case 3: return &run.global_sat_ts;
+    case 4: return &run.term_traffic_ts;
+    case 5: return &run.term_sat_ts;
+  }
+  return nullptr;
+}
+
+void write_series(ChunkSink& sink, std::size_t id, const SampledSeries& s) {
+  const auto section =
+      static_cast<DvrSection>(static_cast<std::uint16_t>(
+                                  DvrSection::kSeriesBase) +
+                              id);
+  const std::size_t entities = s.entities();
+  const std::size_t frames = s.frames();
+  std::uint16_t ordinal = 0;
+  for (std::size_t f0 = 0; f0 < frames; f0 += kDvrSeriesChunkFrames) {
+    const std::size_t nf = std::min(kDvrSeriesChunkFrames, frames - f0);
+    std::vector<float> chunk(s.data() + f0 * entities,
+                             s.data() + (f0 + nf) * entities);
+    sink.add(section, ordinal++, chunk, f0);
+  }
+  // A sampled-but-empty series (entities > 0, no frames yet) still needs
+  // its shape recorded; an explicit empty chunk does that.
+  if (frames == 0 && entities > 0) {
+    sink.add(section, 0, std::vector<float>{}, 0);
+  }
+}
+
+}  // namespace
+
+std::size_t dvr_type_size(DvrType t) {
+  switch (t) {
+    case DvrType::kF64: return 8;
+    case DvrType::kF32: return 4;
+    case DvrType::kU32: return 4;
+    case DvrType::kU64: return 8;
+    case DvrType::kI32: return 4;
+  }
+  throw Error("unknown .dvr dtype");
+}
+
+// ----------------------------------------------------------- content uid
+
+std::uint64_t run_content_uid(const RunMetrics& run) {
+  // FNV-1a over a canonical byte stream of every field, column-major in
+  // the same order the writer emits chunks, so uid computation and file
+  // layout can never drift apart silently.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto pod = [&mix](auto v) { mix(&v, sizeof(v)); };
+  auto str = [&](const std::string& s) {
+    pod(static_cast<std::uint64_t>(s.size()));
+    mix(s.data(), s.size());
+  };
+  pod(run.groups);
+  pod(run.routers_per_group);
+  pod(run.terminals_per_router);
+  pod(run.global_per_router);
+  str(run.workload);
+  str(run.routing);
+  str(run.placement);
+  pod(run.seed);
+  pod(run.end_time);
+  pod(static_cast<std::uint64_t>(run.job_names.size()));
+  for (const auto& n : run.job_names) str(n);
+  auto links = [&](const std::vector<LinkMetrics>& ls) {
+    pod(static_cast<std::uint64_t>(ls.size()));
+    for (const auto& l : ls) {
+      pod(l.src_router);
+      pod(l.src_port);
+      pod(l.dst_router);
+      pod(l.dst_port);
+      pod(l.traffic);
+      pod(l.sat_time);
+      pod(l.downtime);
+      pod(l.retries);
+      pod(l.pkts_dropped);
+    }
+  };
+  links(run.local_links);
+  links(run.global_links);
+  pod(static_cast<std::uint64_t>(run.terminals.size()));
+  for (const auto& t : run.terminals) {
+    pod(t.router);
+    pod(t.port);
+    pod(t.data_size);
+    pod(t.sat_time);
+    pod(t.packets_finished);
+    pod(t.sum_latency);
+    pod(t.sum_hops);
+    pod(t.job);
+    pod(t.packets_rerouted);
+    pod(t.packets_dropped);
+    pod(t.downtime);
+  }
+  pod(static_cast<std::uint64_t>(run.router_downtime.size()));
+  for (const double d : run.router_downtime) pod(d);
+  pod(static_cast<std::uint64_t>(run.router_retries.size()));
+  for (const std::uint64_t c : run.router_retries) pod(c);
+  pod(static_cast<std::uint64_t>(run.router_drops.size()));
+  for (const std::uint64_t c : run.router_drops) pod(c);
+  pod(run.sample_dt);
+  for (std::size_t id = 0; id < kDvrSeriesCount; ++id) {
+    const SampledSeries& s = *series_of(run, id);
+    pod(static_cast<std::uint64_t>(s.entities()));
+    pod(static_cast<std::uint64_t>(s.frames()));
+    mix(s.data(), s.frames() * s.entities() * sizeof(float));
+  }
+  return h;
+}
+
+// ----------------------------------------------------------------- writer
+
+void save_dvr(const RunMetrics& run, const std::string& path) {
+  ChunkSink sink;
+  write_links(sink, DvrSection::kLocalLinks, run.local_links);
+  write_links(sink, DvrSection::kGlobalLinks, run.global_links);
+  write_terminals(sink, run.terminals);
+  if (!run.router_downtime.empty()) {
+    sink.add(DvrSection::kRouterTallies, 0, run.router_downtime);
+  }
+  if (!run.router_retries.empty()) {
+    sink.add(DvrSection::kRouterTallies, 1, run.router_retries);
+  }
+  if (!run.router_drops.empty()) {
+    sink.add(DvrSection::kRouterTallies, 2, run.router_drops);
+  }
+  if (run.has_time_series()) {
+    for (std::size_t id = 0; id < kDvrSeriesCount; ++id) {
+      write_series(sink, id, *series_of(run, id));
+    }
+  }
+
+  ByteWriter w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.pod(kDvrVersion);
+  w.pod(run_content_uid(run));
+  w.pod(run.groups);
+  w.pod(run.routers_per_group);
+  w.pod(run.terminals_per_router);
+  w.pod(run.global_per_router);
+  w.pod(run.seed);
+  w.pod(run.end_time);
+  w.pod(run.sample_dt);
+  w.pod(static_cast<std::uint32_t>(run.local_links.size()));
+  w.pod(static_cast<std::uint32_t>(run.global_links.size()));
+  w.pod(static_cast<std::uint32_t>(run.terminals.size()));
+  w.pod(static_cast<std::uint32_t>(run.router_downtime.size()));
+  w.pod(static_cast<std::uint32_t>(sink.chunks().size()));
+  const std::size_t dir_offset_at = w.size();
+  w.pod(static_cast<std::uint64_t>(0));  // chunk directory offset (patched)
+  w.str(run.workload);
+  w.str(run.routing);
+  w.str(run.placement);
+  w.pod(static_cast<std::uint32_t>(run.job_names.size()));
+  for (const auto& n : run.job_names) w.str(n);
+
+  // Chunk payloads, 8-byte aligned so mmap'd doubles are naturally
+  // aligned for direct memcpy-free reads.
+  for (auto& c : sink.chunks()) {
+    while (w.size() % 8 != 0) w.pod(static_cast<unsigned char>(0));
+    c.meta.offset = w.size();
+    w.raw(c.payload.data(), c.payload.size());
+  }
+
+  const std::uint64_t dir_offset = w.size();
+  w.patch(dir_offset_at, dir_offset);
+  for (const auto& c : sink.chunks()) {
+    w.pod(c.meta.section);
+    w.pod(c.meta.column);
+    w.pod(c.meta.dtype);
+    w.pod(static_cast<std::uint16_t>(0));  // reserved
+    w.pod(c.meta.offset);
+    w.pod(c.meta.bytes);
+    w.pod(c.meta.rows);
+    w.pod(c.meta.row0);
+    w.pod(c.meta.zmin);
+    w.pod(c.meta.zmax);
+  }
+
+  // Atomic publish: a crashed writer leaves at worst a stale .tmp, never
+  // a torn .dvr a catalog could open.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    DV_REQUIRE(os.good(), "cannot open for writing: " + tmp);
+    os.write(reinterpret_cast<const char*>(w.bytes().data()),
+             static_cast<std::streamsize>(w.size()));
+    DV_REQUIRE(os.good(), "write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw Error("cannot rename " + tmp + " -> " + path);
+  }
+}
+
+bool is_dvr_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  return is.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kMagic, sizeof(magic)) == 0;
+}
+
+RunMetrics load_dvr(const std::string& path) {
+  return DvrFile(path).load_all();
+}
+
+// ----------------------------------------------------------------- reader
+
+DvrStats dvr_stats() {
+  DvrStats out;
+  Stats& s = stats();
+  out.opens = s.opens.load(std::memory_order_relaxed);
+  out.bytes_mapped = s.bytes_mapped.load(std::memory_order_relaxed);
+  out.chunks_read = s.chunks_read.load(std::memory_order_relaxed);
+  out.chunk_bytes_read = s.chunk_bytes_read.load(std::memory_order_relaxed);
+  out.chunks_pruned = s.chunks_pruned.load(std::memory_order_relaxed);
+  return out;
+}
+
+void dvr_reset_stats() {
+  Stats& s = stats();
+  s.opens.store(0, std::memory_order_relaxed);
+  s.bytes_mapped.store(0, std::memory_order_relaxed);
+  s.chunks_read.store(0, std::memory_order_relaxed);
+  s.chunk_bytes_read.store(0, std::memory_order_relaxed);
+  s.chunks_pruned.store(0, std::memory_order_relaxed);
+}
+
+DvrFile::DvrFile(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  DV_REQUIRE(fd_ >= 0, "cannot open for reading: " + path);
+  struct stat st = {};
+  if (::fstat(fd_, &st) != 0 || st.st_size <= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot stat .dvr file: " + path);
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+  if (m != MAP_FAILED) {
+    map_ = static_cast<const unsigned char*>(m);
+  } else {
+    // mmap can fail on exotic filesystems; fall back to a full read so
+    // the format stays usable (at the cost of laziness).
+    fallback_.resize(size_);
+    std::uint64_t got = 0;
+    while (got < size_) {
+      const ssize_t r = ::read(fd_, fallback_.data() + got, size_ - got);
+      if (r <= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw Error("cannot read .dvr file: " + path);
+      }
+      got += static_cast<std::uint64_t>(r);
+    }
+    map_ = fallback_.data();
+  }
+  stats().opens.fetch_add(1, std::memory_order_relaxed);
+  stats().bytes_mapped.fetch_add(size_, std::memory_order_relaxed);
+  DV_OBS_COUNT("metrics.dvr.opens", 1);
+
+  try {
+    ByteReader r(map_, size_);
+    char magic[4];
+    std::memcpy(magic, map_, sizeof(magic));
+    r.seek(sizeof(magic));
+    DV_REQUIRE(std::memcmp(magic, kMagic, sizeof(magic)) == 0,
+               "not a .dvr file: " + path);
+    const auto version = r.pod<std::uint32_t>();
+    DV_REQUIRE(version == kDvrVersion,
+               "unsupported .dvr version " + std::to_string(version) +
+                   " in " + path + " (reader supports " +
+                   std::to_string(kDvrVersion) + ")");
+    run_uid_ = r.pod<std::uint64_t>();
+    groups_ = r.pod<std::uint32_t>();
+    routers_per_group_ = r.pod<std::uint32_t>();
+    terminals_per_router_ = r.pod<std::uint32_t>();
+    global_per_router_ = r.pod<std::uint32_t>();
+    seed_ = r.pod<std::uint64_t>();
+    end_time_ = r.pod<double>();
+    sample_dt_ = r.pod<double>();
+    n_local_ = r.pod<std::uint32_t>();
+    n_global_ = r.pod<std::uint32_t>();
+    n_terminals_ = r.pod<std::uint32_t>();
+    n_tallies_ = r.pod<std::uint32_t>();
+    const auto n_chunks = r.pod<std::uint32_t>();
+    const auto dir_offset = r.pod<std::uint64_t>();
+    workload_ = r.str();
+    routing_ = r.str();
+    placement_ = r.str();
+    const auto n_jobs = r.pod<std::uint32_t>();
+    job_names_.reserve(n_jobs);
+    for (std::uint32_t i = 0; i < n_jobs; ++i) job_names_.push_back(r.str());
+
+    r.seek(dir_offset);
+    chunks_.reserve(n_chunks);
+    for (std::uint32_t i = 0; i < n_chunks; ++i) {
+      DvrChunk c;
+      c.section = r.pod<std::uint16_t>();
+      c.column = r.pod<std::uint16_t>();
+      c.dtype = r.pod<std::uint16_t>();
+      r.pod<std::uint16_t>();  // reserved
+      c.offset = r.pod<std::uint64_t>();
+      c.bytes = r.pod<std::uint64_t>();
+      c.rows = r.pod<std::uint64_t>();
+      c.row0 = r.pod<std::uint64_t>();
+      c.zmin = r.pod<double>();
+      c.zmax = r.pod<double>();
+      DV_REQUIRE(c.offset + c.bytes <= size_,
+                 "chunk past end of .dvr file: " + path);
+      DV_REQUIRE(c.bytes ==
+                     c.rows * dvr_type_size(static_cast<DvrType>(c.dtype)),
+                 "chunk size/dtype mismatch in " + path);
+      chunks_.push_back(c);
+    }
+  } catch (...) {
+    if (map_ != nullptr && fallback_.empty()) {
+      ::munmap(const_cast<unsigned char*>(map_), size_);
+    }
+    ::close(fd_);
+    throw;
+  }
+}
+
+DvrFile::~DvrFile() {
+  if (map_ != nullptr && fallback_.empty()) {
+    ::munmap(const_cast<unsigned char*>(map_), size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+const unsigned char* DvrFile::payload(const DvrChunk& c) const {
+  stats().chunks_read.fetch_add(1, std::memory_order_relaxed);
+  stats().chunk_bytes_read.fetch_add(c.bytes, std::memory_order_relaxed);
+  DV_OBS_COUNT("metrics.dvr.chunks_read", 1);
+  return map_ + c.offset;
+}
+
+const DvrChunk* DvrFile::try_chunk(DvrSection s,
+                                   std::uint16_t column) const {
+  for (const auto& c : chunks_) {
+    if (c.section == static_cast<std::uint16_t>(s) && c.column == column) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const DvrChunk& DvrFile::find_chunk(DvrSection s,
+                                    std::uint16_t column) const {
+  const DvrChunk* c = try_chunk(s, column);
+  DV_REQUIRE(c != nullptr, "missing chunk in " + path_ + " (section " +
+                               std::to_string(static_cast<int>(s)) +
+                               ", column " + std::to_string(column) + ")");
+  return *c;
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> read_column(const DvrFile& f, const DvrChunk& c,
+                           const unsigned char* p) {
+  DV_REQUIRE(static_cast<DvrType>(c.dtype) == dvr_type_of<T>(),
+             "chunk dtype mismatch in " + f.path());
+  std::vector<T> out(c.rows);
+  std::memcpy(out.data(), p, c.bytes);
+  return out;
+}
+
+}  // namespace
+
+RunMetrics DvrFile::load_all() const {
+  RunMetrics m;
+  m.groups = groups_;
+  m.routers_per_group = routers_per_group_;
+  m.terminals_per_router = terminals_per_router_;
+  m.global_per_router = global_per_router_;
+  m.workload = workload_;
+  m.routing = routing_;
+  m.placement = placement_;
+  m.seed = seed_;
+  m.end_time = end_time_;
+  m.sample_dt = sample_dt_;
+  m.job_names = job_names_;
+
+  auto read_links = [this](DvrSection s, std::uint32_t n) {
+    std::vector<LinkMetrics> links(n);
+    if (n == 0) return links;
+    auto col = [this, s](std::uint16_t id) {
+      return find_chunk(s, id);
+    };
+    const auto sr = read_column<std::uint32_t>(*this, col(0), payload(col(0)));
+    const auto sp = read_column<std::uint32_t>(*this, col(1), payload(col(1)));
+    const auto dr = read_column<std::uint32_t>(*this, col(2), payload(col(2)));
+    const auto dp = read_column<std::uint32_t>(*this, col(3), payload(col(3)));
+    const auto tr = read_column<double>(*this, col(4), payload(col(4)));
+    const auto sa = read_column<double>(*this, col(5), payload(col(5)));
+    const auto dn = read_column<double>(*this, col(6), payload(col(6)));
+    const auto re = read_column<std::uint64_t>(*this, col(7), payload(col(7)));
+    const auto pd = read_column<std::uint64_t>(*this, col(8), payload(col(8)));
+    DV_REQUIRE(sr.size() == n, "link column count mismatch in " + path_);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      links[i].src_router = sr[i];
+      links[i].src_port = sp[i];
+      links[i].dst_router = dr[i];
+      links[i].dst_port = dp[i];
+      links[i].traffic = tr[i];
+      links[i].sat_time = sa[i];
+      links[i].downtime = dn[i];
+      links[i].retries = re[i];
+      links[i].pkts_dropped = pd[i];
+    }
+    return links;
+  };
+  m.local_links = read_links(DvrSection::kLocalLinks, n_local_);
+  m.global_links = read_links(DvrSection::kGlobalLinks, n_global_);
+
+  if (n_terminals_ > 0) {
+    const auto s = DvrSection::kTerminals;
+    auto col = [this, s](std::uint16_t id) { return find_chunk(s, id); };
+    const auto ro = read_column<std::uint32_t>(*this, col(0), payload(col(0)));
+    const auto po = read_column<std::uint32_t>(*this, col(1), payload(col(1)));
+    const auto ds = read_column<double>(*this, col(2), payload(col(2)));
+    const auto sa = read_column<double>(*this, col(3), payload(col(3)));
+    const auto pf = read_column<std::uint64_t>(*this, col(4), payload(col(4)));
+    const auto sl = read_column<double>(*this, col(5), payload(col(5)));
+    const auto sh = read_column<double>(*this, col(6), payload(col(6)));
+    const auto jb = read_column<std::int32_t>(*this, col(7), payload(col(7)));
+    const auto pr = read_column<std::uint64_t>(*this, col(8), payload(col(8)));
+    const auto pd = read_column<std::uint64_t>(*this, col(9), payload(col(9)));
+    const auto dn = read_column<double>(*this, col(10), payload(col(10)));
+    DV_REQUIRE(ro.size() == n_terminals_,
+               "terminal column count mismatch in " + path_);
+    m.terminals.resize(n_terminals_);
+    for (std::uint32_t i = 0; i < n_terminals_; ++i) {
+      auto& t = m.terminals[i];
+      t.router = ro[i];
+      t.port = po[i];
+      t.data_size = ds[i];
+      t.sat_time = sa[i];
+      t.packets_finished = pf[i];
+      t.sum_latency = sl[i];
+      t.sum_hops = sh[i];
+      t.job = jb[i];
+      t.packets_rerouted = pr[i];
+      t.packets_dropped = pd[i];
+      t.downtime = dn[i];
+    }
+  }
+
+  if (n_tallies_ > 0) {
+    const auto s = DvrSection::kRouterTallies;
+    const DvrChunk& dt = find_chunk(s, 0);
+    m.router_downtime = read_column<double>(*this, dt, payload(dt));
+    const DvrChunk& rt = find_chunk(s, 1);
+    m.router_retries = read_column<std::uint64_t>(*this, rt, payload(rt));
+    const DvrChunk& dr = find_chunk(s, 2);
+    m.router_drops = read_column<std::uint64_t>(*this, dr, payload(dr));
+  }
+
+  if (has_time_series()) {
+    m.local_traffic_ts = series(0);
+    m.local_sat_ts = series(1);
+    m.global_traffic_ts = series(2);
+    m.global_sat_ts = series(3);
+    m.term_traffic_ts = series(4);
+    m.term_sat_ts = series(5);
+  }
+  return m;
+}
+
+std::size_t DvrFile::series_entities(std::size_t id) const {
+  switch (id) {
+    case 0:
+    case 1: return n_local_;
+    case 2:
+    case 3: return n_global_;
+    case 4:
+    case 5: return n_terminals_;
+  }
+  throw Error("bad series id");
+}
+
+std::size_t DvrFile::series_frames(std::size_t id) const {
+  const std::size_t entities = series_entities(id);
+  if (entities == 0) return 0;
+  const auto section = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(DvrSection::kSeriesBase) + id);
+  std::size_t frames = 0;
+  for (const auto& c : chunks_) {
+    if (c.section != section) continue;
+    frames = std::max<std::size_t>(frames, c.row0 + c.rows / entities);
+  }
+  return frames;
+}
+
+SampledSeries DvrFile::series(std::size_t id) const {
+  const std::size_t entities = series_entities(id);
+  const std::size_t frames = series_frames(id);
+  std::vector<float> data(frames * entities);
+  const auto section = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(DvrSection::kSeriesBase) + id);
+  for (const auto& c : chunks_) {
+    if (c.section != section || c.rows == 0) continue;
+    DV_REQUIRE(static_cast<DvrType>(c.dtype) == DvrType::kF32,
+               "series chunk dtype mismatch in " + path_);
+    std::memcpy(data.data() + c.row0 * entities, payload(c), c.bytes);
+  }
+  return SampledSeries::adopt(entities, sample_dt_, std::move(data));
+}
+
+double DvrFile::series_range_sum(std::size_t id, std::size_t entity,
+                                 std::size_t f0, std::size_t f1,
+                                 bool prune) const {
+  const std::size_t entities = series_entities(id);
+  DV_REQUIRE(entity < entities, "entity out of range");
+  DV_REQUIRE(f0 <= f1 && f1 <= series_frames(id), "bad frame range");
+  const auto section = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(DvrSection::kSeriesBase) + id);
+  double acc = 0.0;
+  // Frame-chunks are written in ascending row0 order, so walking the
+  // directory in order preserves the scalar loop's accumulation order.
+  for (const auto& c : chunks_) {
+    if (c.section != section || c.rows == 0) continue;
+    const std::size_t cf0 = c.row0;
+    const std::size_t cf1 = c.row0 + c.rows / entities;
+    const std::size_t lo = std::max(f0, cf0);
+    const std::size_t hi = std::min(f1, cf1);
+    if (lo >= hi) continue;
+    if (prune && c.zmin == 0.0 && c.zmax == 0.0) {
+      // Zone map proves every value in the chunk is (+/-)0.0f; adding
+      // zeros to an accumulator that starts at +0.0 never changes its
+      // bits, so the skip is exact, not approximate.
+      stats().chunks_pruned.fetch_add(1, std::memory_order_relaxed);
+      DV_OBS_COUNT("metrics.dvr.chunks_pruned", 1);
+      continue;
+    }
+    const auto* vals = reinterpret_cast<const float*>(payload(c));
+    acc += kernels::strided_sum(vals, entities, entity, lo - cf0, hi - cf0);
+  }
+  return acc;
+}
+
+}  // namespace dv::metrics

@@ -1,0 +1,169 @@
+// .dvr — the packed columnar on-disk run format.
+//
+// RunMetrics' text (JSON) format round-trips every metric through decimal
+// strings; at sweep scale (hundreds of runs x sampled series) parsing
+// dominates cold-open time. A .dvr file stores the same run as raw little-
+// endian column chunks behind a fixed header and a chunk directory, so a
+// reader can
+//
+//   * mmap the file and touch only the chunks a query needs (lazy,
+//     per-query chunk loading — the out-of-core half of this layer),
+//   * skip chunks whose min/max zone map proves they cannot contribute
+//     (all-zero sampled-series chunks under a range sum), and
+//   * identify the run stably across sessions via a content uid, the key
+//     VAID-style persistent query artifacts index on.
+//
+// Byte-identity contract: RunMetrics -> save_dvr -> load_dvr -> RunMetrics
+// is lossless (bit-exact doubles/floats), so DataTables, renders, and
+// reports built from a packed run equal the text-loaded ones byte for
+// byte. docs/RUN_FORMAT.md specifies the layout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/run_metrics.hpp"
+
+namespace dv::metrics {
+
+constexpr std::uint32_t kDvrVersion = 1;
+/// Sampled series are split into frame-chunks of this many frames, each
+/// with its own zone map — the unit of lazy loading and pruning.
+constexpr std::size_t kDvrSeriesChunkFrames = 256;
+
+/// Sections a chunk can belong to. Series sections are kSeriesBase + id
+/// with id in [0, 6): local_traffic, local_sat, global_traffic,
+/// global_sat, term_traffic, term_sat — index order of RunMetrics.
+enum class DvrSection : std::uint16_t {
+  kLocalLinks = 1,
+  kGlobalLinks = 2,
+  kTerminals = 3,
+  kRouterTallies = 4,
+  kSeriesBase = 16,
+};
+constexpr std::size_t kDvrSeriesCount = 6;
+
+enum class DvrType : std::uint16_t {
+  kF64 = 1,
+  kF32 = 2,
+  kU32 = 3,
+  kU64 = 4,
+  kI32 = 5,
+};
+std::size_t dvr_type_size(DvrType t);
+
+/// One chunk-directory entry: where a column (or series frame-chunk)
+/// lives, its shape, and its min/max zone map.
+struct DvrChunk {
+  std::uint16_t section = 0;  ///< DvrSection
+  std::uint16_t column = 0;   ///< column id (chunk ordinal for series)
+  std::uint16_t dtype = 0;    ///< DvrType
+  std::uint64_t offset = 0;   ///< byte offset of the payload
+  std::uint64_t bytes = 0;    ///< payload length
+  std::uint64_t rows = 0;     ///< element count
+  std::uint64_t row0 = 0;     ///< first row / frame index in this chunk
+  double zmin = 0.0, zmax = 0.0;  ///< zone map over the chunk's values
+};
+
+/// Stable identity of a run's *content*: FNV-1a over every configuration
+/// field, metric column and sampled frame, independent of file format or
+/// path. Text and packed copies of the same run hash identically, so
+/// caches persisted across sessions can key on it.
+std::uint64_t run_content_uid(const RunMetrics& run);
+
+/// Writes `run` as a .dvr file (atomically: tmp + rename).
+void save_dvr(const RunMetrics& run, const std::string& path);
+
+/// True when the file starts with the DVR1 magic (format dispatch sniffs
+/// bytes, not extensions).
+bool is_dvr_file(const std::string& path);
+
+/// Full materialization: open, read every chunk, close.
+RunMetrics load_dvr(const std::string& path);
+
+/// Process-wide reader counters (mirrored into obs as metrics.dvr.*) —
+/// how much of the mapped bytes queries actually touched.
+struct DvrStats {
+  std::uint64_t opens = 0;
+  std::uint64_t bytes_mapped = 0;
+  std::uint64_t chunks_read = 0;
+  std::uint64_t chunk_bytes_read = 0;
+  std::uint64_t chunks_pruned = 0;  ///< skipped via zone maps
+};
+DvrStats dvr_stats();
+void dvr_reset_stats();
+
+/// An open .dvr file: header + chunk directory parsed eagerly (a few KB),
+/// column payloads mapped but untouched until a query asks. Read-only and
+/// immutable after construction, so concurrent readers need no locking.
+class DvrFile {
+ public:
+  explicit DvrFile(const std::string& path);
+  ~DvrFile();
+  DvrFile(const DvrFile&) = delete;
+  DvrFile& operator=(const DvrFile&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t run_uid() const { return run_uid_; }
+  std::uint64_t file_bytes() const { return size_; }
+  const std::vector<DvrChunk>& chunks() const { return chunks_; }
+
+  // Header metadata — enough for catalogs and `inspect` without touching
+  // any column payload.
+  std::uint32_t groups() const { return groups_; }
+  std::uint32_t routers_per_group() const { return routers_per_group_; }
+  std::uint32_t terminals_per_router() const {
+    return terminals_per_router_;
+  }
+  std::uint32_t global_per_router() const { return global_per_router_; }
+  std::uint64_t seed() const { return seed_; }
+  double end_time() const { return end_time_; }
+  double sample_dt() const { return sample_dt_; }
+  bool has_time_series() const { return sample_dt_ > 0.0; }
+  const std::string& workload() const { return workload_; }
+  const std::string& routing() const { return routing_; }
+  const std::string& placement() const { return placement_; }
+  const std::vector<std::string>& job_names() const { return job_names_; }
+
+  /// Reads every chunk and rebuilds the RunMetrics bit-exactly.
+  RunMetrics load_all() const;
+
+  /// Rebuilds one sampled series (all of its frame-chunks).
+  SampledSeries series(std::size_t id) const;
+  std::size_t series_entities(std::size_t id) const;
+  std::size_t series_frames(std::size_t id) const;
+
+  /// Windowed sum over frames [f0, f1) of one entity, touching only the
+  /// overlapping frame-chunks and skipping all-zero ones via their zone
+  /// maps. Adding zeros never changes an accumulator that started at +0.0,
+  /// so the pruned sum is bit-identical to SampledSeries::range_sum.
+  double series_range_sum(std::size_t id, std::size_t entity,
+                          std::size_t f0, std::size_t f1,
+                          bool prune = true) const;
+
+ private:
+  const unsigned char* payload(const DvrChunk& c) const;  // counts a read
+  const DvrChunk& find_chunk(DvrSection s, std::uint16_t column) const;
+  const DvrChunk* try_chunk(DvrSection s, std::uint16_t column) const;
+
+  std::string path_;
+  int fd_ = -1;
+  const unsigned char* map_ = nullptr;
+  std::uint64_t size_ = 0;
+  std::vector<unsigned char> fallback_;  ///< used when mmap is unavailable
+
+  std::uint64_t run_uid_ = 0;
+  std::uint32_t groups_ = 0, routers_per_group_ = 0,
+                terminals_per_router_ = 0, global_per_router_ = 0;
+  std::uint64_t seed_ = 0;
+  double end_time_ = 0.0, sample_dt_ = 0.0;
+  std::uint32_t n_local_ = 0, n_global_ = 0, n_terminals_ = 0,
+                n_tallies_ = 0;
+  std::string workload_, routing_, placement_;
+  std::vector<std::string> job_names_;
+  std::vector<DvrChunk> chunks_;
+};
+
+}  // namespace dv::metrics

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "metrics/dvr.hpp"
+#include "util/kernels.hpp"
 #include "util/str.hpp"
 
 namespace dv::metrics {
@@ -21,6 +23,15 @@ float* SampledSeries::push_frame_raw() {
   return data_.data() + (data_.size() - entities_);
 }
 
+SampledSeries SampledSeries::adopt(std::size_t entities, double dt,
+                                   std::vector<float> data) {
+  DV_REQUIRE(entities ? data.size() % entities == 0 : data.empty(),
+             "adopted series data is not a whole number of frames");
+  SampledSeries s(entities, dt);
+  s.data_ = std::move(data);
+  return s;
+}
+
 float SampledSeries::at(std::size_t frame, std::size_t entity) const {
   DV_REQUIRE(frame < frames() && entity < entities_, "series index out of range");
   return data_[frame * entities_ + entity];
@@ -28,18 +39,14 @@ float SampledSeries::at(std::size_t frame, std::size_t entity) const {
 
 double SampledSeries::frame_total(std::size_t frame) const {
   DV_REQUIRE(frame < frames(), "frame out of range");
-  double s = 0.0;
-  for (std::size_t e = 0; e < entities_; ++e) s += data_[frame * entities_ + e];
-  return s;
+  return kernels::sum_span(data_.data() + frame * entities_, entities_);
 }
 
 double SampledSeries::range_sum(std::size_t entity, std::size_t f0,
                                 std::size_t f1) const {
   DV_REQUIRE(entity < entities_, "entity out of range");
   DV_REQUIRE(f0 <= f1 && f1 <= frames(), "bad frame range");
-  double s = 0.0;
-  for (std::size_t f = f0; f < f1; ++f) s += data_[f * entities_ + entity];
-  return s;
+  return kernels::strided_sum(data_.data(), entities_, entity, f0, f1);
 }
 
 std::size_t SampledSeries::frame_of(SimTime t) const {
@@ -58,13 +65,12 @@ PrefixSeries::PrefixSeries(const SampledSeries& s)
   prefix_.assign((frames + 1) * entities_, 0.0);
   // P[f+1][e] = P[f][e] + frame f — the same sequential accumulation
   // SampledSeries::range_sum(e, 0, f) performs, so prefix deltas starting
-  // at frame 0 reproduce it bit for bit.
+  // at frame 0 reproduce it bit for bit. Lanes (entities) are independent,
+  // so the SIMD frame pass is bit-identical to the scalar loop.
+  const float* raw = s.data();
   for (std::size_t f = 0; f < frames; ++f) {
-    const double* prev = &prefix_[f * entities_];
-    double* next = &prefix_[(f + 1) * entities_];
-    for (std::size_t e = 0; e < entities_; ++e) {
-      next[e] = prev[e] + static_cast<double>(s.at(f, e));
-    }
+    kernels::prefix_add_frame(raw + f * entities_, &prefix_[f * entities_],
+                              &prefix_[(f + 1) * entities_], entities_);
   }
 }
 
@@ -360,11 +366,31 @@ void RunMetrics::save(const std::string& path) const {
 }
 
 RunMetrics RunMetrics::load(const std::string& path) {
+  // Packed runs dispatch on the on-disk magic, not the extension, so a
+  // .dvr renamed to .json still loads.
+  if (is_dvr_file(path)) return load_dvr(path);
   std::ifstream is(path, std::ios::binary);
   DV_REQUIRE(is.good(), "cannot open for reading: " + path);
   std::ostringstream buf;
   buf << is.rdbuf();
-  return from_json(json::parse(buf.str()));
+  std::string text = buf.str();
+  // Tolerate a UTF-8 BOM and trailing whitespace/CRLF noise from editors
+  // or transfer tools; the parser handles interior \r as whitespace.
+  if (text.size() >= 3 && text.compare(0, 3, "\xEF\xBB\xBF") == 0) {
+    text.erase(0, 3);
+  }
+  while (!text.empty() &&
+         (text.back() == '\n' || text.back() == '\r' ||
+          text.back() == ' ' || text.back() == '\t')) {
+    text.pop_back();
+  }
+  try {
+    return from_json(json::parse(text));
+  } catch (const Error& e) {
+    // The parser reports line/column; prepend which file was at fault so a
+    // failed sweep names the offending run instead of a bare position.
+    throw Error(path + ": " + e.what());
+  }
 }
 
 CsvTable RunMetrics::to_csv(const std::string& entity_class) const {

@@ -97,6 +97,17 @@ class SampledSeries {
   float* push_frame_raw();
   float at(std::size_t frame, std::size_t entity) const;
 
+  /// Frame-major raw storage (frames() x entities() floats) — the
+  /// contiguous span the vectorized kernels, the prefix-slab build, and
+  /// the .dvr column writer read directly.
+  const float* data() const { return data_.data(); }
+
+  /// Adopts whole frame-major storage in one move (the .dvr reader's
+  /// allocation-free ingest path). `data.size()` must be a multiple of
+  /// `entities` (zero entities requires empty data).
+  static SampledSeries adopt(std::size_t entities, double dt,
+                             std::vector<float> data);
+
   /// Sum over all entities in one frame.
   double frame_total(std::size_t frame) const;
   /// Sum over frames [f0, f1) for one entity (time-range selection).
@@ -130,6 +141,11 @@ class PrefixSeries {
 
   /// Sum over frames [f0, f1) for one entity, as a prefix delta.
   double range_sum(std::size_t entity, std::size_t f0, std::size_t f1) const;
+
+  /// Frame-major raw prefix storage ((frames()+1) x entities() doubles).
+  /// Hot loops (the query engine's group-slab build) index this directly:
+  /// range_sum(e, f0, f1) == p[f1*entities()+e] - p[f0*entities()+e].
+  const double* prefix_data() const { return prefix_.data(); }
 
   /// Half-open frame quantization of the time range [t0, t1): frame f
   /// covers [f*dt, (f+1)*dt), so adjacent ranges partition the frames
@@ -183,7 +199,12 @@ struct RunMetrics {
   double total_injected() const;
   std::uint64_t total_packets_finished() const;
 
-  // Serialization.
+  // Serialization. save() writes the text (JSON) format; dvr.hpp owns the
+  // packed columnar format. load() sniffs the on-disk magic and accepts
+  // either, so every consumer (CLI, store, serve catalog) reads both. Text
+  // parse errors are rethrown with the file path and the offending line
+  // number; a UTF-8 BOM, CRLF line endings and trailing whitespace are
+  // tolerated.
   json::Value to_json() const;
   static RunMetrics from_json(const json::Value& v);
   void save(const std::string& path) const;

@@ -6,9 +6,21 @@
 #include <fstream>
 #include <sstream>
 
+#include "metrics/dvr.hpp"
+
 namespace dv::metrics {
 
 namespace fs = std::filesystem;
+
+std::string to_string(StoreFormat f) {
+  return f == StoreFormat::kPacked ? "dvr" : "text";
+}
+
+StoreFormat store_format_from_string(const std::string& s) {
+  if (s == "text" || s == "json") return StoreFormat::kText;
+  if (s == "dvr" || s == "packed") return StoreFormat::kPacked;
+  throw Error("unknown store format '" + s + "' (want text|dvr)");
+}
 
 RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
   DV_REQUIRE(!dir_.empty(), "run store needs a directory");
@@ -16,8 +28,10 @@ RunStore::RunStore(std::string dir) : dir_(std::move(dir)) {
   load_index();
 }
 
-std::string RunStore::path_of(const std::string& name) const {
-  return (fs::path(dir_) / (name + ".json")).string();
+std::string RunStore::path_of(const std::string& name,
+                              StoreFormat format) const {
+  const char* ext = format == StoreFormat::kPacked ? ".dvr" : ".json";
+  return (fs::path(dir_) / (name + ext)).string();
 }
 
 bool RunStore::contains(const std::string& name) const {
@@ -25,7 +39,22 @@ bool RunStore::contains(const std::string& name) const {
                      [&](const RunInfo& i) { return i.name == name; });
 }
 
-std::string RunStore::add(const RunMetrics& run, std::string name) {
+const RunInfo& RunStore::info(const std::string& name) const {
+  const auto it =
+      std::find_if(index_.begin(), index_.end(),
+                   [&](const RunInfo& i) { return i.name == name; });
+  DV_REQUIRE(it != index_.end(),
+             "run store has no run named '" + name + "'");
+  return *it;
+}
+
+std::string RunStore::path(const std::string& name) const {
+  const RunInfo& i = info(name);
+  return path_of(i.name, i.format);
+}
+
+std::string RunStore::add(const RunMetrics& run, std::string name,
+                          StoreFormat format) {
   if (name.empty()) {
     name = run.workload + "_" + run.routing + "_" + run.placement;
     for (auto& c : name) {
@@ -39,7 +68,11 @@ std::string RunStore::add(const RunMetrics& run, std::string name) {
   for (int suffix = 2; contains(final_name); ++suffix) {
     final_name = name + "_" + std::to_string(suffix);
   }
-  run.save(path_of(final_name));
+  if (format == StoreFormat::kPacked) {
+    save_dvr(run, path_of(final_name, format));
+  } else {
+    run.save(path_of(final_name, format));
+  }
   RunInfo info;
   info.name = final_name;
   info.workload = run.workload;
@@ -49,22 +82,42 @@ std::string RunStore::add(const RunMetrics& run, std::string name) {
       run.groups * run.routers_per_group * run.terminals_per_router;
   info.end_time = run.end_time;
   info.sampled = run.has_time_series();
+  info.format = format;
+  info.uid = run_content_uid(run);
   index_.push_back(info);
   save_index();
   return final_name;
 }
 
 RunMetrics RunStore::load(const std::string& name) const {
-  DV_REQUIRE(contains(name), "run store has no run named '" + name + "'");
-  return RunMetrics::load(path_of(name));
+  return RunMetrics::load(path(name));
 }
 
 void RunStore::remove(const std::string& name) {
   const auto it = std::find_if(index_.begin(), index_.end(),
                                [&](const RunInfo& i) { return i.name == name; });
   DV_REQUIRE(it != index_.end(), "run store has no run named '" + name + "'");
-  fs::remove(path_of(name));
+  fs::remove(path_of(it->name, it->format));
   index_.erase(it);
+  save_index();
+}
+
+void RunStore::repack(const std::string& name, StoreFormat format) {
+  const auto it = std::find_if(index_.begin(), index_.end(),
+                               [&](const RunInfo& i) { return i.name == name; });
+  DV_REQUIRE(it != index_.end(), "run store has no run named '" + name + "'");
+  if (it->format == format) return;
+  const RunMetrics run = RunMetrics::load(path_of(it->name, it->format));
+  // Write the new file before dropping the old one: a failure mid-repack
+  // leaves the run readable in its original format.
+  if (format == StoreFormat::kPacked) {
+    save_dvr(run, path_of(it->name, format));
+  } else {
+    run.save(path_of(it->name, format));
+  }
+  fs::remove(path_of(it->name, it->format));
+  it->format = format;
+  if (it->uid == 0) it->uid = run_content_uid(run);
   save_index();
 }
 
@@ -92,12 +145,28 @@ void RunStore::save_index() const {
     o["terminals"] = json::Value(info.terminals);
     o["end_time"] = json::Value(info.end_time);
     o["sampled"] = json::Value(info.sampled);
+    o["format"] = json::Value(to_string(info.format));
+    // uid as a decimal string: 64-bit values don't round-trip through a
+    // JSON double.
+    o["uid"] = json::Value(std::to_string(info.uid));
     arr.emplace_back(std::move(o));
   }
-  std::ofstream os((fs::path(dir_) / "index.json").string(),
-                   std::ios::binary);
-  DV_REQUIRE(os.good(), "cannot write run store index");
-  os << json::dump(json::Value(std::move(arr)), 2);
+  // Atomic publish: write to a temp file, then rename over index.json, so
+  // a reader (or a crash) never observes a torn index.
+  const auto path = (fs::path(dir_) / "index.json").string();
+  const auto tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    DV_REQUIRE(os.good(), "cannot write run store index");
+    os << json::dump(json::Value(std::move(arr)), 2);
+    DV_REQUIRE(os.good(), "run store index write failed");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error("cannot publish run store index: " + path);
+  }
 }
 
 void RunStore::load_index() {
@@ -118,6 +187,8 @@ void RunStore::load_index() {
         static_cast<std::uint32_t>(entry.get_number("terminals", 0));
     info.end_time = entry.get_number("end_time", 0.0);
     info.sampled = entry.get_bool("sampled", false);
+    info.format = store_format_from_string(entry.get_string("format", "text"));
+    info.uid = std::stoull(entry.get_string("uid", "0"));
     index_.push_back(info);
   }
 }

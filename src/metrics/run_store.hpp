@@ -15,6 +15,13 @@
 
 namespace dv::metrics {
 
+/// On-disk representation of a stored run: the text (JSON) format or the
+/// packed columnar .dvr format of dvr.hpp. Both load() identically.
+enum class StoreFormat { kText, kPacked };
+
+std::string to_string(StoreFormat f);
+StoreFormat store_format_from_string(const std::string& s);  // throws
+
 /// Index entry for one stored run.
 struct RunInfo {
   std::string name;
@@ -24,6 +31,10 @@ struct RunInfo {
   std::uint32_t terminals = 0;
   double end_time = 0.0;
   bool sampled = false;
+  StoreFormat format = StoreFormat::kText;
+  /// Content uid (run_content_uid) — stable across formats and paths, so
+  /// index consumers can key persistent artifacts on it.
+  std::uint64_t uid = 0;
 
   bool operator==(const RunInfo&) const = default;
 };
@@ -37,22 +48,34 @@ class RunStore {
   std::size_t size() const { return index_.size(); }
   const std::vector<RunInfo>& list() const { return index_; }
   bool contains(const std::string& name) const;
+  const RunInfo& info(const std::string& name) const;  // throws if missing
 
   /// Saves a run under `name` (derived from its configuration when empty;
-  /// suffixed when taken). Returns the final name.
-  std::string add(const RunMetrics& run, std::string name = "");
+  /// suffixed when taken) in the given on-disk format. Returns the final
+  /// name.
+  std::string add(const RunMetrics& run, std::string name = "",
+                  StoreFormat format = StoreFormat::kText);
 
   RunMetrics load(const std::string& name) const;  // throws if missing
   void remove(const std::string& name);            // throws if missing
 
-  /// Names of runs whose metadata matches all non-empty filters.
+  /// Rewrites a stored run in another on-disk format (no-op when it is
+  /// already stored that way). The content uid is unchanged by design.
+  void repack(const std::string& name, StoreFormat format);
+
+  /// Full path of a stored run's file (throws if missing) — what serve's
+  /// lazy catalog and `dragonviz inspect` hand to format-aware readers.
+  std::string path(const std::string& name) const;
+
+  /// Names of runs whose metadata matches all non-empty filters. Goes
+  /// through the loaded index only — no file is opened or parsed.
   std::vector<std::string> find(const std::string& workload,
                                 const std::string& routing = "",
                                 const std::string& placement = "") const;
 
  private:
-  std::string path_of(const std::string& name) const;
-  void save_index() const;
+  std::string path_of(const std::string& name, StoreFormat format) const;
+  void save_index() const;  // atomic: tmp + rename
   void load_index();
 
   std::string dir_;

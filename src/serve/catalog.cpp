@@ -1,5 +1,6 @@
 #include "serve/catalog.hpp"
 
+#include "metrics/dvr.hpp"
 #include "metrics/run_metrics.hpp"
 #include "obs/obs.hpp"
 
@@ -11,8 +12,12 @@ std::string derive_name(const std::string& path) {
   const auto slash = path.find_last_of('/');
   std::string base =
       slash == std::string::npos ? path : path.substr(slash + 1);
-  if (base.size() > 5 && base.substr(base.size() - 5) == ".json") {
-    base = base.substr(0, base.size() - 5);
+  for (const char* ext : {".json", ".dvr"}) {
+    const std::size_t len = std::string(ext).size();
+    if (base.size() > len && base.substr(base.size() - len) == ext) {
+      base = base.substr(0, base.size() - len);
+      break;
+    }
   }
   DV_REQUIRE(!base.empty(), "cannot derive a run name from: " + path);
   return base;
@@ -45,31 +50,99 @@ std::shared_ptr<const LoadedRun> RunCatalog::load(const std::string& path,
   {
     std::lock_guard<std::mutex> lock(mu_);
     runs_[name] = loaded;
+    pending_.erase(name);  // an eager load supersedes any attachment
     DV_OBS_GAUGE_SET("serve.catalog.runs", static_cast<double>(runs_.size()));
   }
   DV_OBS_COUNT("serve.catalog.loads", 1);
   return loaded;
 }
 
+std::string RunCatalog::attach(const std::string& path, std::string name) {
+  if (name.empty()) name = derive_name(path);
+  auto p = std::make_shared<PendingRun>();
+  p->path = path;
+  // The 4-byte magic sniff is the only file touch an attach performs.
+  p->packed = metrics::is_dvr_file(path);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.erase(name);  // a re-attach supersedes a resident run
+    pending_[name] = std::move(p);
+  }
+  DV_OBS_COUNT("serve.catalog.attaches", 1);
+  return name;
+}
+
 std::shared_ptr<const LoadedRun> RunCatalog::get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = runs_.find(name);
-  DV_REQUIRE(it != runs_.end(), "no such run: " + name);
-  return it->second;
+  std::shared_ptr<PendingRun> p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = runs_.find(name);
+    if (it != runs_.end()) return it->second;
+    const auto pit = pending_.find(name);
+    DV_REQUIRE(pit != pending_.end(), "no such run: " + name);
+    p = pit->second;
+  }
+  // Materialize outside the catalog lock (sessions querying resident runs
+  // must not stall behind a parse); the per-entry mutex coalesces
+  // concurrent getters of the same pending run onto one load.
+  std::lock_guard<std::mutex> entry_lock(p->mu);
+  if (p->done == nullptr) {
+    const metrics::RunMetrics run = metrics::RunMetrics::load(p->path);
+    p->done = std::make_shared<const LoadedRun>(name, p->path,
+                                                core::DataSet(run), cache_);
+    DV_OBS_COUNT("serve.catalog.lazy_loads", 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Promote unless the entry was unloaded or replaced while we parsed.
+    const auto pit = pending_.find(name);
+    if (pit != pending_.end() && pit->second == p) {
+      runs_[name] = p->done;
+      pending_.erase(pit);
+      DV_OBS_GAUGE_SET("serve.catalog.runs",
+                       static_cast<double>(runs_.size()));
+    }
+  }
+  return p->done;
 }
 
 void RunCatalog::unload(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = runs_.find(name);
-  DV_REQUIRE(it != runs_.end(), "no such run: " + name);
-  runs_.erase(it);
-  DV_OBS_GAUGE_SET("serve.catalog.runs", static_cast<double>(runs_.size()));
+  if (it != runs_.end()) {
+    runs_.erase(it);
+    DV_OBS_GAUGE_SET("serve.catalog.runs", static_cast<double>(runs_.size()));
+    return;
+  }
+  const auto pit = pending_.find(name);
+  DV_REQUIRE(pit != pending_.end(), "no such run: " + name);
+  pending_.erase(pit);
 }
 
 std::size_t RunCatalog::size() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size() + pending_.size();
+}
+
+std::size_t RunCatalog::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return runs_.size();
+}
+
+std::size_t RunCatalog::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::vector<RunCatalog::PendingInfo> RunCatalog::list_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingInfo> out;
+  out.reserve(pending_.size());
+  for (const auto& [name, p] : pending_) {
+    out.push_back(PendingInfo{name, p->path, p->packed});
+  }
+  return out;
 }
 
 std::vector<std::shared_ptr<const LoadedRun>> RunCatalog::list() const {

@@ -48,29 +48,61 @@ class RunCatalog {
   explicit RunCatalog(std::size_t cache_capacity = 1024,
                       std::size_t shards = 8);
 
-  /// Loads a RunMetrics JSON file under `name` (basename of `path`, minus
-  /// a trailing ".json", when empty). Replaces an existing entry with the
-  /// same name; in-flight references to the old run stay valid. Returns
-  /// the loaded run. Throws dv::Error when the file is unreadable.
+  /// Loads a run file (text JSON or packed .dvr — RunMetrics::load sniffs
+  /// the magic) under `name` (basename of `path`, minus a trailing
+  /// ".json"/".dvr", when empty). Replaces an existing entry with the same
+  /// name; in-flight references to the old run stay valid. Returns the
+  /// loaded run. Throws dv::Error when the file is unreadable.
   std::shared_ptr<const LoadedRun> load(const std::string& path,
                                         std::string name = "");
 
-  /// Looks up a loaded run; throws dv::Error when `name` is unknown.
+  /// Registers a run file WITHOUT materializing it: only the name, path
+  /// and format sniff are recorded; parsing and the DataSet build happen
+  /// on the first get(). A sweep-scale catalog attaches hundreds of runs
+  /// in milliseconds and pays load cost only for runs sessions touch —
+  /// the out-of-core half of the packed-store design. Returns the derived
+  /// name.
+  std::string attach(const std::string& path, std::string name = "");
+
+  /// Looks up a run, materializing it first if it was only attached.
+  /// Concurrent getters of the same pending run coalesce onto a single
+  /// load. Throws dv::Error when `name` is unknown.
   std::shared_ptr<const LoadedRun> get(const std::string& name) const;
 
-  /// Drops `name` from the catalog (sessions holding it keep it alive).
+  /// Drops `name` — resident or attached — from the catalog (sessions
+  /// holding a resident run keep it alive).
   void unload(const std::string& name);
 
+  /// Runs the catalog knows: resident + still-pending attachments.
   std::size_t size() const;
-  /// Loaded runs in name order.
+  /// Runs materialized in memory.
+  std::size_t resident() const;
+  /// Attached runs not yet materialized.
+  std::size_t pending() const;
+  /// Resident runs in name order (does not materialize attachments).
   std::vector<std::shared_ptr<const LoadedRun>> list() const;
+  /// Name/path/packed of every still-pending attachment, in name order.
+  struct PendingInfo {
+    std::string name;
+    std::string path;
+    bool packed = false;
+  };
+  std::vector<PendingInfo> list_pending() const;
 
   const std::shared_ptr<core::ResultCache>& cache() const { return cache_; }
 
  private:
+  struct PendingRun {
+    std::string path;
+    bool packed = false;
+    std::mutex mu;  ///< serializes materialization of this entry
+    std::shared_ptr<const LoadedRun> done;
+  };
+
   std::shared_ptr<core::ResultCache> cache_;
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const LoadedRun>> runs_;
+  mutable std::map<std::string, std::shared_ptr<const LoadedRun>> runs_;
+  mutable std::map<std::string, std::shared_ptr<PendingRun>> pending_;
 };
 
 /// "name=path" → {name, path}; bare "path" derives the name from the

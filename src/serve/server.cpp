@@ -12,6 +12,7 @@
 
 #include "core/comparison.hpp"
 #include "core/presets.hpp"
+#include "metrics/dvr.hpp"
 #include "core/projection.hpp"
 #include "core/report.hpp"
 #include "core/spec.hpp"
@@ -45,6 +46,16 @@ json::Value run_info(const LoadedRun& lr) {
                                run.terminals_per_router);
   o["end_time"] = json::Value(run.end_time);
   o["sampled"] = json::Value(run.has_time_series());
+  o["resident"] = json::Value(true);
+  return json::Value(std::move(o));
+}
+
+json::Value pending_info(const RunCatalog::PendingInfo& p) {
+  json::Object o;
+  o["name"] = json::Value(p.name);
+  o["source"] = json::Value(p.path);
+  o["packed"] = json::Value(p.packed);
+  o["resident"] = json::Value(false);
   return json::Value(std::move(o));
 }
 
@@ -55,8 +66,11 @@ const std::vector<VerbInfo>& protocol_verbs() {
       {"hello", "protocol handshake: server identity, version, verb list",
        false},
       {"ping", "liveness probe", false},
-      {"load", "load a RunMetrics JSON file into the shared catalog", true},
-      {"list", "enumerate the runs resident in the catalog", false},
+      {"load",
+       "load a run file (text or packed .dvr) into the shared catalog; "
+       "params.lazy attaches it for on-demand materialization",
+       true},
+      {"list", "enumerate catalog runs, resident and attached", false},
       {"use", "set this session's default run", false},
       {"window", "set or clear this session's time window", false},
       {"brush", "set, replace, or clear this session's attribute brushes",
@@ -173,6 +187,22 @@ json::Value Server::verb_load(Session& s, const json::Value& p) {
   if (path.empty()) {
     throw VerbError(ErrorCode::kBadRequest, "load needs params.path");
   }
+  if (p.get_bool("lazy", false)) {
+    // Attach only: the parse + dataset build are deferred to the first
+    // verb that actually touches the run.
+    std::string name;
+    try {
+      name = catalog_.attach(path, p.get_string("name", ""));
+    } catch (const Error& e) {
+      throw VerbError(ErrorCode::kNotFound, e.what());
+    }
+    if (s.run_name.empty()) s.run_name = name;
+    json::Object o;
+    o["name"] = json::Value(name);
+    o["source"] = json::Value(path);
+    o["resident"] = json::Value(false);
+    return json::Value(std::move(o));
+  }
   std::shared_ptr<const LoadedRun> lr;
   try {
     lr = catalog_.load(path, p.get_string("name", ""));
@@ -186,6 +216,9 @@ json::Value Server::verb_load(Session& s, const json::Value& p) {
 json::Value Server::verb_list(Session&, const json::Value&) {
   json::Array runs;
   for (const auto& lr : catalog_.list()) runs.push_back(run_info(*lr));
+  for (const auto& p : catalog_.list_pending()) {
+    runs.push_back(pending_info(p));
+  }
   json::Object o;
   o["runs"] = json::Value(std::move(runs));
   return json::Value(std::move(o));
@@ -423,6 +456,18 @@ json::Value Server::stats_json(const Session* session) const {
   server["workers"] = json::Value(opts_.workers);
   server["max_queue"] = json::Value(opts_.max_queue);
   server["runs"] = json::Value(catalog_.size());
+  server["runs_resident"] = json::Value(catalog_.resident());
+  server["runs_pending"] = json::Value(catalog_.pending());
+
+  // Packed-store reader counters: how much of the mapped .dvr bytes
+  // queries actually touched, and how many chunks zone maps pruned.
+  const metrics::DvrStats ds = metrics::dvr_stats();
+  json::Object store;
+  store["dvr_opens"] = json::Value(ds.opens);
+  store["dvr_bytes_mapped"] = json::Value(ds.bytes_mapped);
+  store["dvr_chunks_read"] = json::Value(ds.chunks_read);
+  store["dvr_chunk_bytes_read"] = json::Value(ds.chunk_bytes_read);
+  store["dvr_chunks_pruned"] = json::Value(ds.chunks_pruned);
 
   const core::QueryStats cs = catalog_.cache()->stats();
   json::Object cache;
@@ -451,6 +496,7 @@ json::Value Server::stats_json(const Session* session) const {
 
   json::Object o;
   o["server"] = json::Value(std::move(server));
+  o["store"] = json::Value(std::move(store));
   o["cache"] = json::Value(std::move(cache));
   o["latency_ms"] = json::Value(std::move(latency));
   if (session != nullptr) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/kernels.hpp"
+
 namespace dv {
 
 void Accumulator::add(double x) {
@@ -52,6 +54,13 @@ std::size_t Histogram::bin_of(double x) const {
 void Histogram::add(double x, double weight) {
   counts_[bin_of(x)] += weight;
   total_ += weight;
+}
+
+void Histogram::add_n(const double* xs, std::size_t n) {
+  std::vector<std::uint32_t> bins(n);
+  kernels::histogram_bins(xs, n, lo_, hi_, counts_.size(), bins.data());
+  for (std::size_t i = 0; i < n; ++i) counts_[bins[i]] += 1.0;
+  total_ += static_cast<double>(n);
 }
 
 double Histogram::bin_lo(std::size_t b) const {

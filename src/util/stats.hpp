@@ -40,6 +40,10 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x, double weight = 1.0);
+  /// Batch insert with unit weight: bin indices are computed in one
+  /// vectorizable pass (kernels::histogram_bins), then counts accumulate
+  /// in input order — equivalent to calling add(xs[i]) for each i.
+  void add_n(const double* xs, std::size_t n);
   std::size_t bins() const { return counts_.size(); }
   double bin_lo(std::size_t b) const;
   double bin_hi(std::size_t b) const;
