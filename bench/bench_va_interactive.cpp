@@ -12,9 +12,11 @@
 //   cached   — the warmed engine re-answers the same brushes (pure hits).
 //
 // Emits bench_out/BENCH_va.json and checks cached >= 10x cold. When a
-// previous BENCH_va.json exists (DV_BENCH_BASELINE overrides the path, as
-// in CI's perf-smoke leg), the windowed/cached per-query rates must stay
-// within 25% of it — the same band as the event-rate gate.
+// previous BENCH_va.json exists (DV_BENCH_BASELINE overrides the path),
+// the windowed/cached per-query rates must stay within 25% of it — a
+// same-machine floor for local runs; CI disables it (DV_BENCH_BASELINE=
+// /dev/null) and gates only on machine-relative speedups, because
+// absolute timings do not transfer across runner hardware.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -67,9 +69,8 @@ struct Mode {
 };
 
 /// ms_per_query recorded for `mode` in a previous BENCH_va.json, or 0 when
-/// the file is missing/unreadable. `DV_BENCH_BASELINE` overrides the path
-/// (CI points it at the checked-in baseline before this run overwrites the
-/// default location).
+/// the file is missing/unreadable (0 skips the floor — CI points
+/// `DV_BENCH_BASELINE` at /dev/null for exactly that effect).
 double read_baseline_ms(const std::string& default_path,
                         const std::string& mode) {
   const char* env = std::getenv("DV_BENCH_BASELINE");

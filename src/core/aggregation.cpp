@@ -28,7 +28,11 @@ void Aggregation::build() {
   // before any scan, and one disjoint from it empties the result outright.
   // Either way the surviving rows are exactly those of the scalar loop:
   // filter_range_mask keeps NaN cells like the original predicate did, and
-  // the extent skips are exact because metric columns are NaN-free.
+  // the extent skips are exact because metric columns are NaN-free (the
+  // documented DataTable invariant). Every filter is validated — range
+  // orientation and column existence — before any short-circuit takes
+  // effect, so an inverted later range still throws even when an earlier
+  // filter already proved the result empty.
   filtered_rows_.clear();
   bool disjoint = false;
   std::vector<const std::vector<double>*> fcols;
@@ -37,9 +41,10 @@ void Aggregation::build() {
     DV_REQUIRE(f.lo <= f.hi, "filter range inverted for " + f.attr);
     const auto& col = t.column(f.attr);
     const auto [lo, hi] = t.extent(f.attr);
+    if (disjoint) continue;  // masks are moot; keep validating the rest
     if (t.rows() > 0 && (f.hi < lo || f.lo > hi)) {
       disjoint = true;
-      break;
+      continue;
     }
     if (f.lo <= lo && hi <= f.hi) continue;  // passes every row
     fcols.push_back(&col);

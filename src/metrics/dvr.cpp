@@ -405,21 +405,47 @@ void save_dvr(const RunMetrics& run, const std::string& path) {
     w.pod(c.meta.zmax);
   }
 
-  // Atomic publish: a crashed writer leaves at worst a stale .tmp, never
-  // a torn .dvr a catalog could open.
+  atomic_write_file(path, w.bytes().data(), w.size());
+}
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    DV_REQUIRE(os.good(), "cannot open for writing: " + tmp);
-    os.write(reinterpret_cast<const char*>(w.bytes().data()),
-             static_cast<std::streamsize>(w.size()));
-    DV_REQUIRE(os.good(), "write failed: " + tmp);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  DV_REQUIRE(fd >= 0, "cannot open for writing: " + tmp);
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t put = 0;
+  bool ok = true;
+  while (ok && put < size) {
+    const ssize_t n = ::write(fd, p + put, size - put);
+    if (n < 0) {
+      ok = false;
+    } else {
+      put += static_cast<std::size_t>(n);
+    }
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
+  // Durability before visibility: without this fsync the rename below can
+  // survive a power loss while the data does not, publishing a truncated
+  // file under the final name on some filesystems.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    throw Error("write failed: " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
     throw Error("cannot rename " + tmp + " -> " + path);
+  }
+  // Best-effort: persist the directory entry too. Some filesystems refuse
+  // to fsync a directory fd, so failures here are not fatal — the data
+  // itself is already durable.
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
 }
 
@@ -538,11 +564,45 @@ DvrFile::DvrFile(const std::string& path) : path_(path) {
       c.row0 = r.pod<std::uint64_t>();
       c.zmin = r.pod<double>();
       c.zmax = r.pod<double>();
-      DV_REQUIRE(c.offset + c.bytes <= size_,
+      // Subtraction/division forms: the additive `offset + bytes <= size`
+      // and multiplicative `bytes == rows * elem` checks both wrap on
+      // crafted uint64 values and would admit out-of-range chunks.
+      DV_REQUIRE(c.offset <= size_ && c.bytes <= size_ - c.offset,
                  "chunk past end of .dvr file: " + path);
-      DV_REQUIRE(c.bytes ==
-                     c.rows * dvr_type_size(static_cast<DvrType>(c.dtype)),
+      const std::uint64_t elem =
+          dvr_type_size(static_cast<DvrType>(c.dtype));
+      DV_REQUIRE(c.bytes % elem == 0 && c.rows == c.bytes / elem,
                  "chunk size/dtype mismatch in " + path);
+      // Series chunks address a frames x entities slab, so series() can
+      // only memcpy safely if every chunk's [row0, row0 + rows/entities)
+      // frame range is representable and consistent with the header's
+      // entity count. A frame costs entities * sizeof(float) payload
+      // bytes, so no genuine frame index can exceed size_ / that — which
+      // also keeps the frames * entities allocation arithmetic overflow-
+      // free for everything the directory admits.
+      const auto series_base =
+          static_cast<std::uint16_t>(DvrSection::kSeriesBase);
+      if (c.section >= series_base &&
+          c.section < series_base + kDvrSeriesCount) {
+        const std::uint64_t entities =
+            series_entities(c.section - series_base);
+        if (c.rows > 0) {
+          DV_REQUIRE(entities > 0,
+                     "series chunk for an empty entity class in " + path);
+          DV_REQUIRE(c.rows % entities == 0,
+                     "series chunk rows not a multiple of the entity "
+                     "count in " +
+                         path);
+        }
+        if (entities > 0) {
+          const std::uint64_t max_frames =
+              size_ / (entities * sizeof(float));
+          const std::uint64_t chunk_frames = c.rows / entities;
+          DV_REQUIRE(
+              chunk_frames <= max_frames && c.row0 <= max_frames - chunk_frames,
+              "series chunk frame range exceeds file in " + path);
+        }
+      }
       chunks_.push_back(c);
     }
   } catch (...) {
@@ -736,6 +796,10 @@ SampledSeries DvrFile::series(std::size_t id) const {
     if (c.section != section || c.rows == 0) continue;
     DV_REQUIRE(static_cast<DvrType>(c.dtype) == DvrType::kF32,
                "series chunk dtype mismatch in " + path_);
+    // The constructor admits only chunks whose frame range fits the slab;
+    // this invariant is what makes the raw memcpy below safe.
+    DV_CHECK(c.row0 * entities + c.rows <= data.size(),
+             "series chunk outside slab in " + path_);
     std::memcpy(data.data() + c.row0 * entities, payload(c), c.bytes);
   }
   return SampledSeries::adopt(entities, sample_dt_, std::move(data));

@@ -73,8 +73,17 @@ struct DvrChunk {
 /// caches persisted across sessions can key on it.
 std::uint64_t run_content_uid(const RunMetrics& run);
 
-/// Writes `run` as a .dvr file (atomically: tmp + rename).
+/// Writes `run` as a .dvr file (atomically and durably: tmp + fsync +
+/// rename).
 void save_dvr(const RunMetrics& run, const std::string& path);
+
+/// Atomic durable file publish shared by the .dvr writer and the run-store
+/// index: writes `size` bytes to `path + ".tmp"`, fsyncs, renames over
+/// `path`, then best-effort fsyncs the containing directory. A crash or
+/// power loss leaves either the old file or the complete new one — never a
+/// torn or truncated file under the final name.
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size);
 
 /// True when the file starts with the DVR1 magic (format dispatch sniffs
 /// bytes, not extensions).

@@ -151,22 +151,11 @@ void RunStore::save_index() const {
     o["uid"] = json::Value(std::to_string(info.uid));
     arr.emplace_back(std::move(o));
   }
-  // Atomic publish: write to a temp file, then rename over index.json, so
-  // a reader (or a crash) never observes a torn index.
+  // Atomic durable publish (tmp + fsync + rename): a reader, a crash, or
+  // even a power loss never observes a torn index.
   const auto path = (fs::path(dir_) / "index.json").string();
-  const auto tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    DV_REQUIRE(os.good(), "cannot write run store index");
-    os << json::dump(json::Value(std::move(arr)), 2);
-    DV_REQUIRE(os.good(), "run store index write failed");
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw Error("cannot publish run store index: " + path);
-  }
+  const auto text = json::dump(json::Value(std::move(arr)), 2);
+  atomic_write_file(path, text.data(), text.size());
 }
 
 void RunStore::load_index() {

@@ -75,7 +75,7 @@ class RunStore {
 
  private:
   std::string path_of(const std::string& name, StoreFormat format) const;
-  void save_index() const;  // atomic: tmp + rename
+  void save_index() const;  // atomic + durable: tmp + fsync + rename
   void load_index();
 
   std::string dir_;

@@ -119,6 +119,23 @@ TEST(Aggregation, FilterOnMissingColumnThrows) {
   EXPECT_THROW(Aggregation(t, inverted), Error);
 }
 
+TEST(Aggregation, DisjointFilterStillValidatesLaterFilters) {
+  const auto t = make_table(10, 2);
+  // A filter disjoint from the column extent empties the result…
+  AggregationSpec disjoint;
+  disjoint.filters = {{"val", 100.0, 200.0}};
+  EXPECT_TRUE(Aggregation(t, disjoint).filtered_rows().empty());
+  // …but must not short-circuit validation of the filters after it: an
+  // inverted later range or a later filter on a missing column still
+  // throws instead of silently yielding the empty result.
+  AggregationSpec inverted;
+  inverted.filters = {{"val", 100.0, 200.0}, {"val", 5.0, 1.0}};
+  EXPECT_THROW(Aggregation(t, inverted), Error);
+  AggregationSpec missing;
+  missing.filters = {{"val", 100.0, 200.0}, {"nope", 0.0, 1.0}};
+  EXPECT_THROW(Aggregation(t, missing), Error);
+}
+
 TEST(Aggregation, Reducers) {
   DataTable t;
   t.add_column("k", {0, 0, 0});

@@ -11,6 +11,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -233,6 +234,94 @@ TEST(DvrFormat, RejectsTruncatedAndForeignFiles) {
   }
   EXPECT_FALSE(metrics::is_dvr_file(path));
   EXPECT_THROW(metrics::DvrFile{path}, Error);
+  std::remove(path.c_str());
+}
+
+TEST(DvrFormat, RejectsMalformedChunkDirectory) {
+  const auto run = dvr_sample_run(true);
+  const auto path = temp_path("dv_dvr_malformed.dvr");
+  metrics::save_dvr(run, path);
+  std::string orig;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    orig = buf.str();
+  }
+  auto rd = [](const std::string& b, std::size_t at, auto v) {
+    std::memcpy(&v, b.data() + at, sizeof(v));
+    return v;
+  };
+  auto wr = [](std::string& b, std::size_t at, auto v) {
+    std::memcpy(b.data() + at, &v, sizeof(v));
+  };
+  // Fixed header layout (docs/RUN_FORMAT.md): chunk count at byte 72,
+  // directory offset at 76; 56-byte directory entries of
+  // section/column/dtype/reserved u16s then offset/bytes/rows/row0 u64s.
+  const auto n_chunks = rd(orig, 72, std::uint32_t{});
+  const auto dir = rd(orig, 76, std::uint64_t{});
+  std::size_t series_at = 0, f64_at = 0;
+  for (std::uint32_t i = 0; i < n_chunks; ++i) {
+    const std::size_t at = dir + i * 56;
+    const auto section = rd(orig, at, std::uint16_t{});
+    const auto dtype = rd(orig, at + 4, std::uint16_t{});
+    const auto rows = rd(orig, at + 24, std::uint64_t{});
+    if (rows == 0) continue;
+    if (section >= 16 && series_at == 0) series_at = at;
+    if (dtype == 1 && f64_at == 0) f64_at = at;  // a kF64 column
+  }
+  ASSERT_NE(series_at, 0u);
+  ASSERT_NE(f64_at, 0u);
+
+  auto expect_rejected = [&](const char* what, auto mutate) {
+    std::string bytes = orig;
+    mutate(bytes);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.close();
+    EXPECT_THROW(metrics::DvrFile{path}, Error) << what;
+  };
+
+  // Series chunk whose rows are not a multiple of the entity count: the
+  // payload no longer tiles the frames x entities slab, so series() would
+  // memcpy past its allocation. bytes is kept consistent with the dtype
+  // so only the series-shape validation can catch it.
+  expect_rejected("series rows not a multiple of entities", [&](auto& b) {
+    const auto rows = rd(b, series_at + 24, std::uint64_t{});
+    wr(b, series_at + 24, rows - 1);
+    wr(b, series_at + 16, (rows - 1) * sizeof(float));
+  });
+  // Series chunks claiming the header's entity class is empty while still
+  // carrying payload rows.
+  expect_rejected("series rows with zero entities", [&](auto& b) {
+    const auto section = rd(b, series_at, std::uint16_t{});
+    const std::size_t count_at =
+        section < 18 ? 56 : section < 20 ? 60 : 64;  // n_local/global/term
+    wr(b, count_at, std::uint32_t{0});
+  });
+  // offset + bytes wrapping past 2^64 — an additive bound check passes.
+  expect_rejected("chunk offset overflow", [&](auto& b) {
+    wr(b, f64_at + 8, std::numeric_limits<std::uint64_t>::max() - 4);
+  });
+  // rows * elem_size wrapping back to the real byte count — a
+  // multiplicative size/dtype check passes.
+  expect_rejected("chunk rows overflow", [&](auto& b) {
+    const auto bytes = rd(b, f64_at + 16, std::uint64_t{});
+    wr(b, f64_at + 24, (std::uint64_t{1} << 61) + bytes / 8);
+  });
+  // A frame index far past anything the file can back: frames * entities
+  // would overflow the slab allocation arithmetic in series().
+  expect_rejected("series frame index overflow", [&](auto& b) {
+    wr(b, series_at + 32, std::uint64_t{1} << 62);
+  });
+
+  // The pristine bytes still open and materialize.
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(orig.data(), static_cast<std::streamsize>(orig.size()));
+  }
+  EXPECT_EQ(metrics::run_content_uid(metrics::load_dvr(path)),
+            metrics::run_content_uid(run));
   std::remove(path.c_str());
 }
 
