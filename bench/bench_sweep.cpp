@@ -1,0 +1,112 @@
+// Sweep throughput: the flow backend's reason to exist. Fans the same
+// 8-point design grid (workload x routing x load) through `run_sweep`
+// under both backends and reports the wall-clock ratio. The grid is the
+// byte-heavy/bundle-light regime sweeps live in (structured patterns,
+// hundreds of demand pairs, large per-pair volumes) — the packet
+// simulator resolves every 2 KB packet while the flow backend solves a
+// few hundred water-filling epochs, so the gap is large by construction.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "app/sweep.hpp"
+#include "bench_common.hpp"
+
+namespace dv {
+namespace {
+
+std::string temp_store(const std::string& leaf) {
+  const auto dir = (std::filesystem::temp_directory_path() / leaf).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+app::SweepConfig grid(const std::string& store_dir, app::Backend backend) {
+  app::SweepConfig cfg;
+  cfg.base.dragonfly_p = 3;  // canonical 342-terminal dragonfly
+  cfg.base.window = 1.0e5;
+  cfg.base.seed = 5;
+  cfg.base.backend = backend;
+  cfg.base.jobs.push_back(app::JobSpec{});  // overwritten per point
+  cfg.workloads = {"nearest_neighbor", "transpose"};
+  cfg.routings = {"minimal", "adaptive"};
+  cfg.scales = {32.0, 64.0};
+  cfg.store_dir = store_dir;
+  return cfg;
+}
+
+}  // namespace
+}  // namespace dv
+
+int main(int argc, char** argv) {
+  using namespace dv;
+  bench::parse_args(argc, argv);
+  bench::banner("sweep",
+                "a design-space sweep under the flow backend is >= 20x "
+                "faster than the same grid under the packet simulator");
+
+  const auto flow_dir = temp_store("dv_bench_sweep_flow");
+  const auto pkt_dir = temp_store("dv_bench_sweep_packet");
+
+  // median_seconds re-runs the sweep into the same store each rep, which
+  // also exercises the idempotent replace-in-place path continuously.
+  app::SweepResult flow_res, pkt_res;
+  const double flow_s = bench::median_seconds(
+      5, [&] { flow_res = app::run_sweep(grid(flow_dir, app::Backend::kFlow)); });
+  const double pkt_s = bench::median_seconds(
+      5, [&] { pkt_res = app::run_sweep(grid(pkt_dir, app::Backend::kPacket)); });
+  const double speedup = pkt_s / flow_s;
+
+  std::printf("%-38s %12s %12s\n", "grid point", "flow uid", "packet uid");
+  for (std::size_t i = 0; i < flow_res.points.size(); ++i) {
+    std::printf("%-38s %12llu %12llu\n", flow_res.points[i].name.c_str(),
+                static_cast<unsigned long long>(flow_res.points[i].uid),
+                static_cast<unsigned long long>(pkt_res.points[i].uid));
+  }
+  std::printf("flow   %8.3f s per 8-point sweep\n", flow_s);
+  std::printf("packet %8.3f s per 8-point sweep\n", pkt_s);
+  std::printf("speedup: %.1fx\n", speedup);
+
+  // A fresh store must reproduce the exact same run content uids.
+  const auto fresh_dir = temp_store("dv_bench_sweep_flow_fresh");
+  const auto fresh = app::run_sweep(grid(fresh_dir, app::Backend::kFlow));
+  bool uids_match = fresh.points.size() == flow_res.points.size();
+  for (std::size_t i = 0; uids_match && i < fresh.points.size(); ++i) {
+    uids_match = fresh.points[i].uid == flow_res.points[i].uid;
+  }
+
+  bench::shape_check(flow_res.points.size() == 8 && pkt_res.points.size() == 8,
+                     "both backends complete the full 8-point grid");
+  bench::shape_check(uids_match,
+                     "flow sweep into a fresh store reproduces identical uids");
+  bench::shape_check(speedup >= 20.0,
+                     "flow backend sweeps the grid >= 20x faster than packet");
+
+  const std::string path = bench::out_path("BENCH_sweep.json");
+  std::ofstream os(path, std::ios::binary);
+  os << "{\n  \"benchmark\": \"sweep_flow_vs_packet\",\n"
+     << "  \"provenance\": " << bench::provenance_json() << ",\n"
+     << "  \"grid_points\": 8,\n"
+     << "  \"workloads\": [\"nearest_neighbor\", \"transpose\"],\n"
+     << "  \"routings\": [\"minimal\", \"adaptive\"],\n"
+     << "  \"scales\": [32, 64],\n"
+     << "  \"seconds_flow\": " << flow_s << ",\n"
+     << "  \"seconds_packet\": " << pkt_s << ",\n"
+     << "  \"speedup_flow_vs_packet\": " << speedup << ",\n"
+     << "  \"points\": [\n";
+  for (std::size_t i = 0; i < flow_res.points.size(); ++i) {
+    os << "    {\"name\": \"" << flow_res.points[i].name
+       << "\", \"uid_flow\": " << flow_res.points[i].uid
+       << ", \"uid_packet\": " << pkt_res.points[i].uid << "}"
+       << (i + 1 < flow_res.points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+
+  std::filesystem::remove_all(flow_dir);
+  std::filesystem::remove_all(pkt_dir);
+  std::filesystem::remove_all(fresh_dir);
+  return bench::footer();
+}

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "app/runner.hpp"
+#include "app/sweep.hpp"
 #include "core/comparison.hpp"
 #include "fault/fault.hpp"
 #include "obs/profile.hpp"
@@ -197,6 +198,8 @@ int cmd_sim(const Args& args) {
   cfg.sample_dt = args.num_or("sample-dt", 0.0);
   cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
   cfg.parallel = static_cast<std::uint32_t>(args.num_or("parallel", 0));
+  cfg.backend = backend_from_string(args.one_or("backend", "packet"));
+  cfg.flow_epoch_dt = args.num_or("epoch-dt", 0.0);
   cfg.faults = parse_fault_args(args);
   apply_fault_params(args, cfg.params);
   const auto jobs = args.many("job");
@@ -239,6 +242,68 @@ int cmd_sim(const Args& args) {
   }
   std::printf("wrote %s\n", out.c_str());
   maybe_write_profile(args, out);
+  return 0;
+}
+
+/// Collects a sweep axis from repeatable --<singular> options plus a
+/// comma-separated --<plural> list, e.g. --workload ur --workloads a,b.
+std::vector<std::string> axis_values(const Args& args,
+                                     const std::string& singular,
+                                     const std::string& plural) {
+  std::vector<std::string> vals = args.many(singular);
+  for (const auto& lst : args.many(plural)) {
+    for (const auto& v : split(lst, ',')) {
+      if (!trim(v).empty()) vals.push_back(trim(v));
+    }
+  }
+  return vals;
+}
+
+int cmd_sweep(const Args& args) {
+  obs::reset();
+  SweepConfig cfg;
+  cfg.base.dragonfly_p = static_cast<std::uint32_t>(args.num_or("p", 3));
+  cfg.base.window = args.num_or("window", 2.0e6);
+  cfg.base.sample_dt = args.num_or("sample-dt", 0.0);
+  cfg.base.seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
+  cfg.base.backend = backend_from_string(args.one_or("backend", "flow"));
+  cfg.base.flow_epoch_dt = args.num_or("epoch-dt", 0.0);
+  cfg.base.parallel =
+      static_cast<std::uint32_t>(args.num_or("parallel", 0));
+  cfg.base.synthetic_bytes_per_rank = static_cast<std::uint64_t>(
+      args.num_or("bytes-per-rank",
+                  static_cast<double>(cfg.base.synthetic_bytes_per_rank)));
+
+  cfg.workloads = axis_values(args, "workload", "workloads");
+  cfg.routings = axis_values(args, "routing", "routings");
+  for (const auto& s : axis_values(args, "scale", "scales")) {
+    cfg.scales.push_back(std::stod(s));
+  }
+  if (cfg.workloads.empty()) cfg.workloads = {"uniform_random"};
+  if (cfg.routings.empty()) cfg.routings = {"adaptive"};
+  if (cfg.scales.empty()) cfg.scales = {1.0};
+
+  cfg.store_dir = args.one("store");
+  cfg.format =
+      metrics::store_format_from_string(args.one_or("format", "dvr"));
+  cfg.report_path = args.one_or("report", "");
+  cfg.report_spec = args.one_or("spec", "preset:overview");
+  cfg.report_title = args.one_or("title", "dragonviz sweep");
+
+  const SweepResult res = run_sweep(cfg);
+  for (const auto& p : res.points) {
+    std::printf("point %-40s uid=%llu end=%.0f ns %.3fs wall\n",
+                p.name.c_str(), static_cast<unsigned long long>(p.uid),
+                p.end_time, p.wall_seconds);
+  }
+  std::printf("sweep: %zu points (%s backend) into %s in %.2fs\n",
+              res.points.size(), to_string(cfg.base.backend).c_str(),
+              cfg.store_dir.c_str(), res.wall_seconds);
+  if (!res.report_path.empty()) {
+    std::printf("wrote %s\n", res.report_path.c_str());
+  }
+  maybe_write_profile(args, res.report_path.empty() ? cfg.store_dir + "/sweep"
+                                                    : res.report_path);
   return 0;
 }
 
@@ -628,6 +693,17 @@ int cmd_serve(const Args& args) {
       std::printf("preloaded '%s' from %s\n", name.c_str(), path.c_str());
     }
   }
+  // --store DIR: lazily attach every run of a RunStore (e.g. a sweep's
+  // output) — entries materialize on first use, so sweep-scale catalogs
+  // open instantly.
+  for (const auto& dir : args.many("store")) {
+    const metrics::RunStore store(dir);
+    for (const auto& info : store.list()) {
+      server.catalog().attach(store.path(info.name), info.name);
+    }
+    std::printf("attached store %s (%zu runs, lazy)\n", dir.c_str(),
+                store.size());
+  }
 
   g_server = &server;
   struct sigaction sa = {};
@@ -764,6 +840,19 @@ void print_help() {
       "           SPEC: link:g0.r1->g2.r0@T0[:T1] | link:g0->g2@T0[:T1] |\n"
       "           router:g1.r2@T0[:T1], times in ns, no T1 = permanent)\n"
       "           [--fault-retry-base NS] [--fault-retry-budget N]\n"
+      "           [--backend packet|flow]  (flow: max-min water-filling\n"
+      "           fluid model — same RunMetrics schema, orders of magnitude\n"
+      "           faster; no faults) [--epoch-dt NS]\n"
+      "  sweep    --store DIR [--backend packet|flow] [--p N]\n"
+      "           [--workloads a,b|--workload W ...]\n"
+      "           [--routings a,b|--routing R ...]"
+      " [--scales 0.5,1|--scale F ...]\n"
+      "           [--window NS] [--seed N] [--sample-dt NS]"
+      " [--bytes-per-rank B]\n"
+      "           [--format text|dvr] [--report out.html]"
+      " [--spec S] [--title T]\n"
+      "           (fans the grid, one packed run per point, deterministic\n"
+      "           content uids; report = side-by-side shared-scale panels)\n"
       "  render   --run run.json --spec spec.json --out view.svg [--size PX]\n"
       "           [--focus ring:item]   (click-to-focus drill-down)\n"
       "           [--window T0:T1]      (time-window the aggregation, ns)\n"
@@ -788,6 +877,8 @@ void print_help() {
       "  serve    [--listen unix:/path|tcp:PORT] [--run [name=]run.json ...]\n"
       "           [--lazy]  (attach preloads without materializing; runs\n"
       "           parse on first use — sweep-scale catalogs open instantly)\n"
+      "           [--store DIR ...]  (lazily attach every run of a RunStore,\n"
+      "           e.g. a sweep's output directory)\n"
       "           [--workers N] [--max-queue N] [--max-sessions N]\n"
       "           [--cache-capacity N] [--cache-shards N]"
       " [--ready-file F]\n"
@@ -819,6 +910,7 @@ int run_cli(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = Args::parse(argc, argv, 2);
   if (cmd == "sim") return cmd_sim(args);
+  if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "render") return cmd_render(args);
   if (cmd == "session") return cmd_session(args);
   if (cmd == "compare") return cmd_compare(args);

@@ -4,9 +4,22 @@
 #include <cstdlib>
 #include <memory>
 
+#include "flow/flow.hpp"
+#include "util/str.hpp"
 #include "workload/workload.hpp"
 
 namespace dv::app {
+
+Backend backend_from_string(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "packet" || n == "netsim" || n == "pdes") return Backend::kPacket;
+  if (n == "flow" || n == "fluid") return Backend::kFlow;
+  throw Error("unknown backend: " + name + " (expected packet|flow)");
+}
+
+std::string to_string(Backend b) {
+  return b == Backend::kFlow ? "flow" : "packet";
+}
 
 namespace {
 
@@ -91,15 +104,16 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   out.placement = placement::place_jobs(out.topo, requests, cfg.seed);
 
-  netsim::Network net(out.topo, cfg.routing, cfg.params, cfg.seed);
-  net.set_jobs(out.placement);
   std::string workload_label;
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (i) workload_label += "+";
     workload_label += names[i];
   }
-  net.set_labels(workload_label, cfg.placement_label(), names);
 
+  // Generate every job's terminal-level messages up front — the backends
+  // consume the identical message list, which is what makes flow-vs-packet
+  // runs directly comparable.
+  std::vector<netsim::Message> messages;
   for (std::size_t j = 0; j < cfg.jobs.size(); ++j) {
     workload::Config wcfg;
     wcfg.ranks = requests[j].ranks;
@@ -109,8 +123,35 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     wcfg.neighbor_stride =
         cfg.nn_stride ? cfg.nn_stride : out.topo.terminals_per_router();
     const auto msgs = workload::generate(cfg.jobs[j].workload, wcfg);
-    net.add_messages(workload::map_to_terminals(msgs, out.placement, j));
+    const auto mapped = workload::map_to_terminals(msgs, out.placement, j);
+    messages.insert(messages.end(), mapped.begin(), mapped.end());
   }
+
+  if (cfg.backend == Backend::kFlow) {
+    DV_REQUIRE(cfg.faults.empty(),
+               "the flow backend does not model faults; use --backend packet");
+    flow::FlowNetwork net(out.topo, cfg.routing, cfg.params, cfg.seed);
+    net.set_jobs(out.placement);
+    net.set_labels(workload_label, cfg.placement_label(), names);
+    net.add_messages(messages);
+    if (cfg.sample_dt > 0) net.enable_sampling(cfg.sample_dt);
+    if (cfg.flow_epoch_dt > 0) net.set_epoch_dt(cfg.flow_epoch_dt);
+    setup_phase.reset();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    out.run = net.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    out.partitions = 1;
+    out.events = net.epochs();  // the flow analog of an event count
+    out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.profile = obs::capture();
+    return out;
+  }
+
+  netsim::Network net(out.topo, cfg.routing, cfg.params, cfg.seed);
+  net.set_jobs(out.placement);
+  net.set_labels(workload_label, cfg.placement_label(), names);
+  net.add_messages(messages);
 
   if (!cfg.faults.empty()) net.set_fault_plan(cfg.faults);
   if (cfg.sample_dt > 0) net.enable_sampling(cfg.sample_dt);

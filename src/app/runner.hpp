@@ -17,6 +17,14 @@
 
 namespace dv::app {
 
+/// Simulation backend: the packet-level PDES reference or the flow-level
+/// max-min water-filling model (src/flow) — same RunMetrics schema, so
+/// everything downstream of run_experiment is backend-agnostic.
+enum class Backend { kPacket, kFlow };
+
+Backend backend_from_string(const std::string& name);  // throws on unknown
+std::string to_string(Backend b);
+
 /// One job in an experiment.
 struct JobSpec {
   std::string workload;  ///< a dv::workload generator name
@@ -44,6 +52,12 @@ struct ExperimentConfig {
   netsim::Params params;
   /// Scheduled link/router outages (empty = healthy network).
   fault::FaultPlan faults;
+  /// Simulation backend. The flow backend ignores `parallel` and rejects
+  /// non-empty `faults` (no fluid fault model).
+  Backend backend = Backend::kPacket;
+  /// Flow backend epoch length in ns (0 = auto; locked to sample_dt when
+  /// sampling is on).
+  double flow_epoch_dt = 0.0;
 
   /// Human-readable placement label ("contiguous", "random_router",
   /// "hybrid(...)" when jobs differ).

@@ -1,0 +1,761 @@
+#include "flow/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+#include "obs/obs.hpp"
+
+namespace dv::flow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Byte residue below which a backlog counts as drained (float noise from
+/// rate*dt round trips, never a meaningful fraction of any message).
+constexpr double kByteEps = 1e-6;
+/// A link is saturated when its load reaches this fraction of capacity.
+constexpr double kSatFrac = 1.0 - 1e-6;
+/// Runaway guard: no sane configuration needs more epochs than this.
+constexpr std::uint64_t kMaxEpochs = 1u << 22;
+
+}  // namespace
+
+// ------------------------------------------------------------- water_fill
+
+SolverResult water_fill(const std::vector<double>& capacity,
+                        const std::vector<SolverFlow>& flows) {
+  const std::size_t nf = flows.size();
+  const std::size_t nl = capacity.size();
+  SolverResult out;
+  out.rates.assign(nf, 0.0);
+  out.link_load.assign(nl, 0.0);
+  if (nf == 0) return out;
+
+  std::vector<std::uint32_t> count(nl, 0);   // alive crossings per link
+  std::vector<double> frozen_load(nl, 0.0);  // load contributed by frozen flows
+  std::vector<std::uint8_t> alive(nf, 1);
+  std::size_t n_alive = 0;
+
+  // Used-link list: everything below touches only links some active flow
+  // crosses, so sparse traffic on a big topology stays cheap.
+  std::vector<std::uint32_t> used;
+  for (std::size_t f = 0; f < nf; ++f) {
+    DV_REQUIRE(flows[f].rate_cap >= 0.0, "negative rate cap");
+    for (const std::uint32_t l : flows[f].links) {
+      DV_REQUIRE(l < nl, "flow crosses a link outside the capacity vector");
+      if (count[l]++ == 0) used.push_back(l);
+    }
+    if (flows[f].rate_cap <= 0.0) {
+      alive[f] = 0;  // zero-demand flow: rate stays 0
+      for (const std::uint32_t l : flows[f].links) --count[l];
+    } else if (flows[f].links.empty() &&
+               !std::isfinite(flows[f].rate_cap)) {
+      throw Error("unconstrained flow: no links and no rate cap");
+    } else {
+      ++n_alive;
+    }
+  }
+
+  // Per-link flow lists, so an exhausted link freezes its flows in O(deg).
+  std::vector<std::uint32_t> adj_start(nl + 1, 0);
+  {
+    std::vector<std::uint32_t> deg(nl, 0);
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (!alive[f]) continue;
+      for (const std::uint32_t l : flows[f].links) ++deg[l];
+    }
+    for (const std::uint32_t l : used) adj_start[l + 1] = deg[l];
+    for (std::size_t l = 0; l < nl; ++l) adj_start[l + 1] += adj_start[l];
+  }
+  std::vector<std::uint32_t> adj(adj_start[nl]);
+  {
+    std::vector<std::uint32_t> fill(nl, 0);
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (!alive[f]) continue;
+      for (const std::uint32_t l : flows[f].links) {
+        adj[adj_start[l] + fill[l]++] = static_cast<std::uint32_t>(f);
+      }
+    }
+  }
+
+  // Progressive filling with an implicit water level W: every unfrozen
+  // rate equals W, so a round never touches the alive flows at all. Cap
+  // freezes happen in ascending cap order (a pointer into the cap-sorted
+  // id list); link exhaustion levels live in a lazy min-heap keyed by the
+  // level W at which link l fills: frozen_load[l] + count[l]*W == cap_l.
+  // Entries go stale when a freeze changes a link; each change pushes a
+  // fresh entry and bumps the link's stamp, and pops skip mismatches.
+  // Total cost O((flows + crossings) log links) instead of the quadratic
+  // freeze-one-flow-per-round-with-full-rescans loop.
+  std::vector<std::uint32_t> by_cap;
+  by_cap.reserve(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (alive[f] && std::isfinite(flows[f].rate_cap)) {
+      by_cap.push_back(static_cast<std::uint32_t>(f));
+    }
+  }
+  std::sort(by_cap.begin(), by_cap.end(),
+            [&flows](std::uint32_t a, std::uint32_t b) {
+              if (flows[a].rate_cap != flows[b].rate_cap) {
+                return flows[a].rate_cap < flows[b].rate_cap;
+              }
+              return a < b;
+            });
+
+  struct LinkLevel {
+    double w;
+    std::uint32_t link;
+    std::uint32_t stamp;
+    bool operator>(const LinkLevel& o) const { return w > o.w; }
+  };
+  std::priority_queue<LinkLevel, std::vector<LinkLevel>,
+                      std::greater<LinkLevel>>
+      heap;
+  std::vector<std::uint32_t> stamp(nl, 0);
+  auto sat_level = [&](std::uint32_t l) {
+    return (capacity[l] - frozen_load[l]) / static_cast<double>(count[l]);
+  };
+  for (const std::uint32_t l : used) {
+    if (count[l] > 0) heap.push({sat_level(l), l, stamp[l]});
+  }
+
+  double water = 0.0;
+  auto freeze = [&](std::uint32_t f, double rate) {
+    alive[f] = 0;
+    out.rates[f] = rate;
+    --n_alive;
+    for (const std::uint32_t l : flows[f].links) {
+      --count[l];
+      frozen_load[l] += rate;
+      ++stamp[l];
+      if (count[l] > 0) heap.push({sat_level(l), l, stamp[l]});
+    }
+  };
+
+  std::size_t cap_ptr = 0;
+  while (n_alive > 0) {
+    ++out.rounds;
+    DV_CHECK(out.rounds <= nf + used.size() + 1,
+             "water-filling failed to converge");
+    // Validate the heap top: the next link to exhaust at the current state.
+    while (!heap.empty() && (stamp[heap.top().link] != heap.top().stamp ||
+                             count[heap.top().link] == 0)) {
+      heap.pop();
+    }
+    const double w_link = heap.empty() ? kInf : heap.top().w;
+    while (cap_ptr < by_cap.size() && !alive[by_cap[cap_ptr]]) ++cap_ptr;
+    const double w_cap =
+        cap_ptr < by_cap.size() ? flows[by_cap[cap_ptr]].rate_cap : kInf;
+    DV_CHECK(std::isfinite(std::min(w_cap, w_link)),
+             "unbounded water-filling increment");
+
+    if (w_cap <= w_link) {
+      // Raise the level to the smallest alive cap and freeze every flow
+      // capped there (batching ties), each at exactly its cap.
+      water = std::max(water, w_cap);
+      while (cap_ptr < by_cap.size()) {
+        const std::uint32_t f = by_cap[cap_ptr];
+        if (!alive[f]) {
+          ++cap_ptr;
+          continue;
+        }
+        if (flows[f].rate_cap > water) break;
+        freeze(f, flows[f].rate_cap);
+        ++cap_ptr;
+      }
+    } else {
+      // Raise the level until the bottleneck link fills, freezing all its
+      // alive flows at W — its load lands exactly on capacity.
+      const std::uint32_t l = heap.top().link;
+      heap.pop();
+      water = std::max(water, w_link);
+      for (std::uint32_t a = adj_start[l]; a < adj_start[l + 1]; ++a) {
+        const std::uint32_t f = adj[a];
+        if (alive[f]) freeze(f, water);
+      }
+    }
+  }
+
+  for (const std::uint32_t l : used) {
+    out.link_load[l] = frozen_load[l];
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ FlowNetwork
+
+FlowNetwork::FlowNetwork(const topo::Dragonfly& topo, routing::Algo algo,
+                         netsim::Params params, std::uint64_t seed)
+    : topo_(topo),
+      algo_(algo),
+      params_(params),
+      planner_(topo_, routing::Algo::kMinimal, params.adaptive, seed),
+      seed_(seed) {
+  params_.validate();
+  nterm_ = topo_.num_terminals();
+  nlocal_ = topo_.num_local_links();
+  nglobal_ = topo_.num_global_links();
+  const std::size_t nlinks =
+      2 * static_cast<std::size_t>(nterm_) + nlocal_ + nglobal_;
+
+  capacity_.resize(nlinks);
+  for (std::uint32_t t = 0; t < nterm_; ++t) {
+    capacity_[inj_link(t)] = params_.terminal_bandwidth;
+    capacity_[ej_link(t)] = params_.terminal_bandwidth;
+  }
+  for (std::uint32_t l = 0; l < nlocal_; ++l) {
+    capacity_[local_link(l)] = params_.local_bandwidth;
+  }
+  for (std::uint32_t g = 0; g < nglobal_; ++g) {
+    capacity_[global_link(g)] = params_.global_bandwidth;
+  }
+  link_traffic_.assign(nlinks, 0.0);
+  link_sat_.assign(nlinks, 0.0);
+  link_saturated_.assign(nlinks, 0);
+  link_util_.assign(nlinks, 0.0);
+
+  term_rng_.reserve(nterm_);
+  for (std::uint32_t t = 0; t < nterm_; ++t) {
+    term_rng_.emplace_back(seed, (1ULL << 32) + t);
+  }
+  term_finished_.assign(nterm_, 0);
+  term_sum_latency_.assign(nterm_, 0.0);
+  term_sum_hops_.assign(nterm_, 0.0);
+  term_job_.assign(nterm_, -1);
+}
+
+void FlowNetwork::add_message(const netsim::Message& m) {
+  DV_REQUIRE(!ran_, "add_message after run()");
+  DV_REQUIRE(m.src_terminal < nterm_ && m.dst_terminal < nterm_,
+             "message endpoint outside the topology");
+  DV_REQUIRE(m.src_terminal != m.dst_terminal,
+             "message to self never enters the network");
+  DV_REQUIRE(m.bytes > 0, "empty message");
+  DV_REQUIRE(m.time >= 0.0, "negative injection time");
+  messages_.push_back(m);
+}
+
+void FlowNetwork::add_messages(const std::vector<netsim::Message>& ms) {
+  for (const auto& m : ms) add_message(m);
+}
+
+void FlowNetwork::set_labels(std::string workload, std::string placement,
+                             std::vector<std::string> job_names) {
+  workload_label_ = std::move(workload);
+  placement_label_ = std::move(placement);
+  job_names_ = std::move(job_names);
+}
+
+void FlowNetwork::set_jobs(const placement::Placement& placement) {
+  DV_REQUIRE(placement.job_of.size() == term_job_.size(),
+             "placement size mismatch");
+  term_job_ = placement.job_of;
+}
+
+void FlowNetwork::enable_sampling(double dt) {
+  DV_REQUIRE(!ran_, "enable_sampling after run()");
+  DV_REQUIRE(dt > 0.0, "sampling interval must be positive");
+  sample_dt_ = dt;
+  local_traffic_ts_ = metrics::SampledSeries(nlocal_, dt);
+  local_sat_ts_ = metrics::SampledSeries(nlocal_, dt);
+  global_traffic_ts_ = metrics::SampledSeries(nglobal_, dt);
+  global_sat_ts_ = metrics::SampledSeries(nglobal_, dt);
+  term_traffic_ts_ = metrics::SampledSeries(nterm_, dt);
+  term_sat_ts_ = metrics::SampledSeries(nterm_, dt);
+  prev_traffic_.assign(capacity_.size(), 0.0);
+  prev_sat_.assign(capacity_.size(), 0.0);
+}
+
+void FlowNetwork::set_epoch_dt(double dt) {
+  DV_REQUIRE(!ran_, "set_epoch_dt after run()");
+  DV_REQUIRE(dt >= 0.0, "negative epoch length");
+  epoch_dt_ = dt;
+}
+
+// --------------------------------------------------------------- routing
+
+FlowNetwork::PathInfo FlowNetwork::build_path(std::uint32_t src_term,
+                                              std::uint32_t dst_term,
+                                              std::int32_t proxy_group,
+                                              std::int32_t proxy_router) const {
+  PathInfo path;
+  path.links.push_back(inj_link(src_term));
+  path.latency = 2.0 * params_.terminal_latency;
+
+  std::uint32_t cur = topo_.terminal_router(src_term);
+  path.router_hops = 1;
+
+  routing::PacketRoute st;
+  st.dst_terminal = dst_term;
+  st.proxy_group = proxy_group;
+  st.proxy_router = proxy_router;
+  st.src_group = static_cast<std::int32_t>(topo_.router_group(cur));
+  st.decided = true;
+
+  const std::uint32_t nterm = topo_.terminals_per_router();
+  const std::uint32_t nlocal_ports = topo_.routers_per_group() - 1;
+  routing::RouteStats stats;
+  Rng rng(0, 0);  // never consulted: minimal walker, decided, no faults
+  for (int step = 0; step < 32; ++step) {
+    const routing::Decision d =
+        planner_.route(st, cur, null_probe_, rng, stats);
+    if (d.kind == routing::Decision::Kind::kTerminal) {
+      path.links.push_back(ej_link(dst_term));
+      path.latency += params_.router_delay * path.router_hops;
+      return path;
+    }
+    if (d.kind == routing::Decision::Kind::kLocal) {
+      const std::uint32_t lport = d.port - nterm;
+      path.links.push_back(local_link(topo_.local_link_id(cur, lport)));
+      path.latency += params_.local_latency;
+      cur = topo_.router_id(
+          topo_.router_group(cur),
+          topo_.local_neighbor(topo_.router_rank(cur), lport));
+    } else {
+      const std::uint32_t channel = d.port - nterm - nlocal_ports;
+      path.links.push_back(global_link(topo_.global_link_id(cur, channel)));
+      path.latency += params_.global_latency;
+      cur = topo_.global_neighbor(cur, channel).router;
+    }
+    ++path.router_hops;
+  }
+  throw Error("flow path walk failed to terminate");
+}
+
+std::int32_t FlowNetwork::pick_proxy_group(std::uint32_t sg, std::uint32_t dg,
+                                           Rng& rng) const {
+  if (topo_.groups() <= 2) return -1;
+  for (;;) {
+    const auto g = static_cast<std::uint32_t>(rng.next_below(topo_.groups()));
+    if (g != sg && g != dg) return static_cast<std::int32_t>(g);
+  }
+}
+
+std::int32_t FlowNetwork::pick_proxy_router(std::uint32_t group,
+                                            std::uint32_t sr,
+                                            std::uint32_t dr,
+                                            Rng& rng) const {
+  if (topo_.routers_per_group() <= 2) return -1;
+  for (;;) {
+    const auto rank = static_cast<std::uint32_t>(
+        rng.next_below(topo_.routers_per_group()));
+    const std::uint32_t r = topo_.router_id(group, rank);
+    if (r != sr && r != dr) return static_cast<std::int32_t>(r);
+  }
+}
+
+double FlowNetwork::path_peak_util(const PathInfo& path) const {
+  double peak = 0.0;
+  for (const std::uint32_t l : path.links) {
+    peak = std::max(peak, link_util_[l]);
+  }
+  return peak;
+}
+
+void FlowNetwork::decide_route(Bundle& b) {
+  const std::uint32_t sr = topo_.terminal_router(b.src);
+  const std::uint32_t dr = topo_.terminal_router(b.dst);
+  const std::uint32_t sg = topo_.router_group(sr);
+  const std::uint32_t dg = topo_.router_group(dr);
+  Rng& rng = term_rng_[b.src];
+
+  std::int32_t proxy_group = -1;
+  std::int32_t proxy_router = -1;
+  if (sr != dr) {
+    switch (algo_) {
+      case routing::Algo::kMinimal:
+        break;
+      case routing::Algo::kNonMinimal:
+        if (dg != sg) {
+          proxy_group = pick_proxy_group(sg, dg, rng);
+        } else {
+          proxy_router = pick_proxy_router(sg, sr, dr, rng);
+        }
+        break;
+      case routing::Algo::kAdaptive:
+      case routing::Algo::kProgressiveAdaptive: {
+        // Fluid UGAL: netsim compares source-router queue depths; the flow
+        // model's congestion signal is the previous solve's bottleneck
+        // utilization along each candidate path. The threshold (packets)
+        // is normalized by the VC buffer size to the same [0,1] scale.
+        if (dg == sg) break;
+        const std::int32_t proxy = pick_proxy_group(sg, dg, rng);
+        if (proxy < 0) break;
+        const PathInfo min_path = build_path(b.src, b.dst, -1, -1);
+        const PathInfo non_path = build_path(b.src, b.dst, proxy, -1);
+        const double q_min = path_peak_util(min_path);
+        const double q_non = path_peak_util(non_path);
+        const double bias =
+            params_.adaptive.threshold / params_.vc_buffer_packets;
+        if (q_min * min_path.router_hops >
+            q_non * non_path.router_hops + bias) {
+          proxy_group = proxy;
+        }
+        break;
+      }
+    }
+  }
+
+  PathInfo path = (proxy_group >= 0 || proxy_router >= 0)
+                      ? build_path(b.src, b.dst, proxy_group, proxy_router)
+                      : build_path(b.src, b.dst, -1, -1);
+  b.links = std::move(path.links);
+  b.router_hops = path.router_hops;
+  b.path_latency = path.latency;
+}
+
+// -------------------------------------------------------------- epoching
+
+std::uint32_t FlowNetwork::bundle_of(std::uint32_t src, std::uint32_t dst) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src) << 32) | dst;
+  const auto it = bundle_index_.find(key);
+  if (it != bundle_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(bundles_.size());
+  Bundle b;
+  b.src = src;
+  b.dst = dst;
+  bundles_.push_back(std::move(b));
+  bundle_index_.emplace(key, id);
+  return id;
+}
+
+void FlowNetwork::solve_epoch(double dt) {
+  // resize + assign (not clear + push_back) keeps each slot's links
+  // capacity across epochs — the solve path allocates nothing steady-state.
+  scratch_flows_.resize(active_.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const Bundle& b = bundles_[active_[i]];
+    SolverFlow& f = scratch_flows_[i];
+    f.links.assign(b.links.begin(), b.links.end());
+    f.rate_cap = b.backlog / dt;
+  }
+  const SolverResult res = water_fill(capacity_, scratch_flows_);
+  ++solves_;
+  solver_rounds_ += res.rounds;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    bundles_[active_[i]].rate = res.rates[i];
+  }
+  // Utilization + saturation snapshot for routing decisions and sat time.
+  // Links used in the previous solve but idle now decay to zero first.
+  for (const std::uint32_t l : used_links_) link_util_[l] = 0.0;
+  used_links_.clear();
+  sat_links_.clear();
+  for (const std::uint32_t id : active_) {
+    for (const std::uint32_t l : bundles_[id].links) {
+      if (link_saturated_[l]) continue;  // already visited this solve
+      link_saturated_[l] = 1;
+      used_links_.push_back(l);
+      link_util_[l] = res.link_load[l] / capacity_[l];
+      if (res.link_load[l] >= capacity_[l] * kSatFrac) {
+        sat_links_.push_back(l);
+      }
+    }
+  }
+  for (const std::uint32_t l : used_links_) link_saturated_[l] = 0;
+}
+
+bool FlowNetwork::drain_epoch(double t0, double dt) {
+  for (const std::uint32_t l : sat_links_) link_sat_[l] += dt;
+
+  drained_.clear();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    Bundle& b = bundles_[active_[i]];
+    double sent = std::min(b.backlog, b.rate * dt);
+    if (sent <= 0.0) continue;
+    for (const std::uint32_t l : b.links) link_traffic_[l] += sent;
+    bytes_injected_ += sent;
+
+    // FIFO completion: message k finishes when the cumulative drain covers
+    // its residue; its packets arrive one fixed path latency later.
+    double consumed = 0.0;
+    while (!b.fifo.empty()) {
+      PendingMsg& m = b.fifo.front();
+      const double take = std::min(m.remaining, sent - consumed);
+      if (take < m.remaining - kByteEps) {
+        m.remaining -= take;
+        break;
+      }
+      consumed += m.remaining;
+      const double completion =
+          b.rate > 0.0 ? std::min(t0 + consumed / b.rate, t0 + dt) : t0 + dt;
+      const double arrival = completion + b.path_latency;
+      const auto npkts = static_cast<std::uint64_t>(
+          (m.bytes + params_.packet_size - 1) / params_.packet_size);
+      term_finished_[b.dst] += npkts;
+      term_sum_latency_[b.dst] +=
+          std::max(arrival - m.issue, b.path_latency) *
+          static_cast<double>(npkts);
+      term_sum_hops_[b.dst] +=
+          static_cast<double>(b.router_hops) * static_cast<double>(npkts);
+      ++msgs_finished_;
+      bytes_delivered_ += static_cast<double>(m.bytes);
+      max_delivery_ = std::max(max_delivery_, arrival);
+      b.fifo.pop_front();
+    }
+    b.backlog = std::max(0.0, b.backlog - sent);
+    if (b.backlog <= kByteEps && b.fifo.empty()) {
+      b.backlog = 0.0;
+      b.rate = 0.0;
+      drained_.push_back(active_[i]);
+    }
+  }
+  if (!drained_.empty()) {
+    std::size_t d = 0;
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < active_.size(); ++r) {
+      if (d < drained_.size() && drained_[d] == active_[r]) {
+        ++d;
+        continue;
+      }
+      active_[w++] = active_[r];
+    }
+    active_.resize(w);
+  }
+  return !drained_.empty();
+}
+
+void FlowNetwork::push_sample_frame() {
+  auto capture = [this](std::uint32_t base, std::size_t n,
+                        metrics::SampledSeries& traffic_ts,
+                        metrics::SampledSeries& sat_ts) {
+    float* dt = traffic_ts.push_frame_raw();
+    float* ds = sat_ts.push_frame_raw();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t l = base + i;
+      dt[i] = static_cast<float>(link_traffic_[l] - prev_traffic_[l]);
+      ds[i] = static_cast<float>(link_sat_[l] - prev_sat_[l]);
+      prev_traffic_[l] = link_traffic_[l];
+      prev_sat_[l] = link_sat_[l];
+    }
+  };
+  capture(local_link(0), nlocal_, local_traffic_ts_, local_sat_ts_);
+  capture(global_link(0), nglobal_, global_traffic_ts_, global_sat_ts_);
+  // Terminal frames: injected bytes, injection + ejection saturation.
+  {
+    float* dt = term_traffic_ts_.push_frame_raw();
+    float* ds = term_sat_ts_.push_frame_raw();
+    for (std::size_t t = 0; t < nterm_; ++t) {
+      const std::size_t li = inj_link(static_cast<std::uint32_t>(t));
+      const std::size_t le = ej_link(static_cast<std::uint32_t>(t));
+      dt[t] = static_cast<float>(link_traffic_[li] - prev_traffic_[li]);
+      ds[t] = static_cast<float>(link_sat_[li] - prev_sat_[li] +
+                                 link_sat_[le] - prev_sat_[le]);
+      prev_traffic_[li] = link_traffic_[li];
+      prev_sat_[li] = link_sat_[li];
+      prev_sat_[le] = link_sat_[le];
+    }
+  }
+}
+
+// ------------------------------------------------------------------- run
+
+metrics::RunMetrics FlowNetwork::run() {
+  DV_REQUIRE(!ran_, "run() already called");
+  ran_ = true;
+
+  // Deterministic processing order, independent of add_message order.
+  std::vector<std::uint32_t> order(messages_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              const netsim::Message& ma = messages_[a];
+              const netsim::Message& mb = messages_[b];
+              if (ma.time != mb.time) return ma.time < mb.time;
+              if (ma.src_terminal != mb.src_terminal)
+                return ma.src_terminal < mb.src_terminal;
+              if (ma.dst_terminal != mb.dst_terminal)
+                return ma.dst_terminal < mb.dst_terminal;
+              return a < b;
+            });
+
+  double dt = sample_dt_ > 0.0 ? sample_dt_ : epoch_dt_;
+  if (dt <= 0.0) {
+    double max_issue = 0.0;
+    for (const auto& m : messages_) max_issue = std::max(max_issue, m.time);
+    dt = max_issue > 0.0 ? max_issue / 256.0 : 1000.0;
+  }
+
+  double t = 0.0;
+  {
+    obs::ScopedPhase phase("sim");
+    std::size_t next = 0;
+    std::vector<std::uint32_t> activated;
+    bool need_solve = true;
+    while (next < order.size() || !active_.empty()) {
+      DV_REQUIRE(++epochs_ < kMaxEpochs,
+                 "flow simulation failed to drain (epoch guard)");
+      // Idle gap: jump to the epoch containing the next injection,
+      // emitting zero frames so sampled series stay contiguous from t=0.
+      if (active_.empty() && next < order.size()) {
+        const double next_time = messages_[order[next]].time;
+        while (t + dt <= next_time) {
+          if (sample_dt_ > 0.0) push_sample_frame();
+          t += dt;
+        }
+      }
+      const double t1 = t + dt;
+      activated.clear();
+      while (next < order.size() && messages_[order[next]].time < t1) {
+        const netsim::Message& m = messages_[order[next]];
+        const std::uint32_t id = bundle_of(m.src_terminal, m.dst_terminal);
+        Bundle& b = bundles_[id];
+        if (b.fifo.empty() && b.backlog <= 0.0) {
+          decide_route(b);
+          activated.push_back(id);
+        }
+        b.fifo.push_back(
+            PendingMsg{static_cast<double>(m.bytes), m.time, m.bytes});
+        b.backlog += static_cast<double>(m.bytes);
+        ++next;
+      }
+      if (!activated.empty()) {
+        active_.insert(active_.end(), activated.begin(), activated.end());
+        std::sort(active_.begin(), active_.end());
+        active_.erase(std::unique(active_.begin(), active_.end()),
+                      active_.end());
+        need_solve = true;
+      }
+      // Rates only change when the active set does (a new demand arrives
+      // or a bundle drains); every other epoch reuses the last max-min
+      // allocation and just advances the drain accounting. Redistribution
+      // after a completion lands one epoch later — the fluid analog of a
+      // control-loop delay — which keeps heavy sweeps out of the
+      // solve-per-epoch regime.
+      if (need_solve) solve_epoch(dt);
+      // Epoch batching: while the allocation is frozen, drain accounting
+      // is linear in dt (sat += dt, exact in-epoch completion times), so
+      // one drain_epoch call over k whole epochs lands on the same state
+      // as k unit steps. k stops at the first event that changes rates:
+      // the earliest bundle to fully drain or the next injection epoch.
+      // Sampled runs step one epoch at a time — each epoch is a frame.
+      double step = dt;
+      if (sample_dt_ <= 0.0 && !active_.empty()) {
+        double k = std::numeric_limits<double>::infinity();
+        for (const std::uint32_t id : active_) {
+          const Bundle& b = bundles_[id];
+          if (b.rate <= 0.0) {
+            k = 1.0;
+            break;
+          }
+          k = std::min(k, std::ceil(b.backlog / (b.rate * dt)));
+        }
+        if (next < order.size()) {
+          k = std::min(k, std::floor((messages_[order[next]].time - t) / dt));
+        }
+        step = std::max(1.0, k) * dt;
+      }
+      need_solve = drain_epoch(t, step);
+      if (sample_dt_ > 0.0) push_sample_frame();
+      t = sample_dt_ > 0.0 ? t1 : t + step;
+    }
+    // Sampled runs keep ticking until the frames cover the last arrival —
+    // netsim's sampling loop ends only once the event queue is empty, so
+    // end_time ≈ frames * dt holds for both backends.
+    if (sample_dt_ > 0.0) {
+      while (t < max_delivery_) {
+        push_sample_frame();
+        t += dt;
+      }
+    }
+  }
+
+  DV_CHECK(msgs_finished_ == messages_.size(),
+           "flow simulation drained with messages outstanding");
+  const double tol =
+      std::max(1.0, bytes_delivered_) * 1e-9 + kByteEps * messages_.size();
+  DV_CHECK(std::abs(bytes_injected_ - bytes_delivered_) <= tol,
+           "flow conservation violated: injected != delivered");
+
+  const double end = sample_dt_ > 0.0 ? t : max_delivery_;
+  metrics::RunMetrics out;
+  {
+    obs::ScopedPhase phase("collect");
+    collect(out, end);
+  }
+  publish_run_obs(out);
+  return out;
+}
+
+void FlowNetwork::collect(metrics::RunMetrics& out, double end) {
+  out.groups = topo_.groups();
+  out.routers_per_group = topo_.routers_per_group();
+  out.terminals_per_router = topo_.terminals_per_router();
+  out.global_per_router = topo_.global_per_router();
+  out.workload = workload_label_;
+  out.routing = routing::to_string(algo_);
+  out.placement = placement_label_;
+  out.job_names = job_names_;
+  out.seed = seed_;
+  out.end_time = end;
+
+  const std::uint32_t nterm = topo_.terminals_per_router();
+  out.local_links.resize(nlocal_);
+  for (std::uint32_t lid = 0; lid < nlocal_; ++lid) {
+    const auto [router, lport] = topo_.local_link_ends(lid);
+    const std::uint32_t nrank =
+        topo_.local_neighbor(topo_.router_rank(router), lport);
+    metrics::LinkMetrics& l = out.local_links[lid];
+    l.src_router = router;
+    l.src_port = nterm + lport;
+    l.dst_router = topo_.router_id(topo_.router_group(router), nrank);
+    l.dst_port = nterm + (topo_.local_port(nrank, topo_.router_rank(router)) -
+                          nterm);
+    l.traffic = link_traffic_[local_link(lid)];
+    l.sat_time = link_sat_[local_link(lid)];
+  }
+  out.global_links.resize(nglobal_);
+  for (std::uint32_t gid = 0; gid < nglobal_; ++gid) {
+    const topo::GlobalEnd src = topo_.global_link_src(gid);
+    const topo::GlobalEnd dst = topo_.global_neighbor(src.router, src.channel);
+    metrics::LinkMetrics& l = out.global_links[gid];
+    l.src_router = src.router;
+    l.src_port = topo_.global_port(src.channel);
+    l.dst_router = dst.router;
+    l.dst_port = topo_.global_port(dst.channel);
+    l.traffic = link_traffic_[global_link(gid)];
+    l.sat_time = link_sat_[global_link(gid)];
+  }
+  out.terminals.resize(nterm_);
+  for (std::uint32_t tm = 0; tm < nterm_; ++tm) {
+    metrics::TerminalMetrics& trow = out.terminals[tm];
+    trow.router = topo_.terminal_router(tm);
+    trow.port = topo_.terminal_slot(tm);
+    trow.packets_finished = term_finished_[tm];
+    trow.sum_latency = term_sum_latency_[tm];
+    trow.sum_hops = term_sum_hops_[tm];
+    trow.data_size = link_traffic_[inj_link(tm)];
+    trow.sat_time = link_sat_[inj_link(tm)] + link_sat_[ej_link(tm)];
+    trow.job = term_job_[tm];
+  }
+
+  if (sample_dt_ > 0.0) {
+    out.sample_dt = sample_dt_;
+    out.local_traffic_ts = std::move(local_traffic_ts_);
+    out.local_sat_ts = std::move(local_sat_ts_);
+    out.global_traffic_ts = std::move(global_traffic_ts_);
+    out.global_sat_ts = std::move(global_sat_ts_);
+    out.term_traffic_ts = std::move(term_traffic_ts_);
+    out.term_sat_ts = std::move(term_sat_ts_);
+  }
+}
+
+void FlowNetwork::publish_run_obs(const metrics::RunMetrics& out) {
+#ifdef DV_OBS_ENABLED
+  obs::counter("flow.messages").add(messages_.size());
+  obs::counter("flow.bundles").add(bundles_.size());
+  obs::counter("flow.epochs").add(epochs_);
+  obs::counter("flow.solves").add(solves_);
+  obs::counter("flow.solver_rounds").add(solver_rounds_);
+  obs::counter("flow.bytes").add(static_cast<std::uint64_t>(bytes_delivered_));
+  if (sample_dt_ > 0.0) {
+    obs::counter("flow.sample_frames").add(out.local_traffic_ts.frames());
+  }
+#else
+  (void)out;
+#endif
+}
+
+}  // namespace dv::flow

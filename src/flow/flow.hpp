@@ -1,0 +1,228 @@
+// Flow-level fast backend for design-space sweeps.
+//
+// The packet simulator (netsim) resolves every 2 KB packet through
+// store-and-forward routers; at ~9M events/s a hundreds-of-points design
+// sweep takes hours. This module trades packet fidelity for steady-state
+// fluid rates: each (src terminal, dst terminal) demand pair becomes a
+// *flow* over a fixed path, and per epoch the rates are the max-min fair
+// allocation computed by iterative water-filling (progressive filling:
+// raise all unfrozen rates together, freeze the flows crossing whichever
+// link exhausts first — SimGrid's LMM model, `waterFilling` in
+// jianglong-nie's simulator). Time advances in epochs; demands activate
+// when the workload issues them and drain at the allocated rates.
+//
+// The whole point is schema fidelity: FlowNetwork emits the *same*
+// RunMetrics record (link rows with netsim's src/dst port conventions,
+// terminal rows, frame-major sampled series) so every spec, ring, report,
+// .dvr pack, and serve verb runs unchanged against either backend.
+//
+// What the model keeps: link traffic split, saturation ordering between
+// scenarios, latency as completion time plus fixed path latency, adaptive
+// routing as a UGAL-style decision on solved link utilization. What it
+// drops: packet-level queueing dynamics, VC backpressure transients, and
+// fault injection (rejected up front).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/run_metrics.hpp"
+#include "netsim/network.hpp"
+#include "placement/placement.hpp"
+#include "routing/routing.hpp"
+#include "topology/dragonfly.hpp"
+#include "util/rng.hpp"
+
+namespace dv::flow {
+
+/// One flow's view of the network for the solver: the links it crosses
+/// (indices into the capacity vector) and an optional rate ceiling (its
+/// demand rate; infinity = limited by the network only).
+struct SolverFlow {
+  std::vector<std::uint32_t> links;
+  double rate_cap = std::numeric_limits<double>::infinity();
+};
+
+struct SolverResult {
+  std::vector<double> rates;      ///< per flow, same order as input
+  std::vector<double> link_load;  ///< per link, sum of crossing rates
+  std::uint32_t rounds = 0;       ///< water-filling iterations taken
+};
+
+/// Iterative max-min fair allocation (progressive filling / water-filling).
+/// Every round raises all active rates by the largest uniform increment no
+/// link or rate cap can refuse, then freezes the flows on the exhausted
+/// link(s) and the flows that hit their cap. Terminates in at most
+/// flows + links rounds; the result satisfies the max-min certificate:
+/// every flow is either at its cap or crosses at least one saturated link.
+SolverResult water_fill(const std::vector<double>& capacity,
+                        const std::vector<SolverFlow>& flows);
+
+/// Flow-level simulation: construct, add messages, run once — the same
+/// call sequence as netsim::Network, consuming the same netsim::Message
+/// and netsim::Params so app::run_experiment dispatches between backends
+/// with no translation layer.
+class FlowNetwork {
+ public:
+  FlowNetwork(const topo::Dragonfly& topo, routing::Algo algo,
+              netsim::Params params = {}, std::uint64_t seed = 1);
+
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  const topo::Dragonfly& topology() const { return topo_; }
+
+  void add_message(const netsim::Message& m);
+  void add_messages(const std::vector<netsim::Message>& ms);
+
+  void set_labels(std::string workload, std::string placement,
+                  std::vector<std::string> job_names);
+  void set_jobs(const placement::Placement& placement);
+
+  /// Fixed-rate time-series sampling (dt in ns). When enabled, the epoch
+  /// step is locked to dt so frames are exactly the per-epoch deltas.
+  void enable_sampling(double dt);
+
+  /// Epoch length in ns (ignored while sampling; 0 = auto: 1/256 of the
+  /// injection span).
+  void set_epoch_dt(double dt);
+
+  /// Runs to completion (all demands drained) and returns metrics with
+  /// the exact netsim RunMetrics schema. May be called once.
+  metrics::RunMetrics run();
+
+  // Work counters (the flow backend's analog of events_processed()).
+  std::uint64_t epochs() const { return epochs_; }
+  std::uint64_t solver_rounds() const { return solver_rounds_; }
+  std::size_t bundles() const { return bundles_.size(); }
+
+ private:
+  /// All directed links in one index space (the solver's capacity vector):
+  /// [0,T) injection, [T,2T) ejection, [2T,2T+L) local, [2T+L,2T+L+G)
+  /// global, where T/L/G are the topology's terminal/local/global counts.
+  std::uint32_t inj_link(std::uint32_t term) const { return term; }
+  std::uint32_t ej_link(std::uint32_t term) const { return nterm_ + term; }
+  std::uint32_t local_link(std::uint32_t lid) const {
+    return 2 * nterm_ + lid;
+  }
+  std::uint32_t global_link(std::uint32_t gid) const {
+    return 2 * nterm_ + nlocal_ + gid;
+  }
+
+  /// A demand bundle: every message of one (src,dst) terminal pair drains
+  /// FIFO through one flow. Its path is (re)decided whenever the bundle
+  /// transitions idle -> backlogged, the flow-level analog of per-packet
+  /// adaptive decisions at injection time.
+  struct PendingMsg {
+    double remaining = 0.0;      ///< bytes left to drain
+    double issue = 0.0;          ///< application send time
+    std::uint64_t bytes = 0;     ///< original size (packet accounting)
+  };
+  struct Bundle {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    double backlog = 0.0;                ///< bytes not yet drained
+    double rate = 0.0;                   ///< current allocation (bytes/ns)
+    std::vector<std::uint32_t> links;    ///< current path (link indices)
+    std::uint32_t router_hops = 0;       ///< routers on the path
+    double path_latency = 0.0;           ///< fixed wire+router latency (ns)
+    std::deque<PendingMsg> fifo;
+  };
+
+  struct PathInfo {
+    std::vector<std::uint32_t> links;
+    std::uint32_t router_hops = 0;
+    double latency = 0.0;
+  };
+
+  /// Walks the planner's minimal step function from src to dst, honoring
+  /// a preset Valiant proxy group/router, and records every link crossed.
+  PathInfo build_path(std::uint32_t src_term, std::uint32_t dst_term,
+                      std::int32_t proxy_group,
+                      std::int32_t proxy_router) const;
+
+  // Valiant proxy draws, mirroring RoutePlanner's pick logic (private
+  // there) on the per-source-terminal rng streams netsim uses.
+  std::int32_t pick_proxy_group(std::uint32_t sg, std::uint32_t dg,
+                                Rng& rng) const;
+  std::int32_t pick_proxy_router(std::uint32_t group, std::uint32_t sr,
+                                 std::uint32_t dr, Rng& rng) const;
+  /// Bottleneck utilization along a path, from the previous solve.
+  double path_peak_util(const PathInfo& path) const;
+
+  /// Chooses the bundle's path per the configured algorithm. Adaptive
+  /// algorithms compare the bottleneck utilization (from the previous
+  /// solve) along the minimal path against a Valiant candidate — the
+  /// fluid analog of UGAL's queue-depth comparison.
+  void decide_route(Bundle& b);
+
+  std::uint32_t bundle_of(std::uint32_t src, std::uint32_t dst);
+  void solve_epoch(double dt);
+  /// Returns true when any bundle fully drained (the active set changed,
+  /// so the next epoch must re-solve).
+  bool drain_epoch(double t0, double dt);
+  void push_sample_frame();
+  void collect(metrics::RunMetrics& out, double end);
+  void publish_run_obs(const metrics::RunMetrics& out);
+
+  // ---- state ----------------------------------------------------------
+  const topo::Dragonfly topo_;
+  routing::Algo algo_;
+  netsim::Params params_;
+  routing::RoutePlanner planner_;  ///< kMinimal walker (proxies preset)
+  routing::NullProbe null_probe_;
+
+  std::uint32_t nterm_ = 0, nlocal_ = 0, nglobal_ = 0;
+  std::vector<double> capacity_;     ///< per link, bytes/ns
+  std::vector<double> link_traffic_; ///< per link, cumulative bytes
+  std::vector<double> link_sat_;     ///< per link, cumulative saturated ns
+  std::vector<double> link_util_;    ///< load/capacity from the last solve
+  std::vector<std::uint8_t> link_saturated_;  ///< solve-scope visit marker
+  std::vector<std::uint32_t> used_links_;     ///< links in the last solve
+  std::vector<std::uint32_t> sat_links_;      ///< saturated-link list
+
+  std::vector<netsim::Message> messages_;
+  std::vector<Bundle> bundles_;
+  std::unordered_map<std::uint64_t, std::uint32_t> bundle_index_;
+  std::vector<std::uint32_t> active_;  ///< bundle ids, ascending
+
+  std::vector<Rng> term_rng_;  ///< per-source Valiant draws (netsim scheme)
+
+  // Terminal delivery accumulators (columnar, as in netsim).
+  std::vector<std::uint64_t> term_finished_;
+  std::vector<double> term_sum_latency_;
+  std::vector<double> term_sum_hops_;
+
+  // Sampling.
+  double sample_dt_ = 0.0;
+  double epoch_dt_ = 0.0;
+  metrics::SampledSeries local_traffic_ts_, local_sat_ts_;
+  metrics::SampledSeries global_traffic_ts_, global_sat_ts_;
+  metrics::SampledSeries term_traffic_ts_, term_sat_ts_;
+  std::vector<double> prev_traffic_, prev_sat_;
+
+  std::string workload_label_ = "custom";
+  std::string placement_label_ = "custom";
+  std::vector<std::string> job_names_;
+  std::vector<std::int32_t> term_job_;
+
+  std::uint64_t seed_ = 1;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t solver_rounds_ = 0;
+  std::uint64_t solves_ = 0;
+  std::uint64_t msgs_finished_ = 0;
+  double bytes_injected_ = 0.0;
+  double bytes_delivered_ = 0.0;
+  double max_delivery_ = 0.0;
+  bool ran_ = false;
+
+  // Scratch reused across epochs.
+  std::vector<SolverFlow> scratch_flows_;
+  std::vector<std::uint32_t> drained_;
+};
+
+}  // namespace dv::flow

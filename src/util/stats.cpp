@@ -70,6 +70,55 @@ double Histogram::bin_lo(std::size_t b) const {
 
 double Histogram::bin_hi(std::size_t b) const { return bin_lo(b + 1); }
 
+namespace {
+
+/// Average ranks (1-based, ties share their mean rank).
+std::vector<double> average_ranks(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double r = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = r;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys) {
+  DV_REQUIRE(xs.size() == ys.size(), "spearman needs equal-length series");
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const std::vector<double> rx = average_ranks(xs);
+  const std::vector<double> ry = average_ranks(ys);
+  // Pearson on the ranks (handles ties correctly, unlike the d^2 formula).
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += rx[i];
+    my += ry[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = rx[i] - mx;
+    const double dy = ry[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
 double percentile(std::vector<double> values, double q) {
   DV_REQUIRE(!values.empty(), "percentile of empty set");
   DV_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");

@@ -61,4 +61,9 @@ class Histogram {
 /// Exact percentile (sorts a copy). q in [0,1].
 double percentile(std::vector<double> values, double q);
 
+/// Spearman rank correlation of two equal-length series (average ranks for
+/// ties). Returns 0 when either series is constant or shorter than 2 —
+/// degenerate inputs carry no ordering information.
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys);
+
 }  // namespace dv

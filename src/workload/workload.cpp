@@ -200,6 +200,29 @@ std::vector<RankMsg> generate_bisection(const Config& cfg) {
   return emit(flows, cfg.total_bytes, 0.0, rng);
 }
 
+std::vector<RankMsg> generate_transpose(const Config& cfg) {
+  check_config(cfg);
+  Rng rng(cfg.seed, 0x7a4259ULL);
+  const auto [pr, pc] = grid2(cfg.ranks);
+  const std::uint64_t per_rank = std::max<std::uint64_t>(
+      1, cfg.total_bytes / cfg.ranks / cfg.msg_bytes);
+  std::vector<Flow> flows;
+  flows.reserve(cfg.ranks * per_rank);
+  for (std::uint32_t r = 0; r < cfg.ranks; ++r) {
+    const std::uint32_t row = r / pc;
+    const std::uint32_t col = r % pc;
+    // (row, col) -> (col, row), the partner indexed in the transposed
+    // pc x pr layout: col * pr + row < pc * pr = ranks, so the map is a
+    // bijection even on non-square grids. Diagonal ranks stay silent.
+    const std::uint32_t partner = col * pr + row;
+    if (partner == r) continue;
+    for (std::uint64_t k = 0; k < per_rank; ++k) {
+      flows.push_back({r, partner, 1.0, rng.next_double() * cfg.window});
+    }
+  }
+  return emit(flows, cfg.total_bytes, 0.0, rng);
+}
+
 // ------------------------------------------------------------- applications
 
 std::vector<RankMsg> generate_amg(const Config& cfg) {
@@ -326,6 +349,7 @@ std::vector<RankMsg> generate(const std::string& name, const Config& cfg) {
   if (n == "all_to_all") return generate_all_to_all(cfg);
   if (n == "permutation") return generate_permutation(cfg);
   if (n == "bisection") return generate_bisection(cfg);
+  if (n == "transpose") return generate_transpose(cfg);
   if (n == "amg") return generate_amg(cfg);
   if (n == "amr_boxlib" || n == "amr") return generate_amr_boxlib(cfg);
   if (n == "minife") return generate_minife(cfg);
@@ -334,7 +358,19 @@ std::vector<RankMsg> generate(const std::string& name, const Config& cfg) {
 
 std::vector<std::string> workload_names() {
   return {"uniform_random", "nearest_neighbor", "all_to_all", "permutation",
-          "bisection", "amg", "amr_boxlib", "minife"};
+          "bisection", "transpose", "amg", "amr_boxlib", "minife"};
+}
+
+std::vector<std::uint64_t> demand_matrix(const std::vector<RankMsg>& msgs,
+                                         std::uint32_t ranks) {
+  DV_REQUIRE(ranks > 0, "demand matrix needs at least one rank");
+  std::vector<std::uint64_t> dm(static_cast<std::size_t>(ranks) * ranks, 0);
+  for (const auto& m : msgs) {
+    DV_REQUIRE(m.src_rank < ranks && m.dst_rank < ranks,
+               "rank message outside the demand matrix");
+    dm[static_cast<std::size_t>(m.src_rank) * ranks + m.dst_rank] += m.bytes;
+  }
+  return dm;
 }
 
 std::vector<netsim::Message> map_to_terminals(

@@ -75,6 +75,10 @@ std::vector<RankMsg> generate_nearest_neighbor(const Config& cfg);
 std::vector<RankMsg> generate_all_to_all(const Config& cfg);
 std::vector<RankMsg> generate_permutation(const Config& cfg);
 std::vector<RankMsg> generate_bisection(const Config& cfg);
+/// Matrix-transpose exchange over the grid2(ranks) process grid:
+/// rank (row, col) sends to rank (col, row). Diagonal ranks are local-only
+/// and emit nothing. A classic adversarial pattern for minimal routing.
+std::vector<RankMsg> generate_transpose(const Config& cfg);
 
 // ---- application stand-ins (Table I) ----------------------------------
 std::vector<RankMsg> generate_amg(const Config& cfg);
@@ -82,9 +86,15 @@ std::vector<RankMsg> generate_amr_boxlib(const Config& cfg);
 std::vector<RankMsg> generate_minife(const Config& cfg);
 
 /// Dispatch by name: "uniform_random", "nearest_neighbor", "all_to_all",
-/// "permutation", "bisection", "amg", "amr_boxlib", "minife".
+/// "permutation", "bisection", "transpose", "amg", "amr_boxlib", "minife".
 std::vector<RankMsg> generate(const std::string& name, const Config& cfg);
 std::vector<std::string> workload_names();
+
+/// Aggregates rank messages into a dense ranks x ranks demand matrix
+/// (bytes from src to dst at [src * ranks + dst]). The row/column sums are
+/// what the solvers and the tests reason about.
+std::vector<std::uint64_t> demand_matrix(const std::vector<RankMsg>& msgs,
+                                         std::uint32_t ranks);
 
 /// Applies a placement: rank r of job `job` runs on
 /// placement.terminals[job][r]. Messages whose endpoints land on the same

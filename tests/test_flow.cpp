@@ -1,0 +1,287 @@
+// Flow-backend unit tests: the max-min water-filling solver on
+// hand-computable fixtures, convergence properties on randomized inputs,
+// and FlowNetwork end-to-end invariants (conservation, determinism,
+// sampling consistency).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "flow/flow.hpp"
+#include "metrics/dvr.hpp"
+#include "util/rng.hpp"
+
+namespace dv::flow {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+SolverFlow make_flow(std::vector<std::uint32_t> links, double cap = kInf) {
+  SolverFlow f;
+  f.links = std::move(links);
+  f.rate_cap = cap;
+  return f;
+}
+
+TEST(FlowSolver, BottleneckSharedEqually) {
+  // Two flows over one link of capacity 10: max-min gives 5 each.
+  const auto res = water_fill({10.0}, {make_flow({0}), make_flow({0})});
+  ASSERT_EQ(res.rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(res.rates[1], 5.0);
+  EXPECT_DOUBLE_EQ(res.link_load[0], 10.0);
+}
+
+TEST(FlowSolver, UnequalPathLengths) {
+  // f0 crosses only link 0 (cap 10); f1 crosses links 0 and 1 (cap 4).
+  // Progressive filling: both rise to 4 (link 1 exhausts, freezing f1),
+  // then f0 alone takes link 0's remaining headroom: 10 - 8 = 2 -> 6.
+  const auto res =
+      water_fill({10.0, 4.0}, {make_flow({0}), make_flow({0, 1})});
+  EXPECT_DOUBLE_EQ(res.rates[0], 6.0);
+  EXPECT_DOUBLE_EQ(res.rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(res.link_load[0], 10.0);
+  EXPECT_DOUBLE_EQ(res.link_load[1], 4.0);
+}
+
+TEST(FlowSolver, SaturatedLinkFixpoint) {
+  // Classic 2-link chain: caps {1, 2}; f0 on link 0, f1 on both, f2 on
+  // link 1. Link 0 exhausts first at rate 1/2 (freezing f0 and f1), then
+  // f2 fills link 1 to capacity: 2 - 1/2 = 3/2.
+  const auto res = water_fill(
+      {1.0, 2.0}, {make_flow({0}), make_flow({0, 1}), make_flow({1})});
+  EXPECT_DOUBLE_EQ(res.rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(res.rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(res.rates[2], 1.5);
+  EXPECT_DOUBLE_EQ(res.link_load[0], 1.0);
+  EXPECT_DOUBLE_EQ(res.link_load[1], 2.0);
+}
+
+TEST(FlowSolver, ZeroDemandFlowsStayAtZero) {
+  // A zero-cap flow must not consume capacity or stall the round loop.
+  const auto res = water_fill(
+      {8.0}, {make_flow({0}, 0.0), make_flow({0}), make_flow({0})});
+  EXPECT_DOUBLE_EQ(res.rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(res.rates[2], 4.0);
+}
+
+TEST(FlowSolver, RateCapsFreezeBeforeTheLink) {
+  // f0 capped at 2 frees its share for f1: 2 + 8 = 10.
+  const auto res =
+      water_fill({10.0}, {make_flow({0}, 2.0), make_flow({0})});
+  EXPECT_DOUBLE_EQ(res.rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(res.rates[1], 8.0);
+}
+
+TEST(FlowSolver, LinklessCappedFlowRunsAtItsCap) {
+  const auto res = water_fill({5.0}, {make_flow({}, 3.0), make_flow({0})});
+  EXPECT_DOUBLE_EQ(res.rates[0], 3.0);
+  EXPECT_DOUBLE_EQ(res.rates[1], 5.0);
+}
+
+TEST(FlowSolver, EdgeCasesAndValidation) {
+  // No flows: empty allocation, zero loads.
+  const auto empty = water_fill({1.0, 2.0}, {});
+  EXPECT_TRUE(empty.rates.empty());
+  EXPECT_DOUBLE_EQ(empty.link_load[0], 0.0);
+  // A flow with no links and no cap has no finite max-min rate.
+  EXPECT_THROW(water_fill({1.0}, {make_flow({})}), Error);
+  // Out-of-range link index and negative cap are rejected.
+  EXPECT_THROW(water_fill({1.0}, {make_flow({7})}), Error);
+  EXPECT_THROW(water_fill({1.0}, {make_flow({0}, -1.0)}), Error);
+}
+
+TEST(FlowSolver, RepeatedLinksCountTwice) {
+  // A flow listed twice on one link consumes double share there — the
+  // solver must stay consistent (load counts every crossing).
+  const auto res = water_fill({6.0}, {make_flow({0, 0}), make_flow({0})});
+  // Uniform filling: increment limited by 6 / 3 crossings = 2.
+  EXPECT_DOUBLE_EQ(res.rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(res.rates[1], 2.0);
+  EXPECT_DOUBLE_EQ(res.link_load[0], 6.0);
+}
+
+/// Max-min certificate on randomized inputs: feasibility (no link above
+/// capacity) and saturation (every flow is at its cap or crosses at least
+/// one saturated link), plus the round bound that guarantees termination.
+TEST(FlowSolver, RandomizedMaxMinCertificate) {
+  Rng rng(2024, 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t nl = 1 + rng.next_below(12);
+    const std::size_t nf = 1 + rng.next_below(24);
+    std::vector<double> caps(nl);
+    for (auto& c : caps) c = 0.5 + rng.next_double() * 20.0;
+    std::vector<SolverFlow> flows(nf);
+    for (auto& f : flows) {
+      const std::size_t degree = 1 + rng.next_below(std::min<std::size_t>(nl, 4));
+      for (std::size_t k = 0; k < degree; ++k) {
+        f.links.push_back(static_cast<std::uint32_t>(rng.next_below(nl)));
+      }
+      if (rng.next_bool(0.3)) f.rate_cap = rng.next_double() * 5.0;
+    }
+
+    const auto res = water_fill(caps, flows);
+    ASSERT_EQ(res.rates.size(), nf);
+    EXPECT_LE(res.rounds, nf + nl + 1);
+
+    for (std::size_t l = 0; l < nl; ++l) {
+      EXPECT_LE(res.link_load[l], caps[l] * (1.0 + 1e-9)) << "trial " << trial;
+    }
+    for (std::size_t f = 0; f < nf; ++f) {
+      EXPECT_GE(res.rates[f], 0.0);
+      const bool at_cap =
+          std::isfinite(flows[f].rate_cap) &&
+          res.rates[f] >= flows[f].rate_cap * (1.0 - 1e-9) - 1e-12;
+      bool on_saturated = false;
+      for (const std::uint32_t l : flows[f].links) {
+        if (res.link_load[l] >= caps[l] * (1.0 - 1e-6)) on_saturated = true;
+      }
+      EXPECT_TRUE(at_cap || on_saturated)
+          << "trial " << trial << " flow " << f << " rate " << res.rates[f]
+          << " is neither capped nor bottlenecked";
+    }
+  }
+}
+
+// ---------------------------------------------------------- FlowNetwork
+
+netsim::Message msg(std::uint32_t src, std::uint32_t dst,
+                    std::uint64_t bytes, double t, std::int32_t job = -1) {
+  return netsim::Message{src, dst, bytes, t, job};
+}
+
+TEST(FlowNetwork, DrainsEverythingAndConservesBytes) {
+  const auto topo = topo::Dragonfly::canonical(2);
+  FlowNetwork net(topo, routing::Algo::kMinimal);
+  net.add_messages({msg(0, 9, 64 * 1024, 0.0), msg(3, 40, 128 * 1024, 500.0),
+                    msg(40, 3, 32 * 1024, 1000.0)});
+  const auto run = net.run();
+
+  EXPECT_GT(run.end_time, 0.0);
+  EXPECT_DOUBLE_EQ(run.total_injected(), 64.0 * 1024 + 128 * 1024 + 32 * 1024);
+  // Each message arrives as ceil(bytes / packet_size) packets.
+  const std::uint64_t expect_pkts = (64 * 1024 + 2047) / 2048 +
+                                    (128 * 1024 + 2047) / 2048 +
+                                    (32 * 1024 + 2047) / 2048;
+  EXPECT_EQ(run.total_packets_finished(), expect_pkts);
+  // Latency can never undercut the fixed path latency.
+  for (const auto& t : run.terminals) {
+    if (t.packets_finished) {
+      EXPECT_GT(t.avg_latency(), 0.0);
+    }
+  }
+  EXPECT_GT(net.epochs(), 0u);
+  EXPECT_EQ(net.bundles(), 3u);
+}
+
+TEST(FlowNetwork, EmptyRunIsValid) {
+  const auto topo = topo::Dragonfly::canonical(2);
+  FlowNetwork net(topo, routing::Algo::kMinimal);
+  const auto run = net.run();
+  EXPECT_DOUBLE_EQ(run.total_injected(), 0.0);
+  EXPECT_EQ(run.total_packets_finished(), 0u);
+  EXPECT_EQ(run.local_links.size(),
+            static_cast<std::size_t>(topo.num_local_links()));
+  EXPECT_EQ(run.global_links.size(),
+            static_cast<std::size_t>(topo.num_global_links()));
+}
+
+TEST(FlowNetwork, RunIsDeterministic) {
+  const auto topo = topo::Dragonfly::canonical(2);
+  std::vector<netsim::Message> ms;
+  Rng rng(11, 3);
+  for (int i = 0; i < 64; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    auto d = s;
+    while (d == s) {
+      d = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    }
+    ms.push_back(msg(s, d, 4096 + 512 * i, rng.next_double() * 1e5));
+  }
+  auto run_once = [&] {
+    FlowNetwork net(topo, routing::Algo::kAdaptive, {}, 42);
+    net.add_messages(ms);
+    net.enable_sampling(1000.0);
+    return net.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(metrics::run_content_uid(a), metrics::run_content_uid(b));
+}
+
+TEST(FlowNetwork, SampledFramesSumToCumulativeTotals) {
+  const auto topo = topo::Dragonfly::canonical(2);
+  FlowNetwork net(topo, routing::Algo::kNonMinimal, {}, 7);
+  std::vector<netsim::Message> ms;
+  for (std::uint32_t t = 0; t < 32; ++t) {
+    ms.push_back(msg(t, (t + 17) % topo.num_terminals(), 16 * 1024,
+                     250.0 * t));
+  }
+  net.add_messages(ms);
+  net.enable_sampling(500.0);
+  const auto run = net.run();
+
+  ASSERT_TRUE(run.has_time_series());
+  ASSERT_GT(run.local_traffic_ts.frames(), 0u);
+  // Frames are per-epoch deltas: summed over time they must reproduce the
+  // cumulative per-class totals (float accumulation tolerance).
+  auto series_total = [](const metrics::SampledSeries& s) {
+    double sum = 0.0;
+    for (std::size_t f = 0; f < s.frames(); ++f) sum += s.frame_total(f);
+    return sum;
+  };
+  EXPECT_NEAR(series_total(run.local_traffic_ts), run.total_local_traffic(),
+              run.total_local_traffic() * 1e-4 + 1.0);
+  EXPECT_NEAR(series_total(run.global_traffic_ts), run.total_global_traffic(),
+              run.total_global_traffic() * 1e-4 + 1.0);
+  EXPECT_NEAR(series_total(run.term_traffic_ts), run.total_terminal_traffic(),
+              run.total_terminal_traffic() * 1e-4 + 1.0);
+  // The sampled span covers the whole run.
+  EXPECT_GE(static_cast<double>(run.local_traffic_ts.frames()) *
+                run.sample_dt,
+            run.end_time - run.sample_dt);
+}
+
+TEST(FlowNetwork, ValidatesInputs) {
+  const auto topo = topo::Dragonfly::canonical(2);
+  FlowNetwork net(topo, routing::Algo::kMinimal);
+  EXPECT_THROW(net.add_message(msg(0, 0, 100, 0.0)), Error);      // self-send
+  EXPECT_THROW(net.add_message(msg(0, 100000, 100, 0.0)), Error); // range
+  EXPECT_THROW(net.add_message(msg(0, 1, 0, 0.0)), Error);        // empty
+  EXPECT_THROW(net.add_message(msg(0, 1, 100, -1.0)), Error);     // time
+  EXPECT_THROW(net.enable_sampling(0.0), Error);
+  EXPECT_THROW(net.set_epoch_dt(-1.0), Error);
+  net.add_message(msg(0, 1, 100, 0.0));
+  (void)net.run();
+  EXPECT_THROW(net.run(), Error);                   // single-shot
+  EXPECT_THROW(net.add_message(msg(1, 2, 1, 0.0)), Error);  // post-run
+}
+
+TEST(FlowNetwork, EpochLengthDoesNotChangeTotals) {
+  const auto topo = topo::Dragonfly::canonical(2);
+  std::vector<netsim::Message> ms;
+  for (std::uint32_t t = 0; t < 16; ++t) {
+    ms.push_back(msg(4 * t, (4 * t + 5) % topo.num_terminals(), 64 * 1024,
+                     100.0 * t));
+  }
+  auto totals = [&](double epoch_dt) {
+    FlowNetwork net(topo, routing::Algo::kMinimal, {}, 9);
+    net.add_messages(ms);
+    if (epoch_dt > 0) net.set_epoch_dt(epoch_dt);
+    const auto run = net.run();
+    return std::pair<double, double>(run.total_injected(),
+                                     run.total_local_traffic() +
+                                         run.total_global_traffic());
+  };
+  const auto coarse = totals(0.0);
+  const auto fine = totals(50.0);
+  // Finer epochs refine *when* bytes move, never *how many*: minimal
+  // routing fixes the paths, so per-class traffic is epoch-invariant.
+  EXPECT_DOUBLE_EQ(coarse.first, fine.first);
+  EXPECT_NEAR(coarse.second, fine.second, coarse.second * 1e-9);
+}
+
+}  // namespace
+}  // namespace dv::flow

@@ -126,6 +126,90 @@ TEST(Workload, MinifeIsManyToMany) {
   }
 }
 
+TEST(Workload, DemandMatrixConservesBytesAndHasZeroDiagonal) {
+  const auto c = cfg(32);
+  for (const std::string& name : {"uniform_random", "nearest_neighbor",
+                                  "transpose"}) {
+    const auto msgs = generate(name, c);
+    const auto dm = demand_matrix(msgs, c.ranks);
+    ASSERT_EQ(dm.size(), std::size_t{32} * 32);
+    std::uint64_t sum = 0;
+    for (const auto b : dm) sum += b;
+    EXPECT_EQ(sum, total_bytes(msgs)) << name;
+    for (std::uint32_t r = 0; r < c.ranks; ++r) {
+      EXPECT_EQ(dm[std::size_t{r} * c.ranks + r], 0u) << name;
+    }
+  }
+}
+
+TEST(Workload, DemandMatrixUniformRandomBalancesRows) {
+  const auto c = cfg(16, 16 << 20);
+  const auto dm = demand_matrix(generate_uniform_random(c), c.ranks);
+  const double expect_row =
+      static_cast<double>(c.total_bytes) / static_cast<double>(c.ranks);
+  for (std::uint32_t r = 0; r < c.ranks; ++r) {
+    std::uint64_t row = 0;
+    for (std::uint32_t d = 0; d < c.ranks; ++d) {
+      row += dm[std::size_t{r} * c.ranks + d];
+    }
+    // Every source injects the same per-rank share (uniform injection).
+    EXPECT_NEAR(static_cast<double>(row), expect_row, expect_row * 0.02) << r;
+  }
+}
+
+TEST(Workload, DemandMatrixShiftIsASingleDiagonal) {
+  auto c = cfg(24);
+  c.neighbor_stride = 5;
+  const auto dm = demand_matrix(generate_nearest_neighbor(c), c.ranks);
+  for (std::uint32_t r = 0; r < c.ranks; ++r) {
+    for (std::uint32_t d = 0; d < c.ranks; ++d) {
+      const auto bytes = dm[std::size_t{r} * c.ranks + d];
+      if (d == (r + c.neighbor_stride) % c.ranks) {
+        EXPECT_GT(bytes, 0u) << r << "->" << d;
+      } else {
+        EXPECT_EQ(bytes, 0u) << r << "->" << d;
+      }
+    }
+  }
+}
+
+TEST(Workload, DemandMatrixTransposeIsABijection) {
+  // 6x8 grid — the non-square case is where the partner indexing is easy
+  // to get wrong (it must land in the transposed pc x pr layout).
+  const auto c = cfg(48);
+  const auto dm = demand_matrix(generate_transpose(c), c.ranks);
+  const std::uint32_t pr = 6, pc = 8;
+  std::uint32_t senders = 0;
+  for (std::uint32_t r = 0; r < c.ranks; ++r) {
+    const std::uint32_t row = r / pc, col = r % pc;
+    const std::uint32_t partner = col * pr + row;
+    for (std::uint32_t d = 0; d < c.ranks; ++d) {
+      const auto bytes = dm[std::size_t{r} * c.ranks + d];
+      if (d == partner && partner != r) {
+        EXPECT_GT(bytes, 0u) << r << "->" << d;
+        ++senders;
+      } else {
+        EXPECT_EQ(bytes, 0u) << r << "->" << d;
+      }
+    }
+    // Bijection check: decode the partner in the transposed pc x pr
+    // layout and map it back — that must recover r.
+    const std::uint32_t trow = partner / pr, tcol = partner % pr;
+    EXPECT_EQ(tcol * pc + trow, r);
+  }
+  // Only the fixed points of the transpose map are silent (two ranks on a
+  // 6x8 grid); everyone else sends.
+  EXPECT_GT(senders, c.ranks * 3 / 4);
+}
+
+TEST(Workload, DemandMatrixValidatesRanks) {
+  const std::vector<RankMsg> msgs = {{0, 9, 100, 0.0}};
+  EXPECT_THROW(demand_matrix(msgs, 0), Error);
+  EXPECT_THROW(demand_matrix(msgs, 4), Error);  // dst 9 out of range
+  const auto dm = demand_matrix(msgs, 10);
+  EXPECT_EQ(dm[9], 100u);
+}
+
 TEST(Workload, VolumeOrderingMatchesTableI) {
   const auto apps = paper_applications();
   ASSERT_EQ(apps.size(), 3u);
