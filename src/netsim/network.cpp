@@ -841,17 +841,38 @@ metrics::RunMetrics Network::run() {
   partitions_used_ = resolve_partitions();
   const std::uint32_t nparts = partitions_used_;
   init_shards(nparts);
-  for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
-    // Contiguous group blocks: group g goes to partition g*nparts/groups.
-    router_partition_[r] = topo_.router_group(r) * nparts / topo_.groups();
-  }
 
   if (nparts > 1) {
+    // Topology-aware placement: groups are the atoms (the LP map is
+    // group-contiguous and local links never leave a group), and the
+    // partitioner minimizes the weight of channels crossing the cut
+    // instead of striping contiguous group blocks.
+    plan_ = std::make_unique<PartitionPlan>(partition_channels(
+        topo_.groups(), nparts, dragonfly_channel_graph(topo_, params_)));
+    for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
+      router_partition_[r] = plan_->atom_partition[topo_.router_group(r)];
+    }
     par_ = std::make_unique<pdes::ParallelSimulator>(nparts, lookahead());
+    // Per-pair lookahead: the tightest delay over channels actually
+    // crossing each ordered cut, +infinity where nothing crosses. Under
+    // faults the drop-notify path can message *any* pair (source
+    // terminals live anywhere) at credit latency, so every pair is
+    // clamped there. Must precede all scheduling — it retunes each
+    // partition's bucket width, which requires empty queues.
+    for (std::uint32_t s = 0; s < nparts; ++s) {
+      for (std::uint32_t d = 0; d < nparts; ++d) {
+        if (s == d) continue;
+        double la = plan_->pair_lookahead(s, d);
+        if (has_faults_) la = std::min(la, params_.credit_latency);
+        par_->set_pair_lookahead(s, d, la);
+      }
+    }
     for (std::uint32_t r = 0; r < topo_.num_routers(); ++r) {
       par_->add_lp(static_cast<pdes::ParallelLp*>(this), router_partition_[r]);
     }
     if (params_.event_budget) par_->set_event_budget(params_.event_budget);
+  } else {
+    std::fill(router_partition_.begin(), router_partition_.end(), 0u);
   }
 
   // Fault wakes are plain pre-scheduled events, so both engines see the
@@ -982,6 +1003,27 @@ void Network::publish_run_obs(const metrics::RunMetrics& out) {
   obs::counter("net.route.par_diverts").add(rs.par_diverts);
   obs::counter("net.route.steps").add(rs.steps);
   obs::gauge("net.partitions").set(static_cast<double>(partitions_used_));
+  if (plan_) {
+    obs::counter("par.partition.count").add(plan_->num_parts);
+    obs::counter("par.partition.cut_channels").add(plan_->cut_channels);
+    obs::counter("par.partition.total_channels").add(plan_->total_channels);
+    obs::counter("par.partition.refine_moves").add(plan_->refine_moves);
+    obs::gauge("par.partition.cut_weight").set(plan_->cut_weight);
+    double la_min = std::numeric_limits<double>::infinity(), la_max = 0.0;
+    for (std::uint32_t s = 0; s < plan_->num_parts; ++s) {
+      for (std::uint32_t d = 0; d < plan_->num_parts; ++d) {
+        if (s == d) continue;
+        const double la = plan_->pair_lookahead(s, d);
+        if (!std::isfinite(la)) continue;
+        la_min = std::min(la_min, la);
+        la_max = std::max(la_max, la);
+      }
+    }
+    if (std::isfinite(la_min)) {
+      obs::gauge("par.partition.lookahead_min").set(la_min);
+      obs::gauge("par.partition.lookahead_max").set(la_max);
+    }
+  }
   if (has_faults_) {
     std::uint64_t rerouted = 0;
     for (const auto& t : out.terminals) rerouted += t.packets_rerouted;

@@ -36,6 +36,7 @@
 #include "fault/fault.hpp"
 #include "metrics/run_metrics.hpp"
 #include "pdes/engine.hpp"
+#include "netsim/partition.hpp"
 #include "pdes/parallel.hpp"
 #include "placement/placement.hpp"
 #include "routing/routing.hpp"
@@ -122,6 +123,14 @@ class Network final : public pdes::LogicalProcess,
 
   /// Partition count the run actually used (valid after run()).
   std::uint32_t partitions_used() const { return partitions_used_; }
+
+  /// Topology-aware partition plan the parallel run used (cut provenance
+  /// for bench/obs); nullptr for sequential runs or before run().
+  const PartitionPlan* partition_plan() const { return plan_.get(); }
+
+  /// Per-worker engine statistics (busy/wait split, negotiation rounds);
+  /// nullptr for sequential runs or before run().
+  const pdes::ParallelSimulator* parallel_engine() const { return par_.get(); }
 
   /// Conservative window width: the smallest delay that can cross a
   /// router-partition boundary.
@@ -409,6 +418,7 @@ class Network final : public pdes::LogicalProcess,
   std::uint64_t seed_ = 1;
   std::uint32_t parallel_ = 1;
   std::uint32_t partitions_used_ = 1;
+  std::unique_ptr<PartitionPlan> plan_;  // parallel runs only
   bool ran_ = false;
 };
 

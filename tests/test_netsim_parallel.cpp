@@ -12,9 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <tuple>
 
+#include "fault/fault.hpp"
 #include "netsim/network.hpp"
+#include "workload/workload.hpp"
 
 namespace dv::netsim {
 namespace {
@@ -145,6 +148,59 @@ INSTANTIATE_TEST_SUITE_P(
         EquivParam{3, routing::Algo::kNonMinimal, 4, 1000.0},
         EquivParam{2, routing::Algo::kAdaptive, 2, 500.0}));
 
+// --- workload sweep ----------------------------------------------------
+// Structured traffic (uniform random, transpose, AMG halo bursts) and a
+// faulted run, each checked for bit-identity at every partition count the
+// topology-aware partitioner produces distinct cuts for.
+class WorkloadSeqParEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint32_t>> {
+};
+
+TEST_P(WorkloadSeqParEquivalence, RunMetricsBitIdentical) {
+  const auto& [name, partitions] = GetParam();
+  const auto topo = topo::Dragonfly::canonical(2);
+  const bool faulted = name == "faulted";
+  workload::Config cfg;
+  cfg.ranks = topo.num_terminals();
+  cfg.total_bytes = 256 * 1024;
+  cfg.window = 40000.0;
+  cfg.seed = 11;
+  cfg.msg_bytes = 2048;
+  const auto msgs =
+      workload::generate(faulted ? "uniform_random" : name, cfg);
+  const auto build = [&](std::uint32_t nparts) {
+    auto net = std::make_unique<Network>(topo, routing::Algo::kAdaptive,
+                                         fast_params(), 42);
+    for (const auto& m : msgs) {
+      if (m.src_rank == m.dst_rank) continue;
+      net->add_message({m.src_rank, m.dst_rank, m.bytes, m.time, 0});
+    }
+    if (faulted) {
+      net->set_fault_plan(fault::FaultPlan::parse(
+          "link:g0->g1@5000:40000\n"
+          "router:g1.r1@10000:60000\n"));
+    }
+    net->set_parallel(nparts);
+    return net;
+  };
+  auto seq = build(1);
+  auto par = build(partitions);
+  const auto ms = seq->run();
+  const auto mp = par->run();
+  EXPECT_EQ(par->partitions_used(), std::min(partitions, topo.groups()));
+  expect_identical(ms, mp);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WorkloadSeqParEquivalence,
+    ::testing::Combine(::testing::Values("uniform_random", "transpose", "amg",
+                                         "faulted"),
+                       ::testing::Values(2u, 3u, 4u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
 TEST(NetsimParallel, DeterministicAcrossParallelRuns) {
   const auto m1 = build_net(3, routing::Algo::kProgressiveAdaptive, 0.0, 4)->run();
   const auto m2 = build_net(3, routing::Algo::kProgressiveAdaptive, 0.0, 4)->run();
@@ -159,7 +215,6 @@ TEST(NetsimParallel, PartitionCountClampedToGroups) {
 }
 
 TEST(NetsimParallel, FlowConservationUnderParallelAdaptive) {
-  const auto topo = topo::Dragonfly::canonical(3);
   auto net = build_net(3, routing::Algo::kAdaptive, 0.0, 4);
   const auto m = net->run();
   EXPECT_EQ(net->packets_injected(), net->packets_delivered());
