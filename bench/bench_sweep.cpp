@@ -5,6 +5,10 @@
 // hundreds of demand pairs, large per-pair volumes) — the packet
 // simulator resolves every 2 KB packet while the flow backend solves a
 // few hundred water-filling epochs, so the gap is large by construction.
+// A second section times the opposite regime: heavy uniform random
+// (bundle-heavy/byte-light, the flow backend's historical worst case) and
+// gates it at <= 1.5x the packet simulator's wall clock.
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -35,6 +39,37 @@ app::SweepConfig grid(const std::string& store_dir, app::Backend backend) {
   cfg.scales = {32.0, 64.0};
   cfg.store_dir = store_dir;
   return cfg;
+}
+
+/// The historical worst case for the flow backend: heavy uniform random
+/// floods it with tens of thousands of tiny concurrent bundles, the
+/// bundle-heavy/byte-light regime where PR-8's fixed-epoch loop ran ~30x
+/// *slower* than the packet simulator. The event-driven engine must keep
+/// this point at packet speed or better.
+app::ExperimentConfig heavy_ur(app::Backend backend, bool coarsen) {
+  app::ExperimentConfig cfg;
+  cfg.dragonfly_p = 3;
+  app::JobSpec job;
+  job.workload = "uniform_random";
+  cfg.jobs.push_back(job);
+  cfg.routing = routing::Algo::kMinimal;
+  cfg.traffic_scale = 60.0;
+  cfg.window = 1.0e5;
+  cfg.seed = 5;
+  cfg.backend = backend;
+  cfg.flow_coarsen = coarsen;
+  return cfg;
+}
+
+std::string telemetry_json(const app::FlowTelemetry& t) {
+  std::string s = "{";
+  s += "\"epochs\": " + std::to_string(t.epochs);
+  s += ", \"solves\": " + std::to_string(t.solves);
+  s += ", \"full_solves\": " + std::to_string(t.full_solves);
+  s += ", \"incremental_solves\": " + std::to_string(t.incremental_solves);
+  s += ", \"solver_rounds\": " + std::to_string(t.solver_rounds);
+  s += ", \"drain_events\": " + std::to_string(t.drain_events);
+  return s + "}";
 }
 
 }  // namespace
@@ -84,6 +119,51 @@ int main(int argc, char** argv) {
   bench::shape_check(speedup >= 20.0,
                      "flow backend sweeps the grid >= 20x faster than packet");
 
+  // Heavy-UR point: DF(3) uniform random at 60x, minimal routing — the
+  // bundle-heavy regime the grid above never enters. Median-of-5 per
+  // backend; the last flow rep's solver telemetry goes into the artifact
+  // so the bench trajectory can see *why* the number moved.
+  app::ExperimentResult ur_flow, ur_coarse;
+  const double ur_flow_s = bench::median_seconds(
+      5, [&] { ur_flow = app::run_experiment(heavy_ur(app::Backend::kFlow,
+                                                      false)); });
+  const double ur_coarse_s = bench::median_seconds(
+      5, [&] { ur_coarse = app::run_experiment(heavy_ur(app::Backend::kFlow,
+                                                        true)); });
+  app::ExperimentResult ur_pkt;
+  const double ur_pkt_s = bench::median_seconds(
+      5, [&] { ur_pkt = app::run_experiment(heavy_ur(app::Backend::kPacket,
+                                                     false)); });
+
+  std::printf("heavy UR@60x  flow    %8.3f s  (%llu solves: %llu full + %llu "
+              "incremental, %llu epochs)\n",
+              ur_flow_s,
+              static_cast<unsigned long long>(ur_flow.flow.solves),
+              static_cast<unsigned long long>(ur_flow.flow.full_solves),
+              static_cast<unsigned long long>(ur_flow.flow.incremental_solves),
+              static_cast<unsigned long long>(ur_flow.flow.epochs));
+  std::printf("heavy UR@60x  coarsen %8.3f s  (%llu solves, %llu epochs)\n",
+              ur_coarse_s,
+              static_cast<unsigned long long>(ur_coarse.flow.solves),
+              static_cast<unsigned long long>(ur_coarse.flow.epochs));
+  std::printf("heavy UR@60x  packet  %8.3f s\n", ur_pkt_s);
+
+  // Packet counts are integers (exact); injected bytes accumulate as
+  // fractional drains in the flow model, so compare to FP tolerance.
+  bench::shape_check(ur_flow.run.total_packets_finished() ==
+                         ur_pkt.run.total_packets_finished(),
+                     "heavy-UR flow and packet runs deliver identical "
+                     "packet counts");
+  bench::shape_check(std::abs(ur_flow.run.total_injected() -
+                              ur_pkt.run.total_injected()) <=
+                         ur_pkt.run.total_injected() * 1e-9,
+                     "heavy-UR flow and packet runs inject identical bytes");
+  bench::shape_check(ur_flow_s <= 1.5 * ur_pkt_s,
+                     "heavy-UR flow run stays within 1.5x of packet "
+                     "(the PR-8 engine was ~30x slower here)");
+  bench::shape_check(ur_coarse_s <= ur_flow_s * 1.25,
+                     "bundle coarsening does not slow the heavy-UR point");
+
   const std::string path = bench::out_path("BENCH_sweep.json");
   std::ofstream os(path, std::ios::binary);
   os << "{\n  \"benchmark\": \"sweep_flow_vs_packet\",\n"
@@ -95,6 +175,16 @@ int main(int argc, char** argv) {
      << "  \"seconds_flow\": " << flow_s << ",\n"
      << "  \"seconds_packet\": " << pkt_s << ",\n"
      << "  \"speedup_flow_vs_packet\": " << speedup << ",\n"
+     << "  \"heavy_ur\": {\n"
+     << "    \"workload\": \"uniform_random\", \"routing\": \"minimal\", "
+     << "\"scale\": 60,\n"
+     << "    \"seconds_flow\": " << ur_flow_s << ",\n"
+     << "    \"seconds_flow_coarsen\": " << ur_coarse_s << ",\n"
+     << "    \"seconds_packet\": " << ur_pkt_s << ",\n"
+     << "    \"flow_vs_packet\": " << ur_flow_s / ur_pkt_s << ",\n"
+     << "    \"telemetry_flow\": " << telemetry_json(ur_flow.flow) << ",\n"
+     << "    \"telemetry_flow_coarsen\": " << telemetry_json(ur_coarse.flow)
+     << "\n  },\n"
      << "  \"points\": [\n";
   for (std::size_t i = 0; i < flow_res.points.size(); ++i) {
     os << "    {\"name\": \"" << flow_res.points[i].name

@@ -47,6 +47,7 @@ struct Args {
 
   static bool optional_value(const std::string& key) {
     return key == "profile" || key == "cache-stats" || key == "lazy" ||
+           key == "flow-coarsen" ||
            // `client` action flags take no value.
            key == "list" || key == "stats" || key == "render" ||
            key == "report" || key == "shutdown";
@@ -95,6 +96,28 @@ struct Args {
     return it == opts.end() ? std::vector<std::string>{} : it->second;
   }
 };
+
+/// Explicit --epoch-dt values must be positive; omitting the flag keeps
+/// the flow backend's automatic epoch sizing.
+double parse_epoch_dt(const Args& args, const char* cmd) {
+  const double dt = args.num_or("epoch-dt", 0.0);
+  DV_REQUIRE(args.opts.find("epoch-dt") == args.opts.end() || dt > 0.0,
+             std::string(cmd) +
+                 ": --epoch-dt must be > 0 ns (omit the flag for automatic "
+                 "epoch sizing)");
+  return dt;
+}
+
+/// Boolean flag: bare `--key`, `--key=1/true/on`, or explicit off values.
+bool flag_on(const Args& args, const std::string& key, const char* cmd) {
+  const auto it = args.opts.find(key);
+  if (it == args.opts.end()) return false;
+  const std::string v = to_lower(trim(it->second.back()));
+  if (v.empty() || v == "1" || v == "true" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "off") return false;
+  throw Error(std::string(cmd) + ": bad --" + key + " value: " + v +
+              " (expected on|off)");
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
@@ -199,7 +222,9 @@ int cmd_sim(const Args& args) {
   cfg.seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
   cfg.parallel = static_cast<std::uint32_t>(args.num_or("parallel", 0));
   cfg.backend = backend_from_string(args.one_or("backend", "packet"));
-  cfg.flow_epoch_dt = args.num_or("epoch-dt", 0.0);
+  cfg.flow_epoch_dt = parse_epoch_dt(args, "sim");
+  cfg.flow_coarsen = flag_on(args, "flow-coarsen", "sim");
+  cfg.flow_stepping = args.one_or("flow-stepping", "event");
   cfg.faults = parse_fault_args(args);
   apply_fault_params(args, cfg.params);
   const auto jobs = args.many("job");
@@ -267,7 +292,9 @@ int cmd_sweep(const Args& args) {
   cfg.base.sample_dt = args.num_or("sample-dt", 0.0);
   cfg.base.seed = static_cast<std::uint64_t>(args.num_or("seed", 1));
   cfg.base.backend = backend_from_string(args.one_or("backend", "flow"));
-  cfg.base.flow_epoch_dt = args.num_or("epoch-dt", 0.0);
+  cfg.base.flow_epoch_dt = parse_epoch_dt(args, "sweep");
+  cfg.base.flow_coarsen = flag_on(args, "flow-coarsen", "sweep");
+  cfg.base.flow_stepping = args.one_or("flow-stepping", "event");
   cfg.base.parallel =
       static_cast<std::uint32_t>(args.num_or("parallel", 0));
   cfg.base.synthetic_bytes_per_rank = static_cast<std::uint64_t>(
@@ -842,13 +869,19 @@ void print_help() {
       "           [--fault-retry-base NS] [--fault-retry-budget N]\n"
       "           [--backend packet|flow]  (flow: max-min water-filling\n"
       "           fluid model — same RunMetrics schema, orders of magnitude\n"
-      "           faster; no faults) [--epoch-dt NS]\n"
+      "           faster; no faults) [--epoch-dt NS] (> 0; omit for auto)\n"
+      "           [--flow-stepping event|fixed]  (event = run to the next\n"
+      "           rate change; fixed = PR-8 fixed-epoch loop)\n"
+      "           [--flow-coarsen]  (flow: one bundle per router pair —\n"
+      "           much faster under uniform-random; terminals of a router\n"
+      "           share latency/saturation attribution)\n"
       "  sweep    --store DIR [--backend packet|flow] [--p N]\n"
       "           [--workloads a,b|--workload W ...]\n"
       "           [--routings a,b|--routing R ...]"
       " [--scales 0.5,1|--scale F ...]\n"
       "           [--window NS] [--seed N] [--sample-dt NS]"
       " [--bytes-per-rank B]\n"
+      "           [--epoch-dt NS] [--flow-stepping S] [--flow-coarsen]\n"
       "           [--format text|dvr] [--report out.html]"
       " [--spec S] [--title T]\n"
       "           (fans the grid, one packed run per point, deterministic\n"

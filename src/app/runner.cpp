@@ -135,7 +135,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     net.set_labels(workload_label, cfg.placement_label(), names);
     net.add_messages(messages);
     if (cfg.sample_dt > 0) net.enable_sampling(cfg.sample_dt);
-    if (cfg.flow_epoch_dt > 0) net.set_epoch_dt(cfg.flow_epoch_dt);
+    if (cfg.flow_epoch_dt != 0) net.set_epoch_dt(cfg.flow_epoch_dt);
+    if (cfg.flow_coarsen) net.enable_coarsening();
+    {
+      const std::string s = to_lower(trim(cfg.flow_stepping));
+      if (s == "fixed") {
+        net.set_stepping(flow::FlowNetwork::Stepping::kFixedEpoch);
+      } else if (s != "event" && !s.empty()) {
+        throw Error("unknown flow stepping: " + cfg.flow_stepping +
+                    " (expected event|fixed)");
+      }
+    }
     setup_phase.reset();
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -144,9 +154,18 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     out.partitions = 1;
     out.events = net.epochs();  // the flow analog of an event count
     out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.flow.epochs = net.epochs();
+    out.flow.solves = net.solves();
+    out.flow.full_solves = net.full_solves();
+    out.flow.incremental_solves = net.incremental_solves();
+    out.flow.solver_rounds = net.solver_rounds();
+    out.flow.drain_events = net.drain_events();
     out.profile = obs::capture();
     return out;
   }
+  DV_REQUIRE(!cfg.flow_coarsen,
+             "--flow-coarsen requires --backend flow (the packet simulator "
+             "always resolves per-terminal demand)");
 
   netsim::Network net(out.topo, cfg.routing, cfg.params, cfg.seed);
   net.set_jobs(out.placement);

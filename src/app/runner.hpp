@@ -56,12 +56,33 @@ struct ExperimentConfig {
   /// non-empty `faults` (no fluid fault model).
   Backend backend = Backend::kPacket;
   /// Flow backend epoch length in ns (0 = auto; locked to sample_dt when
-  /// sampling is on).
+  /// sampling is on; explicit values must be positive).
   double flow_epoch_dt = 0.0;
+  /// Flow backend: aggregate demand per (src router, dst router) instead
+  /// of per terminal pair. Big win for uniform-random-shaped demand
+  /// (O(routers^2) bundles instead of O(terminals^2)); the tradeoff is
+  /// per-terminal latency/saturation attribution (terminals of one router
+  /// share FIFO order and saturation). Rejected with --backend packet.
+  bool flow_coarsen = false;
+  /// Flow backend time stepping: "event" (default — run to the next
+  /// rate-changing event) or "fixed" (the PR-8 fixed-epoch loop).
+  std::string flow_stepping = "event";
 
   /// Human-readable placement label ("contiguous", "random_router",
   /// "hybrid(...)" when jobs differ).
   std::string placement_label() const;
+};
+
+/// Flow-backend solver telemetry (all zero for packet runs): how the run
+/// spent its solves — the provenance `bench_sweep` records so the bench
+/// trajectory can see *why* a point got faster.
+struct FlowTelemetry {
+  std::uint64_t epochs = 0;          ///< time steps taken
+  std::uint64_t solves = 0;          ///< water-filling solves (any kind)
+  std::uint64_t full_solves = 0;     ///< from-scratch solves
+  std::uint64_t incremental_solves = 0;  ///< shrink-only re-solves
+  std::uint64_t solver_rounds = 0;   ///< water-filling rounds, all solves
+  std::uint64_t drain_events = 0;    ///< bundle completions observed
 };
 
 struct ExperimentResult {
@@ -70,6 +91,7 @@ struct ExperimentResult {
   metrics::RunMetrics run;
   std::uint64_t events = 0;
   double wall_seconds = 0.0;
+  FlowTelemetry flow;  ///< zeros unless backend == kFlow
   /// Partition count the simulation actually used (1 = sequential engine).
   std::uint32_t partitions = 1;
   /// Observability snapshot taken when the experiment finished: counters,

@@ -31,6 +31,29 @@ core::ProjectionSpec resolve_spec(const std::string& ref) {
   return core::ProjectionSpec::parse(buf.str());
 }
 
+/// --flow-coarsen trades per-terminal latency attribution away (terminals
+/// of one router share a bundle's FIFO order), so a spec that visualizes
+/// terminal avg_latency would silently render the router-smeared stand-in.
+bool spec_uses_terminal_latency(const core::ProjectionSpec& spec) {
+  const auto hit = [](const std::string& attr) {
+    return attr == "avg_latency";
+  };
+  for (const auto& lv : spec.levels) {
+    if (lv.entity != core::Entity::kTerminal) continue;
+    if (hit(lv.vmap.color) || hit(lv.vmap.size) || hit(lv.vmap.x) ||
+        hit(lv.vmap.y)) {
+      return true;
+    }
+    for (const auto& a : lv.aggregate) {
+      if (hit(a)) return true;
+    }
+    for (const auto& f : lv.filters) {
+      if (hit(f.attr)) return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string sweep_point_name(const std::string& workload,
@@ -47,6 +70,15 @@ SweepResult run_sweep(const SweepConfig& cfg) {
   DV_REQUIRE(!cfg.store_dir.empty(), "sweep needs a --store directory");
   for (const double s : cfg.scales) {
     DV_REQUIRE(s > 0.0, "sweep scales must be positive");
+  }
+  if (!cfg.report_path.empty() && cfg.base.flow_coarsen) {
+    // Fail before simulating anything: the report would plot terminal
+    // latency a coarsened run cannot attribute per terminal.
+    DV_REQUIRE(!spec_uses_terminal_latency(resolve_spec(cfg.report_spec)),
+               "sweep: --flow-coarsen cannot serve spec '" + cfg.report_spec +
+                   "': it maps per-terminal avg_latency, which coarsened "
+                   "runs only attribute per router (drop --flow-coarsen or "
+                   "use a spec without terminal latency channels)");
   }
 
   metrics::RunStore store(cfg.store_dir);
@@ -82,6 +114,7 @@ SweepResult run_sweep(const SweepConfig& cfg) {
         p.events = res.events;
         p.end_time = res.run.end_time;
         p.wall_seconds = res.wall_seconds;
+        p.flow = res.flow;
         out.points.push_back(std::move(p));
       }
     }

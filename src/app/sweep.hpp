@@ -24,6 +24,7 @@ struct SweepPoint {
   std::uint64_t events = 0;
   double end_time = 0.0;
   double wall_seconds = 0.0;
+  FlowTelemetry flow;  ///< solver telemetry, zeros for packet points
 };
 
 struct SweepConfig {

@@ -19,6 +19,17 @@ constexpr double kByteEps = 1e-6;
 constexpr double kSatFrac = 1.0 - 1e-6;
 /// Runaway guard: no sane configuration needs more epochs than this.
 constexpr std::uint64_t kMaxEpochs = 1u << 22;
+/// Event stepping batches completions: re-solve after the active set
+/// shrank by ~1/16th instead of after every single completion. Exact
+/// (batch of one) below 16 active bundles, so light load keeps
+/// per-completion fidelity while heavy UR pays O(16 ln n) solves total.
+constexpr std::size_t kCompletionBatch = 16;
+/// Event solves apply demand caps (backlog / quantum — the fixed-epoch
+/// semantics that keeps solved utilization an honest congestion signal
+/// for the adaptive comparison) only below this active count. Past it a
+/// backlog dwarfs any fair share, the caps cannot bind, and skipping them
+/// skips the O(n log n) cap sort in every solve.
+constexpr std::size_t kCapSolveLimit = 4096;
 
 }  // namespace
 
@@ -39,22 +50,24 @@ SolverResult water_fill(const std::vector<double>& capacity,
   std::size_t n_alive = 0;
 
   // Used-link list: everything below touches only links some active flow
-  // crosses, so sparse traffic on a big topology stays cheap.
+  // crosses, so sparse traffic on a big topology stays cheap. Absent
+  // flows (rate_cap <= 0) are skipped before their links are touched —
+  // the event engine keeps one solver slot per ever-seen bundle, so most
+  // slots are dead in the long drain tail.
   std::vector<std::uint32_t> used;
   for (std::size_t f = 0; f < nf; ++f) {
     DV_REQUIRE(flows[f].rate_cap >= 0.0, "negative rate cap");
+    if (flows[f].rate_cap <= 0.0) {
+      alive[f] = 0;  // absent flow: rate stays 0
+      continue;
+    }
+    if (flows[f].links.empty() && !std::isfinite(flows[f].rate_cap)) {
+      throw Error("unconstrained flow: no links and no rate cap");
+    }
+    ++n_alive;
     for (const std::uint32_t l : flows[f].links) {
       DV_REQUIRE(l < nl, "flow crosses a link outside the capacity vector");
       if (count[l]++ == 0) used.push_back(l);
-    }
-    if (flows[f].rate_cap <= 0.0) {
-      alive[f] = 0;  // zero-demand flow: rate stays 0
-      for (const std::uint32_t l : flows[f].links) --count[l];
-    } else if (flows[f].links.empty() &&
-               !std::isfinite(flows[f].rate_cap)) {
-      throw Error("unconstrained flow: no links and no rate cap");
-    } else {
-      ++n_alive;
     }
   }
 
@@ -85,10 +98,16 @@ SolverResult water_fill(const std::vector<double>& capacity,
   // freezes happen in ascending cap order (a pointer into the cap-sorted
   // id list); link exhaustion levels live in a lazy min-heap keyed by the
   // level W at which link l fills: frozen_load[l] + count[l]*W == cap_l.
-  // Entries go stale when a freeze changes a link; each change pushes a
-  // fresh entry and bumps the link's stamp, and pops skip mismatches.
-  // Total cost O((flows + crossings) log links) instead of the quadratic
-  // freeze-one-flow-per-round-with-full-rescans loop.
+  //
+  // Freezes only *raise* a link's exhaustion level (the frozen rate is at
+  // most the old level: new = (cap - frozen - w)/(count - 1) >= old for
+  // w <= old, and cap freezes satisfy w <= w_link by the round order), so
+  // a stale heap entry is a safe underestimate: freezes just bump the
+  // link's stamp, and a pop whose stamp mismatches recomputes the level
+  // and re-pushes. That caps heap traffic at O(links + stale pops)
+  // instead of one push per flow-link crossing per freeze — the
+  // difference between ~milliseconds and ~tens of milliseconds per solve
+  // on tens of thousands of active flows.
   std::vector<std::uint32_t> by_cap;
   by_cap.reserve(nf);
   for (std::size_t f = 0; f < nf; ++f) {
@@ -130,7 +149,6 @@ SolverResult water_fill(const std::vector<double>& capacity,
       --count[l];
       frozen_load[l] += rate;
       ++stamp[l];
-      if (count[l] > 0) heap.push({sat_level(l), l, stamp[l]});
     }
   };
 
@@ -139,10 +157,20 @@ SolverResult water_fill(const std::vector<double>& capacity,
     ++out.rounds;
     DV_CHECK(out.rounds <= nf + used.size() + 1,
              "water-filling failed to converge");
-    // Validate the heap top: the next link to exhaust at the current state.
-    while (!heap.empty() && (stamp[heap.top().link] != heap.top().stamp ||
-                             count[heap.top().link] == 0)) {
-      heap.pop();
+    // Validate the heap top: recompute stale entries (their true level
+    // only ever moved up) until the minimum is current.
+    while (!heap.empty()) {
+      const LinkLevel top = heap.top();
+      if (count[top.link] == 0) {
+        heap.pop();
+        continue;
+      }
+      if (stamp[top.link] != top.stamp) {
+        heap.pop();
+        heap.push({sat_level(top.link), top.link, stamp[top.link]});
+        continue;
+      }
+      break;
     }
     const double w_link = heap.empty() ? kInf : heap.top().w;
     while (cap_ptr < by_cap.size() && !alive[by_cap[cap_ptr]]) ++cap_ptr;
@@ -184,6 +212,171 @@ SolverResult water_fill(const std::vector<double>& capacity,
   return out;
 }
 
+// ----------------------------------------------------- water_fill_removed
+
+IncrementalResult water_fill_removed(const std::vector<double>& capacity,
+                                     const std::vector<SolverFlow>& flows,
+                                     const std::vector<std::uint32_t>& removed,
+                                     SolverResult& state,
+                                     double cascade_frac) {
+  const std::size_t nf = flows.size();
+  const std::size_t nl = capacity.size();
+  IncrementalResult out;
+  DV_REQUIRE(state.rates.size() == nf, "state rates/flows size mismatch");
+  DV_REQUIRE(state.link_load.size() == nl,
+             "state link_load/capacity size mismatch");
+  if (removed.empty()) return out;
+
+  // Saturation baseline: a frozen flow's max-min certificate references
+  // links saturated *before* the removal, so losing one is a release
+  // trigger no matter how many passes it takes to surface.
+  std::vector<std::uint8_t> was_sat(nl, 0);
+  for (std::size_t l = 0; l < nl; ++l) {
+    if (state.link_load[l] >= capacity[l] * kSatFrac) was_sat[l] = 1;
+  }
+
+  // Take the removed flows off their links and mark those links dirty.
+  std::vector<std::uint8_t> gone(nf, 0);
+  std::vector<std::uint8_t> dirty(nl, 0);
+  for (const std::uint32_t r : removed) {
+    DV_REQUIRE(r < nf, "removed flow out of range");
+    DV_REQUIRE(flows[r].rate_cap > 0.0, "removed flow already absent");
+    DV_REQUIRE(!gone[r], "duplicate removed flow");
+    gone[r] = 1;
+    for (const std::uint32_t l : flows[r].links) {
+      state.link_load[l] -= state.rates[r];
+      dirty[l] = 1;
+    }
+    state.rates[r] = 0.0;
+  }
+
+  // While a flow is released its load is off state.link_load, so the
+  // vector holds exactly the frozen flows' load — the restricted solve's
+  // floor. Seed: every survivor crossing a dirty link.
+  std::vector<std::uint8_t> released(nf, 0);
+  std::vector<std::uint32_t> R;
+  auto release = [&](std::uint32_t f) {
+    released[f] = 1;
+    R.push_back(f);
+    for (const std::uint32_t l : flows[f].links) {
+      state.link_load[l] -= state.rates[f];
+    }
+  };
+  std::size_t n_alive = 0;
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (gone[f] || flows[f].rate_cap <= 0.0) continue;
+    ++n_alive;
+  }
+  const auto limit = static_cast<std::size_t>(
+      cascade_frac * static_cast<double>(n_alive));
+  for (std::size_t f = 0; f < nf; ++f) {
+    if (gone[f] || flows[f].rate_cap <= 0.0) continue;
+    for (const std::uint32_t l : flows[f].links) {
+      if (dirty[l]) {
+        release(static_cast<std::uint32_t>(f));
+        // Dense perturbations (heavy UR: removals touch most links) bail
+        // here, before the seed scan turns into a full pass of wasted
+        // bookkeeping on top of the fallback solve.
+        if (R.size() > limit) {
+          out.full_solve = true;
+          out.released = static_cast<std::uint32_t>(R.size());
+          return out;
+        }
+        break;
+      }
+    }
+  }
+
+  std::vector<SolverFlow> rflows;
+  std::vector<double> sub_cap;
+  std::vector<std::uint32_t> touched;  // links some released flow crosses
+  std::vector<std::uint8_t> touched_mark(nl, 0);
+  std::vector<double> max_released(nl, 0.0);  // per touched link
+  std::vector<std::uint8_t> trig(nl, 0);      // 1 = sat check, 2 = release all
+
+  for (std::uint32_t pass = 0;; ++pass) {
+    DV_CHECK(pass <= nf + 1, "incremental re-solve failed to converge");
+    if (R.empty()) return out;  // isolated removals: nothing to re-solve
+    if (R.size() > limit) {
+      out.full_solve = true;
+      out.released = static_cast<std::uint32_t>(R.size());
+      return out;
+    }
+
+    // Restricted water-filling: R's flows over the slack the frozen flows
+    // leave behind. Links nothing in R crosses never enter the solve.
+    rflows.clear();
+    touched.clear();
+    for (const std::uint32_t f : R) {
+      rflows.push_back(flows[f]);
+      for (const std::uint32_t l : flows[f].links) {
+        if (!touched_mark[l]) {
+          touched_mark[l] = 1;
+          touched.push_back(l);
+        }
+      }
+    }
+    sub_cap = capacity;
+    for (const std::uint32_t l : touched) {
+      sub_cap[l] = std::max(0.0, capacity[l] - state.link_load[l]);
+    }
+    const SolverResult res = water_fill(sub_cap, rflows);
+    out.rounds += res.rounds;
+    for (std::size_t i = 0; i < R.size(); ++i) {
+      state.rates[R[i]] = res.rates[i];
+    }
+
+    // Certificate check on every touched link (only their loads moved).
+    // Trigger 1 (push-down): the link is saturated but some frozen flow
+    // sits above the released water level there — in the true allocation
+    // it would have to yield, so release it and try again. Trigger 2
+    // (rise): a link that backed certificates lost saturation — its
+    // frozen flows may now rise, release them all.
+    for (const std::uint32_t l : touched) {
+      max_released[l] = 0.0;
+    }
+    for (const std::uint32_t f : R) {
+      for (const std::uint32_t l : flows[f].links) {
+        max_released[l] = std::max(max_released[l], state.rates[f]);
+      }
+    }
+    for (const std::uint32_t l : touched) {
+      const double load = state.link_load[l] + res.link_load[l];
+      if (load >= capacity[l] * kSatFrac) {
+        trig[l] = 1;
+      } else if (was_sat[l]) {
+        trig[l] = 2;
+      }
+    }
+    const std::size_t before = R.size();
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (gone[f] || released[f] || flows[f].rate_cap <= 0.0) continue;
+      for (const std::uint32_t l : flows[f].links) {
+        if (trig[l] == 2 ||
+            (trig[l] == 1 && state.rates[f] > max_released[l])) {
+          release(static_cast<std::uint32_t>(f));
+          break;
+        }
+      }
+    }
+    for (const std::uint32_t l : touched) {
+      trig[l] = 0;
+      touched_mark[l] = 0;
+    }
+
+    if (R.size() == before) {
+      // Fixpoint: commit the restricted rates back onto the links.
+      for (const std::uint32_t f : R) {
+        for (const std::uint32_t l : flows[f].links) {
+          state.link_load[l] += state.rates[f];
+        }
+      }
+      out.released = static_cast<std::uint32_t>(R.size());
+      return out;
+    }
+  }
+}
+
 // ------------------------------------------------------------ FlowNetwork
 
 FlowNetwork::FlowNetwork(const topo::Dragonfly& topo, routing::Algo algo,
@@ -197,8 +390,10 @@ FlowNetwork::FlowNetwork(const topo::Dragonfly& topo, routing::Algo algo,
   nterm_ = topo_.num_terminals();
   nlocal_ = topo_.num_local_links();
   nglobal_ = topo_.num_global_links();
+  nrouters_ = topo_.num_routers();
   const std::size_t nlinks =
       2 * static_cast<std::size_t>(nterm_) + nlocal_ + nglobal_;
+  coarse_base_ = static_cast<std::uint32_t>(nlinks);
 
   capacity_.resize(nlinks);
   for (std::uint32_t t = 0; t < nterm_; ++t) {
@@ -270,8 +465,35 @@ void FlowNetwork::enable_sampling(double dt) {
 
 void FlowNetwork::set_epoch_dt(double dt) {
   DV_REQUIRE(!ran_, "set_epoch_dt after run()");
-  DV_REQUIRE(dt >= 0.0, "negative epoch length");
+  DV_REQUIRE(dt > 0.0,
+             "epoch length must be positive (omit it for auto sizing)");
   epoch_dt_ = dt;
+}
+
+void FlowNetwork::set_stepping(Stepping s) {
+  DV_REQUIRE(!ran_, "set_stepping after run()");
+  stepping_ = s;
+}
+
+void FlowNetwork::enable_coarsening() {
+  DV_REQUIRE(!ran_, "enable_coarsening after run()");
+  if (coarsen_) return;
+  coarsen_ = true;
+  // Router-level injection/ejection links carry the aggregated demand of
+  // the router's p terminals; the per-terminal edge links stay allocated
+  // (collect's schema reads them) but drop out of every path.
+  const double cap =
+      params_.terminal_bandwidth * topo_.terminals_per_router();
+  capacity_.resize(coarse_base_ + 2 * static_cast<std::size_t>(nrouters_),
+                   cap);
+  link_traffic_.resize(capacity_.size(), 0.0);
+  link_sat_.resize(capacity_.size(), 0.0);
+  link_saturated_.resize(capacity_.size(), 0);
+  link_util_.resize(capacity_.size(), 0.0);
+  if (sample_dt_ > 0.0) {
+    prev_traffic_.resize(capacity_.size(), 0.0);
+    prev_sat_.resize(capacity_.size(), 0.0);
+  }
 }
 
 // --------------------------------------------------------------- routing
@@ -404,19 +626,35 @@ void FlowNetwork::decide_route(Bundle& b) {
   b.links = std::move(path.links);
   b.router_hops = path.router_hops;
   b.path_latency = path.latency;
+  if (coarsen_) {
+    // build_path always brackets the route with the representative
+    // terminal's edge links; swap in the router-level aggregate links.
+    b.links.front() = coarse_inj_link(sr);
+    b.links.back() = coarse_ej_link(dr);
+  }
 }
 
 // -------------------------------------------------------------- epoching
 
 std::uint32_t FlowNetwork::bundle_of(std::uint32_t src, std::uint32_t dst) {
+  std::uint32_t bsrc = src;
+  std::uint32_t bdst = dst;
+  if (coarsen_) {
+    // One bundle per (src router, dst router); the slot-0 terminals stand
+    // in for path building and the Valiant rng stream, so the coarse run
+    // stays deterministic in the same per-source-stream scheme.
+    const std::uint32_t p = topo_.terminals_per_router();
+    bsrc = topo_.terminal_router(src) * p;
+    bdst = topo_.terminal_router(dst) * p;
+  }
   const std::uint64_t key =
-      (static_cast<std::uint64_t>(src) << 32) | dst;
+      (static_cast<std::uint64_t>(bsrc) << 32) | bdst;
   const auto it = bundle_index_.find(key);
   if (it != bundle_index_.end()) return it->second;
   const auto id = static_cast<std::uint32_t>(bundles_.size());
   Bundle b;
-  b.src = src;
-  b.dst = dst;
+  b.src = bsrc;
+  b.dst = bdst;
   bundles_.push_back(std::move(b));
   bundle_index_.emplace(key, id);
   return id;
@@ -434,6 +672,7 @@ void FlowNetwork::solve_epoch(double dt) {
   }
   const SolverResult res = water_fill(capacity_, scratch_flows_);
   ++solves_;
+  ++full_solves_;
   solver_rounds_ += res.rounds;
   for (std::size_t i = 0; i < active_.size(); ++i) {
     bundles_[active_[i]].rate = res.rates[i];
@@ -484,12 +723,19 @@ bool FlowNetwork::drain_epoch(double t0, double dt) {
       const double arrival = completion + b.path_latency;
       const auto npkts = static_cast<std::uint64_t>(
           (m.bytes + params_.packet_size - 1) / params_.packet_size);
-      term_finished_[b.dst] += npkts;
-      term_sum_latency_[b.dst] +=
+      term_finished_[m.dst] += npkts;
+      term_sum_latency_[m.dst] +=
           std::max(arrival - m.issue, b.path_latency) *
           static_cast<double>(npkts);
-      term_sum_hops_[b.dst] +=
+      term_sum_hops_[m.dst] +=
           static_cast<double>(b.router_hops) * static_cast<double>(npkts);
+      if (coarsen_) {
+        // Fan the router-level drain back out to the exact terminals: the
+        // per-terminal edge links are off the coarse path, so injected /
+        // ejected bytes attribute whole messages at completion time.
+        link_traffic_[inj_link(m.src)] += static_cast<double>(m.bytes);
+        link_traffic_[ej_link(m.dst)] += static_cast<double>(m.bytes);
+      }
       ++msgs_finished_;
       bytes_delivered_ += static_cast<double>(m.bytes);
       max_delivery_ = std::max(max_delivery_, arrival);
@@ -503,6 +749,7 @@ bool FlowNetwork::drain_epoch(double t0, double dt) {
     }
   }
   if (!drained_.empty()) {
+    drain_events_ += drained_.size();
     std::size_t d = 0;
     std::size_t w = 0;
     for (std::size_t r = 0; r < active_.size(); ++r) {
@@ -534,23 +781,342 @@ void FlowNetwork::push_sample_frame() {
   capture(local_link(0), nlocal_, local_traffic_ts_, local_sat_ts_);
   capture(global_link(0), nglobal_, global_traffic_ts_, global_sat_ts_);
   // Terminal frames: injected bytes, injection + ejection saturation.
+  // Coarsened runs read saturation from the shared router-level links —
+  // their prev marks update once per router, after the terminal loop.
   {
     float* dt = term_traffic_ts_.push_frame_raw();
     float* ds = term_sat_ts_.push_frame_raw();
-    for (std::size_t t = 0; t < nterm_; ++t) {
-      const std::size_t li = inj_link(static_cast<std::uint32_t>(t));
-      const std::size_t le = ej_link(static_cast<std::uint32_t>(t));
-      dt[t] = static_cast<float>(link_traffic_[li] - prev_traffic_[li]);
-      ds[t] = static_cast<float>(link_sat_[li] - prev_sat_[li] +
-                                 link_sat_[le] - prev_sat_[le]);
-      prev_traffic_[li] = link_traffic_[li];
-      prev_sat_[li] = link_sat_[li];
-      prev_sat_[le] = link_sat_[le];
+    if (coarsen_) {
+      for (std::size_t t = 0; t < nterm_; ++t) {
+        const auto tm = static_cast<std::uint32_t>(t);
+        const std::size_t li = inj_link(tm);
+        const std::uint32_t r = topo_.terminal_router(tm);
+        const std::size_t lsi = coarse_inj_link(r);
+        const std::size_t lse = coarse_ej_link(r);
+        dt[t] = static_cast<float>(link_traffic_[li] - prev_traffic_[li]);
+        ds[t] = static_cast<float>(link_sat_[lsi] - prev_sat_[lsi] +
+                                   link_sat_[lse] - prev_sat_[lse]);
+        prev_traffic_[li] = link_traffic_[li];
+      }
+      for (std::uint32_t r = 0; r < nrouters_; ++r) {
+        prev_sat_[coarse_inj_link(r)] = link_sat_[coarse_inj_link(r)];
+        prev_sat_[coarse_ej_link(r)] = link_sat_[coarse_ej_link(r)];
+      }
+    } else {
+      for (std::size_t t = 0; t < nterm_; ++t) {
+        const std::size_t li = inj_link(static_cast<std::uint32_t>(t));
+        const std::size_t le = ej_link(static_cast<std::uint32_t>(t));
+        dt[t] = static_cast<float>(link_traffic_[li] - prev_traffic_[li]);
+        ds[t] = static_cast<float>(link_sat_[li] - prev_sat_[li] +
+                                   link_sat_[le] - prev_sat_[le]);
+        prev_traffic_[li] = link_traffic_[li];
+        prev_sat_[li] = link_sat_[li];
+        prev_sat_[le] = link_sat_[le];
+      }
     }
   }
 }
 
+// ----------------------------------------------------------- event engine
+
+void FlowNetwork::apply_event_solve() {
+  for (const std::uint32_t id : active_) {
+    bundles_[id].rate = ev_state_.rates[id];
+  }
+  // Full utilization + saturation rescan: O(links) is noise next to any
+  // solve, and it keeps incremental and full solves on one code path.
+  sat_links_.clear();
+  const std::size_t nl = capacity_.size();
+  for (std::size_t l = 0; l < nl; ++l) {
+    const double load = ev_state_.link_load[l];
+    link_util_[l] = load > 0.0 ? load / capacity_[l] : 0.0;
+    if (load >= capacity_[l] * kSatFrac) {
+      sat_links_.push_back(static_cast<std::uint32_t>(l));
+    }
+  }
+}
+
+void FlowNetwork::solve_event_full(double dt) {
+  const bool capped = active_.size() <= kCapSolveLimit;
+  for (const std::uint32_t id : active_) {
+    ev_flows_[id].rate_cap = capped ? bundles_[id].backlog / dt : kInf;
+  }
+  ev_state_ = water_fill(capacity_, ev_flows_);
+  ++solves_;
+  ++full_solves_;
+  solver_rounds_ += ev_state_.rounds;
+  ev_cap_bound_ = false;
+  if (capped) {
+    for (const std::uint32_t id : active_) {
+      if (ev_state_.rates[id] >= ev_flows_[id].rate_cap * kSatFrac) {
+        ev_cap_bound_ = true;
+        break;
+      }
+    }
+  }
+  apply_event_solve();
+}
+
+void FlowNetwork::solve_event_drained(
+    double dt, const std::vector<std::uint32_t>& removed) {
+  // Shrink-only change. The incremental path pays off when the
+  // perturbation stays sparse: skip it outright for mass completions
+  // (the cascade would bail anyway) and whenever the last solve froze a
+  // flow at its demand cap — cap-bound rates depend on the drained
+  // backlogs, not just the active set, so the frozen allocation is not
+  // reusable. water_fill_removed itself falls back on a wide cascade.
+  if (!ev_cap_bound_ && removed.size() * 8 <= active_.size()) {
+    const IncrementalResult inc =
+        water_fill_removed(capacity_, ev_flows_, removed, ev_state_);
+    if (!inc.full_solve) {
+      for (const std::uint32_t id : removed) {
+        ev_flows_[id].rate_cap = 0.0;
+      }
+      ++solves_;
+      ++incremental_solves_;
+      solver_rounds_ += inc.rounds;
+      apply_event_solve();
+      return;
+    }
+  }
+  for (const std::uint32_t id : removed) ev_flows_[id].rate_cap = 0.0;
+  solve_event_full(dt);
+}
+
+double FlowNetwork::next_completion_target(double t) {
+  if (active_.empty()) return kInf;
+  comp_scratch_.clear();
+  for (const std::uint32_t id : active_) {
+    const Bundle& b = bundles_[id];
+    DV_CHECK(b.rate > 0.0, "active bundle with no allocation");
+    comp_scratch_.push_back(t + b.backlog / b.rate);
+  }
+  // Above the cap-solve threshold a single solve costs milliseconds, so
+  // the drain tail coarsens to quarter-of-active batches (a heavy run
+  // re-solves O(log n) times total); below it the 1/16th batches keep
+  // rate redistribution fine-grained.
+  const std::size_t divisor =
+      comp_scratch_.size() > kCapSolveLimit ? 4 : kCompletionBatch;
+  const std::size_t k = std::max<std::size_t>(1, comp_scratch_.size() / divisor);
+  const auto kth = comp_scratch_.begin() + static_cast<std::ptrdiff_t>(k - 1);
+  std::nth_element(comp_scratch_.begin(), kth, comp_scratch_.end());
+  return *kth;
+}
+
+double FlowNetwork::run_event(const std::vector<std::uint32_t>& order,
+                              double dt) {
+  const bool sampled = sample_dt_ > 0.0;
+  std::size_t next = 0;
+  std::vector<std::uint32_t> pending;  // activated, not yet solved in
+  std::vector<std::uint32_t> removed;  // completed, not yet solved out
+  double t = 0.0;
+  double frame_next = dt;  // accumulated like the fixed loop's t += dt
+  double batch_t = kInf;   // completion-batch target from the last solve
+
+  // A message activates at the start of the length-dt interval containing
+  // its issue time — the fixed-epoch activation semantics, which is what
+  // keeps the two steppings aligned when completions land on boundaries.
+  auto quantum = [dt](double time) { return std::floor(time / dt) * dt; };
+
+  while (next < order.size() || !active_.empty()) {
+    DV_REQUIRE(++epochs_ < kMaxEpochs,
+               "flow simulation failed to drain (event guard)");
+    const double t_inj =
+        next < order.size() ? quantum(messages_[order[next]].time) : kInf;
+    double stop = std::min(t_inj, batch_t);
+    if (sampled) stop = std::min(stop, frame_next);
+    DV_CHECK(std::isfinite(stop) && stop >= t, "event stepping stalled");
+
+    // Drain the constant-rate interval [t, stop). Completion times inside
+    // it are exact (FIFO residue / rate), so skipping straight to the
+    // next rate-changing event loses nothing.
+    if (stop > t && !active_.empty()) {
+      obs::ScopedPhase ph("ev.drain");
+      if (drain_epoch(t, stop - t)) {
+        removed.insert(removed.end(), drained_.begin(), drained_.end());
+      }
+    }
+    t = stop;
+
+    if (sampled && t == frame_next) {
+      push_sample_frame();
+      frame_next += dt;
+    }
+
+    while (next < order.size() &&
+           quantum(messages_[order[next]].time) <= t) {
+      const netsim::Message& m = messages_[order[next]];
+      const std::uint32_t id = bundle_of(m.src_terminal, m.dst_terminal);
+      Bundle& b = bundles_[id];
+      if (b.fifo.empty() && b.backlog <= 0.0) {
+        decide_route(b);
+        pending.push_back(id);
+      }
+      b.fifo.push_back(PendingMsg{static_cast<double>(m.bytes), m.time,
+                                  m.bytes, m.src_terminal, m.dst_terminal});
+      b.backlog += static_cast<double>(m.bytes);
+      ++next;
+    }
+
+    // Activation batching: below the cap-solve threshold every quantum
+    // with new demand solves immediately (exact activation timing); above
+    // it new bundles wait — idle, like a control-loop delay — until they
+    // amount to 1/16th of the active set, injections run out, or nothing
+    // else is draining. A heavy ramp-up re-solves O(log n) times instead
+    // of once per quantum.
+    const bool flush =
+        !pending.empty() &&
+        (active_.size() <= kCapSolveLimit ||
+         pending.size() * 16 >= active_.size() || next >= order.size() ||
+         active_.empty());
+    if (flush) {
+      // Solver slots grow only here, so the drain-only incremental path
+      // always sees ev_flows_/ev_state_ at matching sizes.
+      if (ev_flows_.size() < bundles_.size()) {
+        ev_flows_.resize(bundles_.size());
+      }
+      for (const std::uint32_t id : pending) {
+        ev_flows_[id].links.assign(bundles_[id].links.begin(),
+                                   bundles_[id].links.end());
+      }
+      active_.insert(active_.end(), pending.begin(), pending.end());
+      pending.clear();
+      std::sort(active_.begin(), active_.end());
+      active_.erase(std::unique(active_.begin(), active_.end()),
+                    active_.end());
+      for (const std::uint32_t id : removed) ev_flows_[id].rate_cap = 0.0;
+      removed.clear();
+      {
+        obs::ScopedPhase ph("ev.solve_full");
+        solve_event_full(dt);
+      }
+    } else if (!removed.empty()) {
+      // Completions also batch: freed capacity sits idle (the fluid
+      // analog of the fixed loop's one-epoch redistribution delay) until
+      // the accumulated removals reach 1/16th of what's still active —
+      // otherwise every injection quantum that happens to see a straggler
+      // completion would pay a full-size re-solve.
+      if (active_.empty()) {
+        // Nothing left to re-solve; rates refresh with the next
+        // activation's full solve.
+        for (const std::uint32_t id : removed) {
+          ev_flows_[id].rate_cap = 0.0;
+        }
+        removed.clear();
+      } else if (removed.size() * 16 >= active_.size()) {
+        obs::ScopedPhase ph("ev.solve_drained");
+        solve_event_drained(dt, removed);
+        removed.clear();
+      }
+    }
+    // Injections into running bundles change completion times without
+    // changing rates, so the target recomputes every step either way.
+    {
+      obs::ScopedPhase ph("ev.target");
+      batch_t = next_completion_target(t);
+    }
+  }
+
+  // Sampled runs keep ticking until the frames cover the last arrival —
+  // netsim's sampling loop ends only once the event queue is empty, so
+  // end_time ≈ frames * dt holds for both backends.
+  if (sampled) {
+    while (frame_next - dt < max_delivery_) {
+      push_sample_frame();
+      frame_next += dt;
+    }
+    return frame_next - dt;
+  }
+  return max_delivery_;
+}
+
 // ------------------------------------------------------------------- run
+
+double FlowNetwork::run_fixed(const std::vector<std::uint32_t>& order,
+                              double dt) {
+  double t = 0.0;
+  std::size_t next = 0;
+  std::vector<std::uint32_t> activated;
+  bool need_solve = true;
+  while (next < order.size() || !active_.empty()) {
+    DV_REQUIRE(++epochs_ < kMaxEpochs,
+               "flow simulation failed to drain (epoch guard)");
+    // Idle gap: jump to the epoch containing the next injection,
+    // emitting zero frames so sampled series stay contiguous from t=0.
+    if (active_.empty() && next < order.size()) {
+      const double next_time = messages_[order[next]].time;
+      while (t + dt <= next_time) {
+        if (sample_dt_ > 0.0) push_sample_frame();
+        t += dt;
+      }
+    }
+    const double t1 = t + dt;
+    activated.clear();
+    while (next < order.size() && messages_[order[next]].time < t1) {
+      const netsim::Message& m = messages_[order[next]];
+      const std::uint32_t id = bundle_of(m.src_terminal, m.dst_terminal);
+      Bundle& b = bundles_[id];
+      if (b.fifo.empty() && b.backlog <= 0.0) {
+        decide_route(b);
+        activated.push_back(id);
+      }
+      b.fifo.push_back(PendingMsg{static_cast<double>(m.bytes), m.time,
+                                  m.bytes, m.src_terminal, m.dst_terminal});
+      b.backlog += static_cast<double>(m.bytes);
+      ++next;
+    }
+    if (!activated.empty()) {
+      active_.insert(active_.end(), activated.begin(), activated.end());
+      std::sort(active_.begin(), active_.end());
+      active_.erase(std::unique(active_.begin(), active_.end()),
+                    active_.end());
+      need_solve = true;
+    }
+    // Rates only change when the active set does (a new demand arrives
+    // or a bundle drains); every other epoch reuses the last max-min
+    // allocation and just advances the drain accounting. Redistribution
+    // after a completion lands one epoch later — the fluid analog of a
+    // control-loop delay — which keeps heavy sweeps out of the
+    // solve-per-epoch regime.
+    if (need_solve) solve_epoch(dt);
+    // Epoch batching: while the allocation is frozen, drain accounting
+    // is linear in dt (sat += dt, exact in-epoch completion times), so
+    // one drain_epoch call over k whole epochs lands on the same state
+    // as k unit steps. k stops at the first event that changes rates:
+    // the earliest bundle to fully drain or the next injection epoch.
+    // Sampled runs step one epoch at a time — each epoch is a frame.
+    double step = dt;
+    if (sample_dt_ <= 0.0 && !active_.empty()) {
+      double k = std::numeric_limits<double>::infinity();
+      for (const std::uint32_t id : active_) {
+        const Bundle& b = bundles_[id];
+        if (b.rate <= 0.0) {
+          k = 1.0;
+          break;
+        }
+        k = std::min(k, std::ceil(b.backlog / (b.rate * dt)));
+      }
+      if (next < order.size()) {
+        k = std::min(k, std::floor((messages_[order[next]].time - t) / dt));
+      }
+      step = std::max(1.0, k) * dt;
+    }
+    need_solve = drain_epoch(t, step);
+    if (sample_dt_ > 0.0) push_sample_frame();
+    t = sample_dt_ > 0.0 ? t1 : t + step;
+  }
+  // Sampled runs keep ticking until the frames cover the last arrival —
+  // netsim's sampling loop ends only once the event queue is empty, so
+  // end_time ≈ frames * dt holds for both backends.
+  if (sample_dt_ > 0.0) {
+    while (t < max_delivery_) {
+      push_sample_frame();
+      t += dt;
+    }
+    return t;
+  }
+  return max_delivery_;
+}
 
 metrics::RunMetrics FlowNetwork::run() {
   DV_REQUIRE(!ran_, "run() already called");
@@ -578,88 +1144,11 @@ metrics::RunMetrics FlowNetwork::run() {
     dt = max_issue > 0.0 ? max_issue / 256.0 : 1000.0;
   }
 
-  double t = 0.0;
+  double end = 0.0;
   {
     obs::ScopedPhase phase("sim");
-    std::size_t next = 0;
-    std::vector<std::uint32_t> activated;
-    bool need_solve = true;
-    while (next < order.size() || !active_.empty()) {
-      DV_REQUIRE(++epochs_ < kMaxEpochs,
-                 "flow simulation failed to drain (epoch guard)");
-      // Idle gap: jump to the epoch containing the next injection,
-      // emitting zero frames so sampled series stay contiguous from t=0.
-      if (active_.empty() && next < order.size()) {
-        const double next_time = messages_[order[next]].time;
-        while (t + dt <= next_time) {
-          if (sample_dt_ > 0.0) push_sample_frame();
-          t += dt;
-        }
-      }
-      const double t1 = t + dt;
-      activated.clear();
-      while (next < order.size() && messages_[order[next]].time < t1) {
-        const netsim::Message& m = messages_[order[next]];
-        const std::uint32_t id = bundle_of(m.src_terminal, m.dst_terminal);
-        Bundle& b = bundles_[id];
-        if (b.fifo.empty() && b.backlog <= 0.0) {
-          decide_route(b);
-          activated.push_back(id);
-        }
-        b.fifo.push_back(
-            PendingMsg{static_cast<double>(m.bytes), m.time, m.bytes});
-        b.backlog += static_cast<double>(m.bytes);
-        ++next;
-      }
-      if (!activated.empty()) {
-        active_.insert(active_.end(), activated.begin(), activated.end());
-        std::sort(active_.begin(), active_.end());
-        active_.erase(std::unique(active_.begin(), active_.end()),
-                      active_.end());
-        need_solve = true;
-      }
-      // Rates only change when the active set does (a new demand arrives
-      // or a bundle drains); every other epoch reuses the last max-min
-      // allocation and just advances the drain accounting. Redistribution
-      // after a completion lands one epoch later — the fluid analog of a
-      // control-loop delay — which keeps heavy sweeps out of the
-      // solve-per-epoch regime.
-      if (need_solve) solve_epoch(dt);
-      // Epoch batching: while the allocation is frozen, drain accounting
-      // is linear in dt (sat += dt, exact in-epoch completion times), so
-      // one drain_epoch call over k whole epochs lands on the same state
-      // as k unit steps. k stops at the first event that changes rates:
-      // the earliest bundle to fully drain or the next injection epoch.
-      // Sampled runs step one epoch at a time — each epoch is a frame.
-      double step = dt;
-      if (sample_dt_ <= 0.0 && !active_.empty()) {
-        double k = std::numeric_limits<double>::infinity();
-        for (const std::uint32_t id : active_) {
-          const Bundle& b = bundles_[id];
-          if (b.rate <= 0.0) {
-            k = 1.0;
-            break;
-          }
-          k = std::min(k, std::ceil(b.backlog / (b.rate * dt)));
-        }
-        if (next < order.size()) {
-          k = std::min(k, std::floor((messages_[order[next]].time - t) / dt));
-        }
-        step = std::max(1.0, k) * dt;
-      }
-      need_solve = drain_epoch(t, step);
-      if (sample_dt_ > 0.0) push_sample_frame();
-      t = sample_dt_ > 0.0 ? t1 : t + step;
-    }
-    // Sampled runs keep ticking until the frames cover the last arrival —
-    // netsim's sampling loop ends only once the event queue is empty, so
-    // end_time ≈ frames * dt holds for both backends.
-    if (sample_dt_ > 0.0) {
-      while (t < max_delivery_) {
-        push_sample_frame();
-        t += dt;
-      }
-    }
+    end = stepping_ == Stepping::kEvent ? run_event(order, dt)
+                                        : run_fixed(order, dt);
   }
 
   DV_CHECK(msgs_finished_ == messages_.size(),
@@ -669,7 +1158,6 @@ metrics::RunMetrics FlowNetwork::run() {
   DV_CHECK(std::abs(bytes_injected_ - bytes_delivered_) <= tol,
            "flow conservation violated: injected != delivered");
 
-  const double end = sample_dt_ > 0.0 ? t : max_delivery_;
   metrics::RunMetrics out;
   {
     obs::ScopedPhase phase("collect");
@@ -727,7 +1215,13 @@ void FlowNetwork::collect(metrics::RunMetrics& out, double end) {
     trow.sum_latency = term_sum_latency_[tm];
     trow.sum_hops = term_sum_hops_[tm];
     trow.data_size = link_traffic_[inj_link(tm)];
-    trow.sat_time = link_sat_[inj_link(tm)] + link_sat_[ej_link(tm)];
+    // Coarsened runs never load the per-terminal edge links; a terminal's
+    // saturation is its router's aggregate — the documented attribution
+    // tradeoff of --flow-coarsen.
+    trow.sat_time = coarsen_
+                        ? link_sat_[coarse_inj_link(trow.router)] +
+                              link_sat_[coarse_ej_link(trow.router)]
+                        : link_sat_[inj_link(tm)] + link_sat_[ej_link(tm)];
     trow.job = term_job_[tm];
   }
 
@@ -748,6 +1242,9 @@ void FlowNetwork::publish_run_obs(const metrics::RunMetrics& out) {
   obs::counter("flow.bundles").add(bundles_.size());
   obs::counter("flow.epochs").add(epochs_);
   obs::counter("flow.solves").add(solves_);
+  obs::counter("flow.solve.full").add(full_solves_);
+  obs::counter("flow.solve.incremental").add(incremental_solves_);
+  obs::counter("flow.drain.events").add(drain_events_);
   obs::counter("flow.solver_rounds").add(solver_rounds_);
   obs::counter("flow.bytes").add(static_cast<std::uint64_t>(bytes_delivered_));
   if (sample_dt_ > 0.0) {

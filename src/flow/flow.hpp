@@ -4,12 +4,22 @@
 // store-and-forward routers; at ~9M events/s a hundreds-of-points design
 // sweep takes hours. This module trades packet fidelity for steady-state
 // fluid rates: each (src terminal, dst terminal) demand pair becomes a
-// *flow* over a fixed path, and per epoch the rates are the max-min fair
-// allocation computed by iterative water-filling (progressive filling:
-// raise all unfrozen rates together, freeze the flows crossing whichever
-// link exhausts first — SimGrid's LMM model, `waterFilling` in
-// jianglong-nie's simulator). Time advances in epochs; demands activate
-// when the workload issues them and drain at the allocated rates.
+// *flow* over a fixed path, and the rates are the max-min fair allocation
+// computed by iterative water-filling (progressive filling: raise all
+// unfrozen rates together, freeze the flows crossing whichever link
+// exhausts first — SimGrid's LMM model, `waterFilling` in jianglong-nie's
+// simulator). Demands activate when the workload issues them and drain at
+// the allocated rates.
+//
+// Time advances event-driven (Stepping::kEvent, the default): each step
+// runs to the next rate-changing event — the next injection quantum, a
+// batch of bundle completions, or a sampling-frame boundary — instead of
+// grinding fixed epochs through the long drain tail. Completions shrink
+// the active set, and shrink-only changes re-solve *incrementally*
+// (water_fill_removed): finished bundles' rates leave their links and
+// water-filling re-runs restricted to the flows the perturbation can
+// actually reach, falling back to a full solve when the cascade spreads.
+// Stepping::kFixedEpoch keeps the PR-8 fixed-tick loop for comparison.
 //
 // The whole point is schema fidelity: FlowNetwork emits the *same*
 // RunMetrics record (link rows with netsim's src/dst port conventions,
@@ -41,7 +51,7 @@ namespace dv::flow {
 
 /// One flow's view of the network for the solver: the links it crosses
 /// (indices into the capacity vector) and an optional rate ceiling (its
-/// demand rate; infinity = limited by the network only).
+/// demand rate; infinity = limited by the network only, <= 0 = absent).
 struct SolverFlow {
   std::vector<std::uint32_t> links;
   double rate_cap = std::numeric_limits<double>::infinity();
@@ -62,12 +72,54 @@ struct SolverResult {
 SolverResult water_fill(const std::vector<double>& capacity,
                         const std::vector<SolverFlow>& flows);
 
+/// Outcome of an incremental re-solve (water_fill_removed).
+struct IncrementalResult {
+  std::uint32_t released = 0;  ///< flows re-solved by the restricted passes
+  std::uint32_t rounds = 0;    ///< restricted water-filling rounds taken
+  /// The release cascade passed cascade_frac of the surviving flows; the
+  /// state was left partially updated and the caller must run a full
+  /// water_fill instead.
+  bool full_solve = false;
+};
+
+/// Incremental max-min re-solve after deleting flows from a solved state.
+///
+/// `state` must be the water_fill result for `flows` (flows with
+/// rate_cap <= 0 treated as absent). `removed` names currently-alive flows
+/// to delete; their rates are taken off the links they crossed and
+/// water-filling re-runs restricted to the flows the perturbation can
+/// reach: the seed set is every alive flow crossing a removed flow's
+/// links, and each restricted pass releases further frozen flows whose
+/// max-min certificate the pass invalidated — a frozen flow above the new
+/// water level of a still-saturated link (it must drop to make room), or
+/// any frozen flow on a previously-saturated link that lost saturation
+/// (it may rise). Links no released or removed flow crosses keep their
+/// frozen allocation untouched, which is what makes sparse completions
+/// cheap. When the released set exceeds `cascade_frac` of the surviving
+/// flows the function bails with full_solve = true (state unspecified).
+///
+/// On success, `state` holds the same allocation a fresh water_fill over
+/// the surviving flows would produce (removed flows' rates are zeroed).
+/// The caller owns marking removed flows absent (rate_cap <= 0) before
+/// reusing `flows` in later solves.
+IncrementalResult water_fill_removed(const std::vector<double>& capacity,
+                                     const std::vector<SolverFlow>& flows,
+                                     const std::vector<std::uint32_t>& removed,
+                                     SolverResult& state,
+                                     double cascade_frac = 0.5);
+
 /// Flow-level simulation: construct, add messages, run once — the same
 /// call sequence as netsim::Network, consuming the same netsim::Message
 /// and netsim::Params so app::run_experiment dispatches between backends
 /// with no translation layer.
 class FlowNetwork {
  public:
+  /// Time-stepping strategy. kEvent advances to the exact next
+  /// rate-changing event (injection quantum, completion batch, frame
+  /// boundary); kFixedEpoch is the PR-8 fixed-tick loop, kept as the
+  /// comparison baseline for the event engine's equivalence tests.
+  enum class Stepping { kEvent, kFixedEpoch };
+
   FlowNetwork(const topo::Dragonfly& topo, routing::Algo algo,
               netsim::Params params = {}, std::uint64_t seed = 1);
 
@@ -83,13 +135,28 @@ class FlowNetwork {
                   std::vector<std::string> job_names);
   void set_jobs(const placement::Placement& placement);
 
-  /// Fixed-rate time-series sampling (dt in ns). When enabled, the epoch
-  /// step is locked to dt so frames are exactly the per-epoch deltas.
+  /// Fixed-rate time-series sampling (dt in ns). When enabled, the
+  /// injection quantum is locked to dt and event steps split at frame
+  /// boundaries, so frames are exactly the per-interval deltas.
   void enable_sampling(double dt);
 
-  /// Epoch length in ns (ignored while sampling; 0 = auto: 1/256 of the
-  /// injection span).
+  /// Epoch length / injection quantum in ns (must be positive; ignored
+  /// while sampling — the quantum locks to the sampling dt). When never
+  /// called, the quantum is auto-sized to 1/256 of the injection span.
   void set_epoch_dt(double dt);
+
+  void set_stepping(Stepping s);
+
+  /// Aggregates demand per (src router, dst router) instead of per
+  /// terminal pair — O(routers^2) bundles instead of O(terminals^2), the
+  /// difference between uniform-random and structured traffic. Per-message
+  /// terminal attribution (packet counts, latency, injected bytes) fans
+  /// back out exactly at message completion; the tradeoff is latency and
+  /// saturation attribution: messages of one router pair drain FIFO
+  /// through a shared bundle (head-of-line across terminal pairs), and a
+  /// terminal's sat_time becomes its router's aggregate injection/ejection
+  /// saturation, identical for all terminals of the router.
+  void enable_coarsening();
 
   /// Runs to completion (all demands drained) and returns metrics with
   /// the exact netsim RunMetrics schema. May be called once.
@@ -98,12 +165,20 @@ class FlowNetwork {
   // Work counters (the flow backend's analog of events_processed()).
   std::uint64_t epochs() const { return epochs_; }
   std::uint64_t solver_rounds() const { return solver_rounds_; }
+  std::uint64_t solves() const { return solves_; }
+  std::uint64_t full_solves() const { return full_solves_; }
+  std::uint64_t incremental_solves() const { return incremental_solves_; }
+  /// Bundle completions observed by the drain accounting.
+  std::uint64_t drain_events() const { return drain_events_; }
   std::size_t bundles() const { return bundles_.size(); }
 
  private:
   /// All directed links in one index space (the solver's capacity vector):
   /// [0,T) injection, [T,2T) ejection, [2T,2T+L) local, [2T+L,2T+L+G)
   /// global, where T/L/G are the topology's terminal/local/global counts.
+  /// Coarsening appends 2R router-level injection/ejection links after the
+  /// globals (capacity p * terminal_bandwidth) and routes bundles over
+  /// those instead of the per-terminal edge links.
   std::uint32_t inj_link(std::uint32_t term) const { return term; }
   std::uint32_t ej_link(std::uint32_t term) const { return nterm_ + term; }
   std::uint32_t local_link(std::uint32_t lid) const {
@@ -112,18 +187,27 @@ class FlowNetwork {
   std::uint32_t global_link(std::uint32_t gid) const {
     return 2 * nterm_ + nlocal_ + gid;
   }
+  std::uint32_t coarse_inj_link(std::uint32_t router) const {
+    return coarse_base_ + router;
+  }
+  std::uint32_t coarse_ej_link(std::uint32_t router) const {
+    return coarse_base_ + nrouters_ + router;
+  }
 
-  /// A demand bundle: every message of one (src,dst) terminal pair drains
-  /// FIFO through one flow. Its path is (re)decided whenever the bundle
-  /// transitions idle -> backlogged, the flow-level analog of per-packet
-  /// adaptive decisions at injection time.
+  /// A demand bundle: every message of one (src,dst) terminal pair —
+  /// router pair under coarsening — drains FIFO through one flow. Its path
+  /// is (re)decided whenever the bundle transitions idle -> backlogged,
+  /// the flow-level analog of per-packet adaptive decisions at injection
+  /// time.
   struct PendingMsg {
     double remaining = 0.0;      ///< bytes left to drain
     double issue = 0.0;          ///< application send time
     std::uint64_t bytes = 0;     ///< original size (packet accounting)
+    std::uint32_t src = 0;       ///< source terminal (coarse fan-out)
+    std::uint32_t dst = 0;       ///< destination terminal (coarse fan-out)
   };
   struct Bundle {
-    std::uint32_t src = 0;
+    std::uint32_t src = 0;  ///< representative terminal when coarsening
     std::uint32_t dst = 0;
     double backlog = 0.0;                ///< bytes not yet drained
     double rate = 0.0;                   ///< current allocation (bytes/ns)
@@ -169,6 +253,20 @@ class FlowNetwork {
   void collect(metrics::RunMetrics& out, double end);
   void publish_run_obs(const metrics::RunMetrics& out);
 
+  // Event-driven engine (Stepping::kEvent).
+  /// Returns the simulated end time (sampled: last frame boundary).
+  double run_event(const std::vector<std::uint32_t>& order, double dt);
+  /// PR-8 fixed-epoch loop, kept verbatim (Stepping::kFixedEpoch).
+  double run_fixed(const std::vector<std::uint32_t>& order, double dt);
+  void solve_event_full(double dt);
+  /// Shrink-only re-solve: `removed` is the accumulated completion batch
+  /// since the last solve (still cap-alive in ev_flows_; zeroed here).
+  void solve_event_drained(double dt, const std::vector<std::uint32_t>& removed);
+  void apply_event_solve();
+  /// Time of the k-th next bundle completion at current rates (the batch
+  /// re-solve target); infinity when nothing is active.
+  double next_completion_target(double t);
+
   // ---- state ----------------------------------------------------------
   const topo::Dragonfly topo_;
   routing::Algo algo_;
@@ -176,7 +274,8 @@ class FlowNetwork {
   routing::RoutePlanner planner_;  ///< kMinimal walker (proxies preset)
   routing::NullProbe null_probe_;
 
-  std::uint32_t nterm_ = 0, nlocal_ = 0, nglobal_ = 0;
+  std::uint32_t nterm_ = 0, nlocal_ = 0, nglobal_ = 0, nrouters_ = 0;
+  std::uint32_t coarse_base_ = 0;    ///< first router-level link index
   std::vector<double> capacity_;     ///< per link, bytes/ns
   std::vector<double> link_traffic_; ///< per link, cumulative bytes
   std::vector<double> link_sat_;     ///< per link, cumulative saturated ns
@@ -214,15 +313,31 @@ class FlowNetwork {
   std::uint64_t epochs_ = 0;
   std::uint64_t solver_rounds_ = 0;
   std::uint64_t solves_ = 0;
+  std::uint64_t full_solves_ = 0;
+  std::uint64_t incremental_solves_ = 0;
+  std::uint64_t drain_events_ = 0;
   std::uint64_t msgs_finished_ = 0;
   double bytes_injected_ = 0.0;
   double bytes_delivered_ = 0.0;
   double max_delivery_ = 0.0;
   bool ran_ = false;
+  bool coarsen_ = false;
+  Stepping stepping_ = Stepping::kEvent;
+
+  // Event-engine solver state: one persistent SolverFlow per bundle
+  // (rate_cap <= 0 = absent), so incremental re-solves have a stable flow
+  // index space and full solves skip the per-epoch path copies.
+  std::vector<SolverFlow> ev_flows_;
+  SolverResult ev_state_;
+  /// The last event solve froze some flow at its demand cap; such rates
+  /// change with every drained byte, so shrink-only steps cannot reuse
+  /// the frozen allocation and must full-solve.
+  bool ev_cap_bound_ = false;
 
   // Scratch reused across epochs.
   std::vector<SolverFlow> scratch_flows_;
   std::vector<std::uint32_t> drained_;
+  std::vector<double> comp_scratch_;
 };
 
 }  // namespace dv::flow

@@ -4,8 +4,12 @@
 // sampling consistency).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <numeric>
+#include <utility>
 #include <vector>
 
 #include "flow/flow.hpp"
@@ -145,6 +149,152 @@ TEST(FlowSolver, RandomizedMaxMinCertificate) {
   }
 }
 
+// ------------------------------------------------- incremental re-solve
+
+TEST(FlowSolver, IncrementalRemovalExactOnDyadicCascade) {
+  // All-dyadic fixture, so the incremental path must land bit-for-bit on
+  // the fresh solve. Links: 0 (cap 1/2), 1 (cap 3/2), 2 (cap 3).
+  // Flows: h={0,2}, x={1}, g={1,2}, f={2}.
+  // Full solve: link 0 freezes h at 1/2; link 1 freezes x,g at 3/4; f
+  // takes link 2's remainder: 3 - 1/2 - 3/4 = 7/4.
+  std::vector<double> caps{0.5, 1.5, 3.0};
+  std::vector<SolverFlow> flows{make_flow({0, 2}), make_flow({1}),
+                                make_flow({1, 2}), make_flow({2})};
+  auto state = water_fill(caps, flows);
+  EXPECT_EQ(state.rates[0], 0.5);
+  EXPECT_EQ(state.rates[1], 0.75);
+  EXPECT_EQ(state.rates[2], 0.75);
+  EXPECT_EQ(state.rates[3], 1.75);
+
+  // Remove x. The seed set is {g} (the only survivor on link 1); its
+  // restricted pass lands at 3/4 (link 2 headroom), which *lowers* the
+  // water level of saturated link 2 below f's frozen 7/4 — f must be
+  // released and pushed down. Fixpoint: g = f = 5/4 (not monotone!).
+  // cascade_frac = 1.0: the cascade (2 of 3 survivors) is the point here,
+  // not the sparseness bail.
+  const auto inc = water_fill_removed(caps, flows, {1}, state, 1.0);
+  EXPECT_FALSE(inc.full_solve);
+  EXPECT_EQ(inc.released, 2u);
+  EXPECT_EQ(state.rates[0], 0.5);
+  EXPECT_EQ(state.rates[1], 0.0);  // removed rates are zeroed
+  EXPECT_EQ(state.rates[2], 1.25);
+  EXPECT_EQ(state.rates[3], 1.25);
+  EXPECT_EQ(state.link_load[0], 0.5);
+  EXPECT_EQ(state.link_load[1], 1.25);
+  EXPECT_EQ(state.link_load[2], 3.0);
+
+  // The surviving allocation is bitwise the fresh solve's.
+  flows[1].rate_cap = 0.0;
+  const auto ref = water_fill(caps, flows);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_EQ(state.rates[f], ref.rates[f]) << "flow " << f;
+  }
+}
+
+TEST(FlowSolver, IncrementalRemovalOfIsolatedFlowTouchesNothing) {
+  // The removed flow shares no link with any survivor: the seed set is
+  // empty, nothing re-solves, and the frozen rates stay bitwise put.
+  std::vector<double> caps{2.0, 7.0};
+  std::vector<SolverFlow> flows{make_flow({0}), make_flow({1}),
+                                make_flow({1})};
+  auto state = water_fill(caps, flows);
+  const double keep1 = state.rates[1], keep2 = state.rates[2];
+
+  const auto inc = water_fill_removed(caps, flows, {0}, state);
+  EXPECT_FALSE(inc.full_solve);
+  EXPECT_EQ(inc.released, 0u);
+  EXPECT_EQ(state.rates[0], 0.0);
+  EXPECT_EQ(state.rates[1], keep1);
+  EXPECT_EQ(state.rates[2], keep2);
+  EXPECT_EQ(state.link_load[0], 0.0);
+  EXPECT_EQ(state.link_load[1], 7.0);
+}
+
+TEST(FlowSolver, IncrementalRemovalBailsWhenTheCascadeIsWide) {
+  // Ten equal flows on one link: removing one perturbs every survivor, so
+  // the restricted re-solve would touch the whole problem. The function
+  // must report full_solve instead of pretending the update was sparse.
+  std::vector<double> caps{10.0};
+  std::vector<SolverFlow> flows(10, make_flow({0}));
+  auto state = water_fill(caps, flows);
+  EXPECT_DOUBLE_EQ(state.rates[0], 1.0);
+
+  const auto inc = water_fill_removed(caps, flows, {0}, state);
+  EXPECT_TRUE(inc.full_solve);
+
+  // The caller's contract: mark removed flows absent and full-solve.
+  flows[0].rate_cap = 0.0;
+  state = water_fill(caps, flows);
+  EXPECT_DOUBLE_EQ(state.rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(state.rates[5], 10.0 / 9.0);
+}
+
+/// The property the event engine's drain batching leans on: across any
+/// sequence of completion-driven shrinks, a successful incremental
+/// re-solve equals a from-scratch water_fill over the survivors (and the
+/// wide-cascade bail is exercised often enough to trust the fallback).
+TEST(FlowSolver, IncrementalMatchesFullAcrossRandomShrinkSequences) {
+  Rng rng(4096, 21);
+  int incremental_successes = 0, full_bails = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t nl = 2 + rng.next_below(10);
+    const std::size_t nf = 4 + rng.next_below(20);
+    std::vector<double> caps(nl);
+    for (auto& c : caps) c = 0.5 + rng.next_double() * 20.0;
+    std::vector<SolverFlow> flows(nf);
+    for (auto& f : flows) {
+      const std::size_t degree =
+          1 + rng.next_below(std::min<std::size_t>(nl, 4));
+      for (std::size_t k = 0; k < degree; ++k) {
+        f.links.push_back(static_cast<std::uint32_t>(rng.next_below(nl)));
+      }
+      if (rng.next_bool(0.3)) f.rate_cap = 0.1 + rng.next_double() * 5.0;
+    }
+
+    auto state = water_fill(caps, flows);
+    std::vector<std::uint32_t> alive(nf);
+    std::iota(alive.begin(), alive.end(), 0u);
+    while (alive.size() > 1) {
+      // Completions arrive in small batches: remove 1..|alive|/4 flows.
+      const std::size_t nrem =
+          1 + rng.next_below(std::max<std::size_t>(1, alive.size() / 4));
+      for (std::size_t k = 0; k < nrem; ++k) {  // partial Fisher-Yates
+        std::swap(alive[k], alive[k + rng.next_below(alive.size() - k)]);
+      }
+      std::vector<std::uint32_t> removed(alive.begin(), alive.begin() + nrem);
+      std::sort(removed.begin(), removed.end());
+
+      const auto inc = water_fill_removed(caps, flows, removed, state);
+      for (const std::uint32_t id : removed) flows[id].rate_cap = 0.0;
+      alive.erase(alive.begin(), alive.begin() + nrem);
+
+      const auto ref = water_fill(caps, flows);
+      if (inc.full_solve) {
+        ++full_bails;
+        state = ref;
+        continue;
+      }
+      ++incremental_successes;
+      ASSERT_EQ(state.rates.size(), ref.rates.size());
+      for (std::size_t f = 0; f < nf; ++f) {
+        EXPECT_NEAR(state.rates[f], ref.rates[f],
+                    1e-9 * (1.0 + std::abs(ref.rates[f])))
+            << "trial " << trial << " flow " << f;
+      }
+      for (std::size_t l = 0; l < nl; ++l) {
+        EXPECT_NEAR(state.link_load[l], ref.link_load[l],
+                    1e-9 * (1.0 + caps[l]))
+            << "trial " << trial << " link " << l;
+        // Feasibility holds on the incremental state itself.
+        EXPECT_LE(state.link_load[l], caps[l] * (1.0 + 1e-9));
+      }
+    }
+  }
+  // Both paths must actually run, or the suite proves nothing.
+  EXPECT_GT(incremental_successes, 50);
+  EXPECT_GT(full_bails, 10);
+}
+
 // ---------------------------------------------------------- FlowNetwork
 
 netsim::Message msg(std::uint32_t src, std::uint32_t dst,
@@ -253,6 +403,7 @@ TEST(FlowNetwork, ValidatesInputs) {
   EXPECT_THROW(net.add_message(msg(0, 1, 100, -1.0)), Error);     // time
   EXPECT_THROW(net.enable_sampling(0.0), Error);
   EXPECT_THROW(net.set_epoch_dt(-1.0), Error);
+  EXPECT_THROW(net.set_epoch_dt(0.0), Error);
   net.add_message(msg(0, 1, 100, 0.0));
   (void)net.run();
   EXPECT_THROW(net.run(), Error);                   // single-shot
@@ -281,6 +432,157 @@ TEST(FlowNetwork, EpochLengthDoesNotChangeTotals) {
   // routing fixes the paths, so per-class traffic is epoch-invariant.
   EXPECT_DOUBLE_EQ(coarse.first, fine.first);
   EXPECT_NEAR(coarse.second, fine.second, coarse.second * 1e-9);
+}
+
+TEST(FlowNetwork, EventSteppingIsBitIdenticalToFixedOnAlignedCompletions) {
+  // When every activation and completion lands on an epoch boundary, the
+  // event engine visits a subset of the fixed-epoch solve points with the
+  // same state at each, so the sampled record must be *bitwise* identical
+  // (the fixed-epoch loop is the PR-8 baseline kept for exactly this).
+  // Construction: unit bandwidths, disjoint same-router pairs (inj+ej
+  // links only, no sharing -> every rate is exactly 1.0 byte/ns), message
+  // sizes in multiples of 4096 = 16 x 256-ns frames, issues at 0 and 2048.
+  const auto topo = topo::Dragonfly::canonical(2);
+  netsim::Params prm;
+  prm.terminal_bandwidth = 1.0;
+  prm.local_bandwidth = 1.0;
+  prm.global_bandwidth = 1.0;
+  std::vector<netsim::Message> ms;
+  for (std::uint32_t r = 0; r < topo.num_routers(); ++r) {
+    ms.push_back(msg(2 * r, 2 * r + 1, 4096ull * (1 + r % 3), 0.0));
+    if (r % 2 == 0) ms.push_back(msg(2 * r, 2 * r + 1, 4096, 2048.0));
+  }
+  auto run_stepping = [&](FlowNetwork::Stepping s) {
+    FlowNetwork net(topo, routing::Algo::kMinimal, prm, 3);
+    net.set_stepping(s);
+    net.add_messages(ms);
+    net.enable_sampling(256.0);
+    return net.run();
+  };
+  const auto event = run_stepping(FlowNetwork::Stepping::kEvent);
+  const auto fixed = run_stepping(FlowNetwork::Stepping::kFixedEpoch);
+  EXPECT_DOUBLE_EQ(event.end_time, fixed.end_time);
+  EXPECT_EQ(metrics::run_content_uid(event), metrics::run_content_uid(fixed));
+}
+
+TEST(FlowNetwork, EventAndFixedSteppingAgreeOnTotals) {
+  // On arbitrary (non-aligned) traffic the two steppings visit different
+  // solve points, but under minimal routing the paths are fixed, so what
+  // they deliver — bytes, packets, per-class traffic — must agree.
+  const auto topo = topo::Dragonfly::canonical(2);
+  std::vector<netsim::Message> ms;
+  Rng rng(17, 5);
+  for (int i = 0; i < 48; ++i) {
+    const auto s =
+        static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    auto d = s;
+    while (d == s) {
+      d = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    }
+    ms.push_back(msg(s, d, 3000 + 700 * i, rng.next_double() * 5e4));
+  }
+  auto run_stepping = [&](FlowNetwork::Stepping s) {
+    FlowNetwork net(topo, routing::Algo::kMinimal, {}, 11);
+    net.set_stepping(s);
+    net.add_messages(ms);
+    return net.run();
+  };
+  const auto event = run_stepping(FlowNetwork::Stepping::kEvent);
+  const auto fixed = run_stepping(FlowNetwork::Stepping::kFixedEpoch);
+  EXPECT_DOUBLE_EQ(event.total_injected(), fixed.total_injected());
+  EXPECT_EQ(event.total_packets_finished(), fixed.total_packets_finished());
+  EXPECT_NEAR(event.total_local_traffic(), fixed.total_local_traffic(),
+              fixed.total_local_traffic() * 1e-9 + 1.0);
+  EXPECT_NEAR(event.total_global_traffic(), fixed.total_global_traffic(),
+              fixed.total_global_traffic() * 1e-9 + 1.0);
+  EXPECT_NEAR(event.total_terminal_traffic(), fixed.total_terminal_traffic(),
+              fixed.total_terminal_traffic() * 1e-9 + 1.0);
+}
+
+TEST(FlowNetwork, CoarseningConservesTrafficUnderMinimalRouting) {
+  // Coarsening changes the solver's granularity (router pairs), not what
+  // moves: under minimal routing every (src,dst) pair's path is fixed and
+  // identical for all terminals of a router pair, so per-link traffic and
+  // per-terminal delivery accounting must survive the aggregation.
+  const auto topo = topo::Dragonfly::canonical(2);
+  std::vector<netsim::Message> ms;
+  Rng rng(5, 9);
+  for (int i = 0; i < 120; ++i) {
+    const auto s =
+        static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    auto d = s;
+    while (topo.terminal_router(d) == topo.terminal_router(s)) {
+      d = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    }
+    ms.push_back(msg(s, d, 1024 + 512 * i, rng.next_double() * 5e4));
+  }
+  auto run_mode = [&](bool coarse) {
+    FlowNetwork net(topo, routing::Algo::kMinimal, {}, 13);
+    net.add_messages(ms);
+    if (coarse) net.enable_coarsening();
+    auto run = net.run();
+    return std::pair<metrics::RunMetrics, std::size_t>(std::move(run),
+                                                       net.bundles());
+  };
+  const auto [fine, fine_bundles] = run_mode(false);
+  const auto [coarse, coarse_bundles] = run_mode(true);
+
+  // The whole point of coarsening: fewer solver variables.
+  EXPECT_GT(coarse_bundles, 0u);
+  EXPECT_LT(coarse_bundles, fine_bundles);
+
+  EXPECT_DOUBLE_EQ(coarse.total_injected(), fine.total_injected());
+  EXPECT_EQ(coarse.total_packets_finished(), fine.total_packets_finished());
+  ASSERT_EQ(coarse.local_links.size(), fine.local_links.size());
+  for (std::size_t i = 0; i < fine.local_links.size(); ++i) {
+    EXPECT_NEAR(coarse.local_links[i].traffic, fine.local_links[i].traffic,
+                fine.local_links[i].traffic * 1e-9 + 1e-6)
+        << "local link " << i;
+  }
+  ASSERT_EQ(coarse.global_links.size(), fine.global_links.size());
+  for (std::size_t i = 0; i < fine.global_links.size(); ++i) {
+    EXPECT_NEAR(coarse.global_links[i].traffic, fine.global_links[i].traffic,
+                fine.global_links[i].traffic * 1e-9 + 1e-6)
+        << "global link " << i;
+  }
+  // Per-terminal message attribution fans back out: delivered packet
+  // counts are per-message facts (exact); injected bytes accumulate as
+  // fractional drains in per-terminal mode, so match to FP tolerance.
+  ASSERT_EQ(coarse.terminals.size(), fine.terminals.size());
+  for (std::size_t t = 0; t < fine.terminals.size(); ++t) {
+    EXPECT_NEAR(coarse.terminals[t].data_size, fine.terminals[t].data_size,
+                fine.terminals[t].data_size * 1e-9 + 1e-6)
+        << "terminal " << t;
+    EXPECT_EQ(coarse.terminals[t].packets_finished,
+              fine.terminals[t].packets_finished)
+        << "terminal " << t;
+  }
+  EXPECT_NEAR(coarse.total_terminal_traffic(), fine.total_terminal_traffic(),
+              fine.total_terminal_traffic() * 1e-9 + 1.0);
+}
+
+TEST(FlowNetwork, CoarsenedRunIsDeterministic) {
+  const auto topo = topo::Dragonfly::canonical(2);
+  std::vector<netsim::Message> ms;
+  Rng rng(23, 1);
+  for (int i = 0; i < 64; ++i) {
+    const auto s =
+        static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    auto d = s;
+    while (d == s) {
+      d = static_cast<std::uint32_t>(rng.next_below(topo.num_terminals()));
+    }
+    ms.push_back(msg(s, d, 4096 + 256 * i, rng.next_double() * 1e5));
+  }
+  auto run_once = [&] {
+    FlowNetwork net(topo, routing::Algo::kAdaptive, {}, 42);
+    net.add_messages(ms);
+    net.enable_coarsening();
+    net.enable_sampling(1000.0);
+    return net.run();
+  };
+  EXPECT_EQ(metrics::run_content_uid(run_once()),
+            metrics::run_content_uid(run_once()));
 }
 
 }  // namespace

@@ -142,6 +142,41 @@ TEST(FlowVsPacket, LinkLoadRankCorrelates) {
   }
 }
 
+TEST(FlowVsPacket, FlowOnlyOptionsAreValidatedPerBackend) {
+  // --flow-coarsen silently doing nothing on the packet backend would
+  // invite apples-to-oranges comparisons; the runner must reject it.
+  auto cfg = base_config(Backend::kPacket, "uniform_random");
+  cfg.flow_coarsen = true;
+  EXPECT_THROW(run_experiment(cfg), Error);
+  // Unknown stepping names fail loudly instead of falling back to event.
+  cfg = base_config(Backend::kFlow, "uniform_random");
+  cfg.flow_stepping = "quantum";
+  EXPECT_THROW(run_experiment(cfg), Error);
+  // The same options are accepted where they mean something.
+  cfg = base_config(Backend::kFlow, "uniform_random");
+  cfg.flow_coarsen = true;
+  cfg.flow_stepping = "fixed";
+  EXPECT_GT(run_experiment(cfg).run.total_injected(), 0.0);
+}
+
+TEST(FlowVsPacket, SolverTelemetryIsPopulatedOnlyByTheFlowBackend) {
+  const auto flow = run_experiment(base_config(Backend::kFlow,
+                                               "uniform_random"));
+  EXPECT_GT(flow.flow.epochs, 0u);
+  EXPECT_GT(flow.flow.solves, 0u);
+  EXPECT_EQ(flow.flow.solves,
+            flow.flow.full_solves + flow.flow.incremental_solves);
+  EXPECT_GT(flow.flow.solver_rounds, 0u);
+  EXPECT_GT(flow.flow.drain_events, 0u);
+
+  const auto packet = run_experiment(base_config(Backend::kPacket,
+                                                 "uniform_random"));
+  EXPECT_EQ(packet.flow.epochs, 0u);
+  EXPECT_EQ(packet.flow.solves, 0u);
+  EXPECT_EQ(packet.flow.solver_rounds, 0u);
+  EXPECT_EQ(packet.flow.drain_events, 0u);
+}
+
 TEST(FlowVsPacket, ViewPlumbingIsByteIdenticalPerBackend) {
   // The same spec machinery must run unchanged over either backend's run
   // and render deterministically (two builds -> identical SVG bytes).

@@ -119,6 +119,29 @@ TEST(Sweep, ComparisonReportReferencesEveryRun) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Sweep, CoarsenedSweepRejectsTerminalLatencySpecsBeforeSimulating) {
+  // fig4 maps per-terminal avg_latency, which a coarsened run can only
+  // attribute per router — the sweep must refuse up front, before burning
+  // any simulation time (the store directory is never even created).
+  auto cfg = grid_config(temp_dir("dv_sweep_test_coarse_spec"));
+  cfg.base.flow_coarsen = true;
+  cfg.report_path = cfg.store_dir + "/report.html";
+  cfg.report_spec = "preset:fig4";
+  EXPECT_THROW(run_sweep(cfg), Error);
+  EXPECT_FALSE(std::filesystem::exists(cfg.store_dir));
+
+  // The default overview spec carries no terminal latency channel, so the
+  // same coarsened grid sweeps fine — and records solver telemetry.
+  cfg.report_spec = "preset:overview";
+  const auto res = run_sweep(cfg);
+  ASSERT_EQ(res.points.size(), 4u);
+  for (const auto& p : res.points) {
+    EXPECT_GT(p.flow.epochs, 0u) << p.name;
+    EXPECT_GT(p.flow.solves, 0u) << p.name;
+  }
+  std::filesystem::remove_all(cfg.store_dir);
+}
+
 TEST(Sweep, ValidatesConfiguration) {
   auto cfg = grid_config(temp_dir("dv_sweep_test_validate"));
   cfg.workloads.clear();

@@ -46,6 +46,34 @@ def collect(roots):
                     os.path.join(dirpath, name)
 
 
+def summarize(data):
+    """One-line human summary of a bench document, or None.
+
+    Currently only BENCH_sweep.json carries enough provenance to be worth
+    a line: the heavy-UR point's wall clocks plus the flow solver
+    telemetry recorded alongside them (how the run split its solves),
+    so a trajectory diff shows *why* a number moved, not just that it did.
+    """
+    ur = data.get("heavy_ur")
+    if not isinstance(ur, dict):
+        return None
+    parts = []
+    for key, label in (("seconds_flow", "flow"),
+                       ("seconds_flow_coarsen", "coarsen"),
+                       ("seconds_packet", "packet")):
+        if key in ur:
+            parts.append(f"{label} {ur[key]:.3f}s")
+    tel = ur.get("telemetry_flow")
+    if isinstance(tel, dict):
+        parts.append(
+            f"[{tel.get('solves', 0)} solves: "
+            f"{tel.get('full_solves', 0)} full + "
+            f"{tel.get('incremental_solves', 0)} incremental, "
+            f"{tel.get('epochs', 0)} epochs, "
+            f"{tel.get('drain_events', 0)} drains]")
+    return "heavy_ur " + " ".join(parts) if parts else None
+
+
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", required=True, help="merged output path")
@@ -63,6 +91,9 @@ def main(argv):
             skipped.append(f"{path}: {err}")
             continue
         benches.append({"name": name, "source": source, "data": data})
+        line = summarize(data)
+        if line:
+            print(f"merge_bench: {source}/{name}: {line}")
 
     for line in skipped:
         print(f"merge_bench: skipped unreadable {line}", file=sys.stderr)
